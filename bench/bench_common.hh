@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Shared output helpers for the figure/table benches. Every bench prints
+ * the same rows/series the paper reports: speedup over the named
+ * baseline, normalized energy, and the figure-specific metric.
+ *
+ * Environment:
+ *   TAKO_QUICK=1  shrink inputs for smoke runs (CI); default sizes are
+ *                 chosen to finish in about a minute per bench.
+ */
+
+#ifndef TAKO_BENCH_BENCH_COMMON_HH
+#define TAKO_BENCH_BENCH_COMMON_HH
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "workloads/common.hh"
+
+namespace tako::bench
+{
+
+inline bool
+quickMode()
+{
+    const char *q = std::getenv("TAKO_QUICK");
+    return q && q[0] == '1';
+}
+
+/**
+ * Table 3 system with caches scaled down 8x for the graph benches, so
+ * the (scaled-down) graphs stand in the same footprint-to-LLC regime as
+ * the paper's 16M-vertex graphs vs. an 8MB LLC (see EXPERIMENTS.md).
+ */
+inline SystemConfig
+scaledGraphSystem(unsigned cores)
+{
+    SystemConfig cfg = SystemConfig::forCores(cores);
+    cfg.mem.l1Size = 2 * 1024;
+    cfg.mem.l2Size = 8 * 1024;
+    cfg.mem.l3BankSize = 16 * 1024;
+    return cfg;
+}
+
+/**
+ * Scaling for the single-threaded HATS study: the LLC is scaled so the
+ * vertex data exceeds it (the locality battleground), while the private
+ * caches stay large enough to hold one community's working set —
+ * matching the paper's regime (128KB L2 vs. ~tens-of-KB communities).
+ */
+inline SystemConfig
+hatsSystem()
+{
+    SystemConfig cfg = SystemConfig::forCores(16);
+    cfg.mem.l1Size = 16 * 1024;
+    cfg.mem.l2Size = 64 * 1024;
+    cfg.mem.l3BankSize = 8 * 1024; // 128KB: vertex data >> LLC
+    return cfg;
+}
+
+inline void
+printTitle(const std::string &title)
+{
+    std::printf("\n=== %s ===\n", title.c_str());
+}
+
+/**
+ * Print one row per variant: cycles, speedup vs. rows[base], energy
+ * normalized to rows[base], DRAM accesses, instructions, plus any extra
+ * metrics named in @p extras.
+ */
+inline void
+printMetricsTable(const std::vector<RunMetrics> &rows,
+                  const std::vector<std::string> &extras = {},
+                  std::size_t base = 0)
+{
+    std::printf("%-16s %14s %8s %8s %12s %12s %12s", "variant", "cycles",
+                "speedup", "energy", "dram", "coreInstr", "engInstr");
+    for (const auto &e : extras)
+        std::printf(" %14s", e.c_str());
+    std::printf("\n");
+    for (const auto &m : rows) {
+        std::printf("%-16s %14llu %8.2f %8.2f %12llu %12llu %12llu",
+                    m.label.c_str(), (unsigned long long)m.cycles,
+                    m.speedupOver(rows[base]), m.energyVs(rows[base]),
+                    (unsigned long long)m.dramAccesses(),
+                    (unsigned long long)m.coreInstrs,
+                    (unsigned long long)m.engineInstrs);
+        for (const auto &e : extras) {
+            auto it = m.extra.find(e);
+            std::printf(" %14.3f", it == m.extra.end() ? 0.0 : it->second);
+        }
+        std::printf("\n");
+        if (auto it = m.extra.find("correct");
+            it != m.extra.end() && it->second != 1.0) {
+            std::printf("  !! %s: RESULT MISMATCH\n", m.label.c_str());
+        }
+    }
+}
+
+} // namespace tako::bench
+
+#endif // TAKO_BENCH_BENCH_COMMON_HH

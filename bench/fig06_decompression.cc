@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Fig. 6: execution time and dynamic energy of the Sec. 3 decompression
+ * example — software baseline, software pre-computation, near-data
+ * computing (NDC), täkō, and the idealized engine. 32K Zipfian indices
+ * over 16K compressed values (Sec. 3.3). Paper: täkō -55% time / -61%
+ * energy vs. baseline, -50% / -52% vs. precompute; NDC *hurts*; täkō
+ * within 1.1% / 1.3% of ideal.
+ */
+
+#include "bench/bench_common.hh"
+#include "workloads/decompress.hh"
+
+using namespace tako;
+
+int
+main()
+{
+    setVerbose(false);
+    DecompressConfig cfg;
+    if (bench::quickMode()) {
+        cfg.numValues = 2048;
+        cfg.numIndices = 4096;
+    }
+    SystemConfig sys = SystemConfig::forCores(16);
+
+    std::vector<RunMetrics> rows;
+    for (auto v : {DecompressVariant::Baseline,
+                   DecompressVariant::Precompute, DecompressVariant::Ndc,
+                   DecompressVariant::Tako, DecompressVariant::TakoIdeal}) {
+        rows.push_back(runDecompress(v, cfg, sys));
+    }
+
+    bench::printTitle(
+        "Fig. 6: in-cache decompression (speedup/energy vs. baseline)");
+    bench::printMetricsTable(rows, {"decompressions"});
+
+    const double tako_vs_base = rows[3].speedupOver(rows[0]);
+    const double tako_vs_ideal =
+        static_cast<double>(rows[3].cycles) / rows[4].cycles - 1.0;
+    std::printf("\npaper: tako 2.2x vs baseline, within 1.1%% of ideal; "
+                "NDC below baseline\n");
+    std::printf("here : tako %.2fx vs baseline, %.1f%% from ideal, "
+                "NDC %.2fx\n",
+                tako_vs_base, 100.0 * tako_vs_ideal,
+                rows[2].speedupOver(rows[0]));
+    return 0;
+}

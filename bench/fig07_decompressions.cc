@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Fig. 7: number of decompressions executed by each implementation of
+ * the Sec. 3 example. Baseline and NDC decompress on every access;
+ * precompute decompresses every value (including never-accessed ones);
+ * täkō decompresses only on phantom misses, memoizing hot lines.
+ */
+
+#include "bench/bench_common.hh"
+#include "workloads/decompress.hh"
+
+using namespace tako;
+
+int
+main()
+{
+    setVerbose(false);
+    DecompressConfig cfg;
+    if (bench::quickMode()) {
+        cfg.numValues = 2048;
+        cfg.numIndices = 4096;
+    }
+    SystemConfig sys = SystemConfig::forCores(16);
+
+    bench::printTitle("Fig. 7: number of decompressions");
+    std::printf("%-16s %16s %16s\n", "variant", "decompressions",
+                "per-access");
+    for (auto v : {DecompressVariant::Baseline,
+                   DecompressVariant::Precompute, DecompressVariant::Ndc,
+                   DecompressVariant::Tako}) {
+        RunMetrics m = runDecompress(v, cfg, sys);
+        std::printf("%-16s %16.0f %16.3f\n", m.label.c_str(),
+                    m.extra["decompressions"],
+                    m.extra["decompressions"] /
+                        static_cast<double>(cfg.numIndices));
+    }
+    std::printf("\npaper: tako well below baseline (memoization); "
+                "precompute = all %llu values\n",
+                (unsigned long long)cfg.numValues);
+    return 0;
+}

@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Fig. 14: DRAM accesses per PageRank phase (edge / bin / vertex) for
+ * the PHI case study. Paper: UB reduces total accesses by 43% via
+ * binning; täkō by 60% by buffering updates in-cache and binning only
+ * on poor spatial locality.
+ */
+
+#include "bench/bench_common.hh"
+#include "workloads/pagerank_push.hh"
+
+using namespace tako;
+
+int
+main()
+{
+    setVerbose(false);
+    PagerankPushConfig cfg;
+    cfg.graph.numVertices = bench::quickMode() ? (1 << 13) : (1 << 16);
+    cfg.graph.avgDegree = 10;
+    cfg.graph.communitySize = 512;
+    cfg.threads = 16;
+    cfg.regionVertices = 256;
+    SystemConfig sys = bench::scaledGraphSystem(16);
+
+    bench::printTitle("Fig. 14: DRAM accesses per phase (PHI PageRank)");
+    std::printf("%-16s %12s %12s %12s %12s %10s\n", "variant", "edge",
+                "bin", "vertex", "total", "vs base");
+    double base_total = 0;
+    for (auto v : {PushVariant::Baseline, PushVariant::UpdateBatching,
+                   PushVariant::Phi}) {
+        RunMetrics m = runPagerankPush(v, cfg, sys);
+        const double total = m.extra["dram.edge"] + m.extra["dram.bin"] +
+                             m.extra["dram.vertex"];
+        if (base_total == 0)
+            base_total = total;
+        std::printf("%-16s %12.0f %12.0f %12.0f %12.0f %9.0f%%\n",
+                    m.label.c_str(), m.extra["dram.edge"],
+                    m.extra["dram.bin"], m.extra["dram.vertex"], total,
+                    100.0 * (total / base_total - 1.0));
+    }
+    std::printf("\npaper: UB -43%%, tako -60%% total DRAM accesses\n");
+    return 0;
+}

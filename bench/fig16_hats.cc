@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Fig. 16: HATS results for one PageRank iteration, single thread, on a
+ * community-structured graph (standing in for uk-2002; see
+ * EXPERIMENTS.md). Paper: software BDFS gives minimal benefit; täkō
+ * +43% speedup / -17% energy; ideal +46% / -22%.
+ */
+
+#include "bench/bench_common.hh"
+#include "workloads/pagerank_pull.hh"
+
+using namespace tako;
+
+int
+main()
+{
+    setVerbose(false);
+    PagerankPullConfig cfg;
+    cfg.graph.numVertices = bench::quickMode() ? (1 << 12) : (1 << 16);
+    cfg.graph.avgDegree = 20;
+    cfg.graph.communitySize = 128;
+    cfg.graph.intraProb = 0.95;
+    SystemConfig sys = bench::hatsSystem();
+
+    std::vector<RunMetrics> rows;
+    for (auto v : {PullVariant::VertexOrdered, PullVariant::SoftwareBdfs,
+                   PullVariant::Hats, PullVariant::HatsIdeal}) {
+        rows.push_back(runPagerankPull(v, cfg, sys));
+    }
+
+    bench::printTitle("Fig. 16: HATS graph traversal (1 thread)");
+    bench::printMetricsTable(rows, {"edgesLogged"});
+
+    std::printf("\npaper: sw-bdfs ~1.0x, tako 1.43x, ideal 1.46x; "
+                "energy -17%% (tako)\n");
+    std::printf("here : sw-bdfs %.2fx, tako %.2fx, ideal %.2fx; "
+                "energy %+.0f%% (tako)\n",
+                rows[1].speedupOver(rows[0]), rows[2].speedupOver(rows[0]),
+                rows[3].speedupOver(rows[0]),
+                (rows[2].energyVs(rows[0]) - 1.0) * 100);
+    return 0;
+}

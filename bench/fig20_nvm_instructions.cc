@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Fig. 20: instructions executed per 8 bytes written by the application,
+ * split between cores and engines. Paper: täkō executes ~50% fewer core
+ * instructions and ~36% fewer total instructions than journaling.
+ */
+
+#include "bench/bench_common.hh"
+#include "workloads/nvm_tx.hh"
+
+using namespace tako;
+
+int
+main()
+{
+    setVerbose(false);
+    SystemConfig sys = SystemConfig::forCores(16);
+    NvmTxConfig cfg;
+    cfg.txBytes = 16 * 1024;
+    cfg.numTx = bench::quickMode() ? 4 : 16;
+
+    bench::printTitle("Fig. 20: instructions per 8B written (16KB tx)");
+    std::printf("%-12s %12s %12s %12s\n", "variant", "core/8B",
+                "engine/8B", "total/8B");
+    RunMetrics base = runNvmTx(NvmVariant::Journaling, cfg, sys);
+    RunMetrics tako = runNvmTx(NvmVariant::Tako, cfg, sys);
+    for (const RunMetrics *m : {&base, &tako}) {
+        std::printf("%-12s %12.2f %12.2f %12.2f\n", m->label.c_str(),
+                    m->extra.at("coreInstrsPer8B"),
+                    m->extra.at("totalInstrsPer8B") -
+                        m->extra.at("coreInstrsPer8B"),
+                    m->extra.at("totalInstrsPer8B"));
+    }
+    std::printf("\npaper: tako ~-50%% core instrs, ~-36%% total\n");
+    std::printf("here : tako %+.0f%% core instrs, %+.0f%% total\n",
+                100.0 * (tako.extra["coreInstrsPer8B"] /
+                             base.extra["coreInstrsPer8B"] -
+                         1.0),
+                100.0 * (tako.extra["totalInstrsPer8B"] /
+                             base.extra["totalInstrsPer8B"] -
+                         1.0));
+    return 0;
+}

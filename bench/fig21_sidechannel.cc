@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Fig. 21: prime+probe attack on AES tables at the shared L3. Without
+ * täkō the attacker tracks the victim's secret-dependent accesses; with
+ * the eviction-guard Morph the victim is interrupted at the first
+ * priming eviction and defends itself before the pattern leaks.
+ */
+
+#include "bench/bench_common.hh"
+#include "workloads/prime_probe.hh"
+
+using namespace tako;
+
+int
+main()
+{
+    setVerbose(false);
+    PrimeProbeConfig cfg;
+    cfg.rounds = bench::quickMode() ? 16 : 64;
+    SystemConfig sys = SystemConfig::forCores(16);
+
+    bench::printTitle("Fig. 21: prime+probe on AES tables at the L3");
+    std::printf("%-10s %8s %10s %10s %12s %12s %10s\n", "variant",
+                "rounds", "leaked", "bits", "accuracy", "detected",
+                "trace len");
+    for (bool with_tako : {false, true}) {
+        PrimeProbeResult r = runPrimeProbe(with_tako, cfg, sys);
+        std::printf("%-10s %8u %10u %10u %12.2f %12s %10zu\n",
+                    with_tako ? "tako" : "baseline", r.roundsRun,
+                    r.leakedRounds, r.trueLeaks,
+                    r.metrics.extra["attackAccuracy"],
+                    r.detected ? "yes" : "no", r.evictionTrace.size());
+        if (with_tako && !r.evictionTrace.empty()) {
+            std::printf("  eviction trace (first 5): ");
+            for (std::size_t i = 0;
+                 i < std::min<std::size_t>(5, r.evictionTrace.size()); ++i)
+                std::printf("t=%llu ",
+                            (unsigned long long)r.evictionTrace[i].first);
+            std::printf("-> victim interrupted, defense engaged\n");
+        }
+    }
+    std::printf("\npaper: attack succeeds in baseline, detected "
+                "immediately with tako\n");
+    return 0;
+}

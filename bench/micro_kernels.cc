@@ -1,0 +1,141 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks for the simulator's own primitives:
+ * event-queue throughput, coroutine context switches, tag-array lookups
+ * and victim selection, NoC traversal, Zipfian sampling, and a small
+ * end-to-end simulated access. These track the *simulator's* host-side
+ * performance (events/sec), which bounds how large the figure benches
+ * can scale.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "mem/cache_array.hh"
+#include "noc/mesh.hh"
+#include "sim/event_queue.hh"
+#include "sim/random.hh"
+#include "sim/task.hh"
+#include "system/system.hh"
+
+using namespace tako;
+
+namespace
+{
+
+void
+BM_EventQueueSchedule(benchmark::State &state)
+{
+    EventQueue eq;
+    std::uint64_t count = 0;
+    for (auto _ : state) {
+        for (int i = 0; i < 1024; ++i)
+            eq.schedule(static_cast<Tick>(i % 7), [&count]() { ++count; });
+        eq.run();
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(count));
+}
+BENCHMARK(BM_EventQueueSchedule);
+
+Task<>
+pingPong(EventQueue &eq, int rounds)
+{
+    for (int i = 0; i < rounds; ++i)
+        co_await Delay{eq, 1};
+}
+
+void
+BM_CoroutineResume(benchmark::State &state)
+{
+    for (auto _ : state) {
+        EventQueue eq;
+        spawn(pingPong(eq, 1024));
+        eq.run();
+    }
+    state.SetItemsProcessed(state.iterations() * 1024);
+}
+BENCHMARK(BM_CoroutineResume);
+
+void
+BM_CacheLookup(benchmark::State &state)
+{
+    CacheArray cache(512 * 1024, 16, ReplPolicy::Trrip);
+    Rng rng(1);
+    // Pre-fill.
+    for (unsigned i = 0; i < 8192; ++i) {
+        const Addr a = rng.next() % (1 << 26) * lineBytes;
+        if (CacheWay *v = cache.findVictim(a, false))
+            cache.fill(*v, a, false, 0, false);
+    }
+    std::uint64_t hits = 0;
+    for (auto _ : state) {
+        const Addr a = rng.next() % (1 << 26) * lineBytes;
+        if (cache.lookup(a))
+            ++hits;
+        benchmark::DoNotOptimize(hits);
+    }
+}
+BENCHMARK(BM_CacheLookup);
+
+void
+BM_VictimSelection(benchmark::State &state)
+{
+    CacheArray cache(512 * 1024, 16, ReplPolicy::Trrip);
+    Rng rng(2);
+    for (auto _ : state) {
+        const Addr a = rng.next() % (1 << 26) * lineBytes;
+        CacheWay *v = cache.findVictim(a, (rng.next() & 1) != 0);
+        if (v)
+            cache.fill(*v, a, false, 0, false);
+        benchmark::DoNotOptimize(v);
+    }
+}
+BENCHMARK(BM_VictimSelection);
+
+void
+BM_MeshTraverse(benchmark::State &state)
+{
+    StatsRegistry stats;
+    EnergyModel energy(stats);
+    Mesh mesh(MeshParams{}, stats, energy);
+    Rng rng(3);
+    Tick now = 0;
+    for (auto _ : state) {
+        const int src = static_cast<int>(rng.below(16));
+        const int dst = static_cast<int>(rng.below(16));
+        benchmark::DoNotOptimize(mesh.traverse(now, src, dst, 72));
+        now += 2;
+    }
+}
+BENCHMARK(BM_MeshTraverse);
+
+void
+BM_ZipfianSample(benchmark::State &state)
+{
+    Rng rng(4);
+    ZipfianGenerator zipf(16384, 0.99);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(zipf(rng));
+}
+BENCHMARK(BM_ZipfianSample);
+
+void
+BM_SimulatedAccess(benchmark::State &state)
+{
+    // End-to-end: one simulated core load per iteration batch, including
+    // the full transaction machinery (host cost per simulated access).
+    for (auto _ : state) {
+        state.PauseTiming();
+        SystemConfig cfg = SystemConfig::forCores(4);
+        System sys(cfg);
+        state.ResumeTiming();
+        sys.addThread(0, [&](Guest &g) -> Task<> {
+            for (int i = 0; i < 4096; ++i)
+                co_await g.load(0x100000 + (i % 512) * lineBytes);
+        });
+        sys.run();
+    }
+    state.SetItemsProcessed(state.iterations() * 4096);
+}
+BENCHMARK(BM_SimulatedAccess);
+
+} // namespace

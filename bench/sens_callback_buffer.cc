@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Sec. 9 sensitivity: callback-buffer size. The NVM benchmark invokes
+ * many concurrent onWritebacks when flushing a transaction, stressing
+ * the buffer. Paper: performance plateaus at 4 entries; 8 are used in
+ * the evaluation.
+ */
+
+#include "bench/bench_common.hh"
+#include "workloads/nvm_tx.hh"
+
+using namespace tako;
+
+int
+main()
+{
+    setVerbose(false);
+    NvmTxConfig cfg;
+    cfg.txBytes = 64 * 1024;
+    cfg.numTx = bench::quickMode() ? 4 : 12;
+
+    bench::printTitle("Sensitivity: callback-buffer entries (NVM flush)");
+    std::printf("%-10s %14s %10s\n", "entries", "cycles", "vs 8");
+    Tick ref = 0;
+    std::vector<std::pair<unsigned, Tick>> results;
+    for (unsigned entries : {1u, 2u, 4u, 8u, 16u, 64u}) {
+        SystemConfig sys = SystemConfig::forCores(16);
+        sys.engine.callbackBuffer = entries;
+        sys.engine.maxConcurrent = entries;
+        RunMetrics m = runNvmTx(NvmVariant::Tako, cfg, sys);
+        results.emplace_back(entries, m.cycles);
+        if (entries == 8)
+            ref = m.cycles;
+    }
+    for (auto [entries, cycles] : results) {
+        std::printf("%-10u %14llu %9.2fx\n", entries,
+                    (unsigned long long)cycles,
+                    static_cast<double>(cycles) / ref);
+    }
+    std::printf("\npaper: plateau at 4 entries\n");
+    return 0;
+}

@@ -1,0 +1,24 @@
+/**
+ * @file
+ * Table 2: hardware overhead — täkō state added per L3 bank as a
+ * fraction of the bank's capacity. Paper total: 27.1 KB / 512 KB = 5.3%.
+ */
+
+#include "bench/bench_common.hh"
+#include "tako/area_model.hh"
+
+#include <iostream>
+
+using namespace tako;
+
+int
+main()
+{
+    SystemConfig sys = SystemConfig::forCores(16);
+    const AreaReport r = computeAreaReport(sys.mem, sys.engine);
+
+    bench::printTitle("Table 2: hardware overhead (state per L3 bank)");
+    printAreaReport(std::cout, r);
+    std::printf("\npaper: 27.1 KB / 512 KB = 5.3%%\n");
+    return 0;
+}

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Graph analytics with PHI (Sec. 8.1): 16 threads run one PageRank push
+ * iteration over a community-structured graph, with the vertex
+ * accumulators living in a SHARED phantom range. Cores push relaxed
+ * remote atomics; evicted lines are applied in place or binned by the
+ * bank engines. Compares against the plain atomic-add baseline.
+ *
+ * Build & run:  ./build/examples/graph_analytics
+ */
+
+#include <cstdio>
+
+#include "workloads/pagerank_push.hh"
+
+using namespace tako;
+
+int
+main()
+{
+    setVerbose(false);
+    PagerankPushConfig cfg;
+    cfg.graph.numVertices = 1 << 14;
+    cfg.graph.avgDegree = 10;
+    cfg.graph.communitySize = 256;
+    cfg.threads = 16;
+    cfg.regionVertices = 2048;
+
+    SystemConfig sys = SystemConfig::forCores(16);
+    // Scale caches so the graph is memory-resident, like the paper's.
+    sys.mem.l1Size = 2 * 1024;
+    sys.mem.l2Size = 8 * 1024;
+    sys.mem.l3BankSize = 16 * 1024;
+
+    std::printf("PageRank push, %llu vertices / ~%u edges per vertex\n\n",
+                (unsigned long long)cfg.graph.numVertices,
+                cfg.graph.avgDegree);
+
+    RunMetrics base = runPagerankPush(PushVariant::Baseline, cfg, sys);
+    RunMetrics phi = runPagerankPush(PushVariant::Phi, cfg, sys);
+
+    for (const RunMetrics *m : {&base, &phi}) {
+        std::printf("%-10s %12llu cycles  %10llu DRAM accesses  (%s)\n",
+                    m->label.c_str(), (unsigned long long)m->cycles,
+                    (unsigned long long)m->dramAccesses(),
+                    m->extra.at("correct") == 1.0 ? "verified" : "WRONG");
+    }
+    std::printf("\nPHI speedup: %.2fx   in-place lines: %.0f   "
+                "binned updates: %.0f\n",
+                phi.speedupOver(base), phi.extra["inPlaceLines"],
+                phi.extra["binnedUpdates"]);
+    return 0;
+}

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Transactions on direct-access NVM with battery-backed caches
+ * (Sec. 8.3): stage writes in a phantom range, commit with flushData,
+ * and let onWriteback push committed lines straight to NVM — no journal
+ * unless a line is evicted before commit. The example runs a small and
+ * an oversized transaction to show both paths.
+ *
+ * Build & run:  ./build/examples/nvm_transactions
+ */
+
+#include <cstdio>
+
+#include "workloads/nvm_tx.hh"
+
+using namespace tako;
+
+namespace
+{
+
+void
+runSize(std::uint64_t tx_bytes)
+{
+    NvmTxConfig cfg;
+    cfg.txBytes = tx_bytes;
+    cfg.numTx = 8;
+    SystemConfig sys = SystemConfig::forCores(16);
+
+    RunMetrics journaling = runNvmTx(NvmVariant::Journaling, cfg, sys);
+    RunMetrics tako = runNvmTx(NvmVariant::Tako, cfg, sys);
+
+    std::printf("%6lluKB tx: journaling %10llu cy | tako %10llu cy "
+                "(%.2fx) | journaled lines %.0f | %s\n",
+                (unsigned long long)(tx_bytes / 1024),
+                (unsigned long long)journaling.cycles,
+                (unsigned long long)tako.cycles,
+                tako.speedupOver(journaling),
+                tako.extra["journaledLines"],
+                tako.extra["correct"] == 1.0 ? "verified" : "WRONG");
+}
+
+} // namespace
+
+int
+main()
+{
+    setVerbose(false);
+    std::printf("append-only NVM transactions (8 per size):\n\n");
+    runSize(4 * 1024);   // fits the L2: the cache is the journal
+    runSize(256 * 1024); // exceeds the L2: falls back to journaling
+    std::printf("\nSmall transactions never touch the journal; oversized "
+                "ones spill,\nare journaled by onWriteback, and replay at "
+                "commit.\n");
+    return 0;
+}

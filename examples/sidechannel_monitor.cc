@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Detecting cache side-channel attacks (Sec. 8.4): a victim registers an
+ * eviction-guard Morph over its AES tables at the SHARED cache. A
+ * prime+probe attacker on another core tries to recover the victim's
+ * secret-dependent access pattern; the guard's onEviction interrupts the
+ * victim at the first priming eviction, and the victim defends itself.
+ *
+ * Build & run:  ./build/examples/sidechannel_monitor
+ */
+
+#include <cstdio>
+
+#include "workloads/prime_probe.hh"
+
+using namespace tako;
+
+int
+main()
+{
+    setVerbose(false);
+    PrimeProbeConfig cfg;
+    cfg.rounds = 48;
+    SystemConfig sys = SystemConfig::forCores(16);
+
+    std::printf("prime+probe on AES tables, %u rounds\n\n", cfg.rounds);
+    for (bool with_tako : {false, true}) {
+        PrimeProbeResult r = runPrimeProbe(with_tako, cfg, sys);
+        std::printf("%s:\n", with_tako ? "with täkō eviction guard"
+                                       : "unprotected baseline");
+        std::printf("  secret bits recovered by attacker : %u\n",
+                    r.trueLeaks);
+        std::printf("  attack accuracy                   : %.0f%%\n",
+                    100.0 * r.metrics.extra["attackAccuracy"]);
+        if (with_tako) {
+            std::printf("  guard interrupts (evictions seen) : %zu\n",
+                        r.evictionTrace.size());
+            std::printf("  detected at cycle                 : %llu\n",
+                        (unsigned long long)r.detectionTime);
+        }
+        std::printf("\n");
+    }
+    std::printf("The guard costs nothing until an eviction occurs — "
+                "loads and stores\nto unmonitored addresses are "
+                "unaffected (Sec. 4).\n");
+    return 0;
+}

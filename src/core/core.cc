@@ -1,0 +1,355 @@
+#include "core/core.hh"
+
+namespace tako
+{
+
+// ---------------------------------------------------------------------
+// Guest (thin forwarding layer)
+// ---------------------------------------------------------------------
+
+int
+Guest::id() const
+{
+    return core_.id();
+}
+
+EventQueue &
+Guest::eq() const
+{
+    return core_.eq();
+}
+
+Tick
+Guest::now() const
+{
+    return core_.eq().now();
+}
+
+MemorySystem &
+Guest::mem() const
+{
+    return core_.mem();
+}
+
+Rng &
+Guest::rng()
+{
+    return core_.rng();
+}
+
+Task<>
+Guest::exec(std::uint64_t instrs)
+{
+    co_await core_.exec(instrs);
+}
+
+Task<std::uint64_t>
+Guest::load(Addr addr)
+{
+    co_return co_await core_.memOp(MemCmd::Load, addr, 0);
+}
+
+Task<>
+Guest::store(Addr addr, std::uint64_t value)
+{
+    co_await core_.memOp(MemCmd::Store, addr, value);
+}
+
+Task<std::uint64_t>
+Guest::atomicAdd(Addr addr, std::uint64_t delta)
+{
+    co_return co_await core_.memOp(MemCmd::AtomicAdd, addr, delta);
+}
+
+Task<std::uint64_t>
+Guest::atomicSwap(Addr addr, std::uint64_t value)
+{
+    co_return co_await core_.memOp(MemCmd::AtomicSwap, addr, value);
+}
+
+Task<>
+Guest::loadMulti(const std::vector<Addr> &addrs,
+                 std::vector<std::uint64_t> *out)
+{
+    co_await core_.multiOp(MemCmd::Load, addrs, nullptr, out);
+}
+
+Task<>
+Guest::streamLoadMulti(const std::vector<Addr> &addrs,
+                       std::vector<std::uint64_t> *out)
+{
+    co_await core_.multiOp(MemCmd::Load, addrs, nullptr, out, false,
+                           true);
+}
+
+namespace
+{
+
+void
+splitPairs(const std::vector<std::pair<Addr, std::uint64_t>> &pairs,
+           std::vector<Addr> &addrs, std::vector<std::uint64_t> &data)
+{
+    addrs.reserve(pairs.size());
+    data.reserve(pairs.size());
+    for (const auto &[a, v] : pairs) {
+        addrs.push_back(a);
+        data.push_back(v);
+    }
+}
+
+} // namespace
+
+Task<>
+Guest::storeMulti(const std::vector<std::pair<Addr, std::uint64_t>> &writes)
+{
+    std::vector<Addr> addrs;
+    std::vector<std::uint64_t> data;
+    splitPairs(writes, addrs, data);
+    co_await core_.multiOp(MemCmd::Store, addrs, &data, nullptr);
+}
+
+Task<>
+Guest::streamStoreMulti(
+    const std::vector<std::pair<Addr, std::uint64_t>> &writes)
+{
+    std::vector<Addr> addrs;
+    std::vector<std::uint64_t> data;
+    splitPairs(writes, addrs, data);
+    co_await core_.multiOp(MemCmd::Store, addrs, &data, nullptr, true);
+}
+
+Task<>
+Guest::atomicAddMulti(
+    const std::vector<std::pair<Addr, std::uint64_t>> &adds)
+{
+    std::vector<Addr> addrs;
+    std::vector<std::uint64_t> data;
+    splitPairs(adds, addrs, data);
+    co_await core_.multiOp(MemCmd::AtomicAdd, addrs, &data, nullptr);
+}
+
+Task<>
+Guest::atomicSwapMulti(const std::vector<Addr> &addrs,
+                       std::uint64_t value,
+                       std::vector<std::uint64_t> *out)
+{
+    std::vector<std::uint64_t> data(addrs.size(), value);
+    co_await core_.multiOp(MemCmd::AtomicSwap, addrs, &data, out);
+}
+
+Task<>
+Guest::rmoAdd(Addr addr, std::uint64_t delta)
+{
+    co_await core_.rmoAdd(addr, delta);
+}
+
+Task<>
+Guest::rmoDrain()
+{
+    co_await core_.rmoDrain();
+}
+
+Task<>
+Guest::mispredict()
+{
+    co_await core_.mispredict();
+}
+
+Task<const MorphBinding *>
+Guest::registerPhantom(Morph &morph, MorphLevel level, std::uint64_t size)
+{
+    co_return co_await core_.registry().registerPhantom(morph, level, size,
+                                                        core_.id());
+}
+
+Task<const MorphBinding *>
+Guest::registerReal(Morph &morph, MorphLevel level, Addr base,
+                    std::uint64_t size)
+{
+    co_return co_await core_.registry().registerReal(morph, level, base,
+                                                     size, core_.id());
+}
+
+Task<>
+Guest::flushData(const MorphBinding *binding)
+{
+    co_await core_.registry().flushData(binding);
+}
+
+Task<>
+Guest::unregister(const MorphBinding *binding)
+{
+    co_await core_.registry().unregister(binding);
+}
+
+std::uint64_t
+Guest::takeInterrupts()
+{
+    return core_.takeInterrupts();
+}
+
+std::uint64_t
+Guest::interruptsSeen() const
+{
+    return core_.interruptsSeen();
+}
+
+// ---------------------------------------------------------------------
+// Core
+// ---------------------------------------------------------------------
+
+Core::Core(int id, const CoreParams &params, MemorySystem &mem,
+           MorphRegistry &registry, EventQueue &eq, StatsRegistry &stats,
+           EnergyModel &energy, std::uint64_t seed)
+    : id_(id),
+      params_(params),
+      mem_(mem),
+      registry_(registry),
+      eq_(eq),
+      energy_(energy),
+      rng_(seed),
+      guest_(*this),
+      loadWindow_(eq, params.maxOutstandingLoads),
+      storeBuffer_(eq, params.storeBufferEntries),
+      rmoOutstanding_(eq),
+      instrs_(stats.counter("core.instrs")),
+      myInstrs_(stats.counter(strprintf("core%d.instrs", id))),
+      mispredicts_(stats.counter("core.mispredicts")),
+      interrupts_(stats.counter("core.interrupts")),
+      loadLatency_(stats.histogram("core.loadLatency", 64, 8))
+{
+}
+
+void
+Core::run(std::function<Task<>(Guest &)> fn)
+{
+    ++running_;
+    // Wrap so the guest function object stays alive in the wrapper frame.
+    spawn(
+        [](Core *core, std::function<Task<>(Guest &)> f) -> Task<> {
+            co_await f(core->guest());
+        }(this, std::move(fn)),
+        [this]() { --running_; });
+}
+
+void
+Core::postInterrupt(Addr)
+{
+    ++pendingInterrupts_;
+    ++interruptsSeen_;
+    ++interrupts_;
+}
+
+Task<>
+Core::exec(std::uint64_t instrs)
+{
+    if (instrs == 0)
+        co_return;
+    instrs_ += static_cast<double>(instrs);
+    myInstrs_ += static_cast<double>(instrs);
+    energy_.coreInstrs(instrs);
+    // Carry fractional issue slots across calls so that many short
+    // exec() calls cost the same as one long one.
+    execCarry_ += instrs;
+    const Tick cycles = execCarry_ / params_.issueWidth;
+    execCarry_ %= params_.issueWidth;
+    if (cycles > 0)
+        co_await Delay{eq_, cycles};
+}
+
+Task<std::uint64_t>
+Core::memOp(MemCmd cmd, Addr addr, std::uint64_t wdata, bool no_fetch,
+            bool use_once)
+{
+    instrs_ += 1;
+    myInstrs_ += 1;
+    energy_.coreInstrs(1);
+    const Tick start = eq_.now();
+    AccessReq req;
+    req.cmd = cmd;
+    req.addr = addr;
+    req.wdata = wdata;
+    req.tile = id_;
+    req.noFetch = no_fetch;
+    req.useOnce = use_once;
+    const std::uint64_t v = co_await mem_.access(req);
+    if (cmd == MemCmd::Load)
+        loadLatency_.sample(eq_.now() - start);
+    co_return v;
+}
+
+namespace
+{
+
+/** One overlapped load/store slot: bounded by the MLP window. */
+Task<>
+windowedOp(Core &core, Semaphore &window, MemCmd cmd, Addr addr,
+           std::uint64_t wdata, std::uint64_t *out, bool no_fetch,
+           bool use_once)
+{
+    co_await window.acquire();
+    const std::uint64_t v = co_await core.memOp(cmd, addr, wdata,
+                                                no_fetch, use_once);
+    window.release();
+    if (out)
+        *out = v;
+}
+
+} // namespace
+
+Task<>
+Core::multiOp(MemCmd cmd, const std::vector<Addr> &addrs,
+              const std::vector<std::uint64_t> *wdata,
+              std::vector<std::uint64_t> *out, bool no_fetch,
+              bool use_once)
+{
+    if (out)
+        out->assign(addrs.size(), 0);
+    Join join(eq_);
+    for (std::size_t i = 0; i < addrs.size(); ++i) {
+        join.add();
+        spawn(windowedOp(*this, loadWindow_, cmd, addrs[i],
+                         wdata ? (*wdata)[i] : 0,
+                         out ? &(*out)[i] : nullptr, no_fetch, use_once),
+              [&join]() { join.done(); });
+    }
+    co_await join.wait();
+}
+
+Task<>
+Core::rmoIssue(Addr addr, std::uint64_t delta)
+{
+    co_await mem_.remoteAtomicAdd(id_, addr, delta);
+    storeBuffer_.release();
+    rmoOutstanding_.done();
+}
+
+Task<>
+Core::rmoAdd(Addr addr, std::uint64_t delta)
+{
+    instrs_ += 1;
+    myInstrs_ += 1;
+    energy_.coreInstrs(1);
+    // Issue occupies a store-buffer entry; the core continues once the
+    // entry is claimed (relaxed ordering).
+    co_await storeBuffer_.acquire();
+    rmoOutstanding_.add();
+    spawn(rmoIssue(addr, delta));
+    // One-cycle issue slot.
+    co_await Delay{eq_, 1};
+}
+
+Task<>
+Core::rmoDrain()
+{
+    co_await rmoOutstanding_.wait();
+}
+
+Task<>
+Core::mispredict()
+{
+    ++mispredicts_;
+    co_await Delay{eq_, params_.mispredictPenalty};
+}
+
+} // namespace tako

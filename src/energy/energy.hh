@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Dynamic-energy accounting.
+ *
+ * The paper (Sec. 7) reports *dynamic* execution energy with per-event
+ * energy parameters drawn from the literature it cites ([114, 133]). We
+ * follow the same approach: each countable hardware event carries a fixed
+ * energy, and benches report energy *relative to a baseline*, which is what
+ * Figs. 6/13/16/19 plot. Absolute joules are not meaningful here.
+ *
+ * Default values are in picojoules, roughly consistent with published
+ * numbers for a ~22nm-class multicore: an OOO core spends tens of pJ per
+ * instruction (fetch/decode/rename/RF dominate), SRAM access energy grows
+ * with array size, DRAM accesses cost tens of nJ per line, and dataflow
+ * PEs avoid instruction-supply overheads entirely.
+ */
+
+#ifndef TAKO_ENERGY_ENERGY_HH
+#define TAKO_ENERGY_ENERGY_HH
+
+#include <cstdint>
+
+#include "sim/stats.hh"
+
+namespace tako
+{
+
+/** Per-event dynamic energies, in pJ. */
+struct EnergyParams
+{
+    double coreInstr = 90.0;      ///< OOO core, per committed instruction.
+    double engineInstr = 4.0;     ///< Dataflow PE op (no fetch/decode).
+    double inorderEngineInstr = 18.0; ///< In-order engine, per instruction.
+    double l1Access = 15.0;       ///< 32KB L1 read/write.
+    double engineL1Access = 8.0;  ///< 8KB engine L1d.
+    double l2Access = 40.0;       ///< 128KB L2.
+    double l3Access = 120.0;      ///< 512KB L3 bank.
+    double dramAccess = 15000.0;  ///< 64B DRAM line transfer.
+    double nocFlitHop = 6.0;      ///< One flit traversing one hop.
+    double tlbAccess = 2.0;       ///< Engine TLB/rTLB lookup.
+};
+
+/**
+ * Accumulates dynamic energy into a StatsRegistry, broken down by
+ * component, so benches can report totals and breakdowns.
+ */
+class EnergyModel
+{
+  public:
+    EnergyModel(StatsRegistry &stats, EnergyParams params = {})
+        : params_(params),
+          core_(stats.counter("energy.core")),
+          engine_(stats.counter("energy.engine")),
+          l1_(stats.counter("energy.l1")),
+          l2_(stats.counter("energy.l2")),
+          l3_(stats.counter("energy.l3")),
+          dram_(stats.counter("energy.dram")),
+          noc_(stats.counter("energy.noc")),
+          total_(stats.counter("energy.total"))
+    {
+    }
+
+    const EnergyParams &params() const { return params_; }
+
+    void
+    coreInstrs(std::uint64_t n)
+    {
+        add(core_, params_.coreInstr * static_cast<double>(n));
+    }
+
+    void
+    engineInstrs(std::uint64_t n, bool inorder = false)
+    {
+        add(engine_,
+            (inorder ? params_.inorderEngineInstr : params_.engineInstr) *
+                static_cast<double>(n));
+    }
+
+    void l1Access() { add(l1_, params_.l1Access); }
+    void engineL1Access() { add(l1_, params_.engineL1Access); }
+    void l2Access() { add(l2_, params_.l2Access); }
+    void l3Access() { add(l3_, params_.l3Access); }
+    void dramAccess() { add(dram_, params_.dramAccess); }
+
+    void
+    nocFlitHops(std::uint64_t n)
+    {
+        add(noc_, params_.nocFlitHop * static_cast<double>(n));
+    }
+
+    void tlbAccess() { add(engine_, params_.tlbAccess); }
+
+    /** Total dynamic energy, pJ. */
+    double total() const { return total_.value(); }
+
+  private:
+    void
+    add(Counter &c, double pj)
+    {
+        c += pj;
+        total_ += pj;
+    }
+
+    EnergyParams params_;
+    Counter &core_;
+    Counter &engine_;
+    Counter &l1_;
+    Counter &l2_;
+    Counter &l3_;
+    Counter &dram_;
+    Counter &noc_;
+    Counter &total_;
+};
+
+} // namespace tako
+
+#endif // TAKO_ENERGY_ENERGY_HH

@@ -1,0 +1,154 @@
+/**
+ * @file
+ * Sparse functional memory.
+ *
+ * tako-sim splits functional state from timing state (see DESIGN.md):
+ * caches simulate tags, coherence, and latency, while data values live in
+ * BackingStore instances mutated at event-commit times. There are two
+ * stores per system: one for real (memory-backed) addresses and one for
+ * phantom ranges, whose lines semantically exist only while cached.
+ */
+
+#ifndef TAKO_MEM_BACKING_STORE_HH
+#define TAKO_MEM_BACKING_STORE_HH
+
+#include <array>
+#include <cstring>
+#include <memory>
+#include <unordered_map>
+
+#include "sim/logging.hh"
+#include "sim/types.hh"
+
+namespace tako
+{
+
+/** Data contents of one 64B cache line, as eight 64-bit words. */
+struct LineData
+{
+    std::array<std::uint64_t, wordsPerLine> words{};
+
+    std::uint64_t &operator[](std::size_t i) { return words[i]; }
+    std::uint64_t operator[](std::size_t i) const { return words[i]; }
+
+    bool
+    operator==(const LineData &o) const
+    {
+        return words == o.words;
+    }
+};
+
+class BackingStore
+{
+  public:
+    static constexpr std::uint64_t pageBytes = 4096;
+
+    /** Read the aligned 64-bit word containing @p addr. */
+    std::uint64_t
+    read64(Addr addr) const
+    {
+        const Page *page = findPage(addr);
+        if (!page)
+            return 0;
+        return page->words[wordIndex(addr)];
+    }
+
+    /** Write the aligned 64-bit word containing @p addr. */
+    void
+    write64(Addr addr, std::uint64_t value)
+    {
+        getPage(addr).words[wordIndex(addr)] = value;
+    }
+
+    /** Atomic read-modify-write add; returns the previous value. */
+    std::uint64_t
+    fetchAdd64(Addr addr, std::uint64_t delta)
+    {
+        std::uint64_t &w = getPage(addr).words[wordIndex(addr)];
+        const std::uint64_t old = w;
+        w += delta;
+        return old;
+    }
+
+    /** Atomic swap; returns the previous value. */
+    std::uint64_t
+    swap64(Addr addr, std::uint64_t value)
+    {
+        std::uint64_t &w = getPage(addr).words[wordIndex(addr)];
+        const std::uint64_t old = w;
+        w = value;
+        return old;
+    }
+
+    /** Copy a full line out. @p addr must be line-aligned. */
+    LineData
+    readLine(Addr addr) const
+    {
+        panic_if(lineOffset(addr) != 0, "readLine: unaligned %#llx",
+                 (unsigned long long)addr);
+        LineData out;
+        const Page *page = findPage(addr);
+        if (page) {
+            std::memcpy(out.words.data(), &page->words[wordIndex(addr)],
+                        lineBytes);
+        }
+        return out;
+    }
+
+    /** Copy a full line in. @p addr must be line-aligned. */
+    void
+    writeLine(Addr addr, const LineData &data)
+    {
+        panic_if(lineOffset(addr) != 0, "writeLine: unaligned %#llx",
+                 (unsigned long long)addr);
+        Page &page = getPage(addr);
+        std::memcpy(&page.words[wordIndex(addr)], data.words.data(),
+                    lineBytes);
+    }
+
+    /** Zero a full line. */
+    void
+    zeroLine(Addr addr)
+    {
+        writeLine(addr, LineData{});
+    }
+
+    /** Number of allocated pages (for tests and footprint checks). */
+    std::size_t allocatedPages() const { return pages_.size(); }
+
+  private:
+    struct Page
+    {
+        std::array<std::uint64_t, pageBytes / 8> words{};
+    };
+
+    static std::uint64_t pageNumber(Addr addr) { return addr / pageBytes; }
+
+    static std::size_t
+    wordIndex(Addr addr)
+    {
+        return (addr % pageBytes) / 8;
+    }
+
+    const Page *
+    findPage(Addr addr) const
+    {
+        auto it = pages_.find(pageNumber(addr));
+        return it == pages_.end() ? nullptr : it->second.get();
+    }
+
+    Page &
+    getPage(Addr addr)
+    {
+        auto &slot = pages_[pageNumber(addr)];
+        if (!slot)
+            slot = std::make_unique<Page>();
+        return *slot;
+    }
+
+    std::unordered_map<std::uint64_t, std::unique_ptr<Page>> pages_;
+};
+
+} // namespace tako
+
+#endif // TAKO_MEM_BACKING_STORE_HH

@@ -1,0 +1,1047 @@
+#include "mem/memory_system.hh"
+
+#include <algorithm>
+
+#include "sim/trace.hh"
+
+namespace tako
+{
+
+MemorySystem::MemorySystem(const MemParams &params, EventQueue &eq,
+                           StatsRegistry &stats, EnergyModel &energy,
+                           Mesh &noc)
+    : params_(params),
+      eq_(eq),
+      stats_(stats),
+      energy_(energy),
+      noc_(noc),
+      l1Hits_(stats.counter("l1.hits")),
+      l1Misses_(stats.counter("l1.misses")),
+      l2Hits_(stats.counter("l2.hits")),
+      l2Misses_(stats.counter("l2.misses")),
+      l3Hits_(stats.counter("l3.hits")),
+      l3Misses_(stats.counter("l3.misses")),
+      dramReads_(stats.counter("dram.reads")),
+      dramWrites_(stats.counter("dram.writes")),
+      invalidations_(stats.counter("coherence.invalidations")),
+      downgrades_(stats.counter("coherence.downgrades")),
+      l2Evictions_(stats.counter("l2.evictions")),
+      l3Evictions_(stats.counter("l3.evictions")),
+      rmoOps_(stats.counter("rmo.ops")),
+      prefetchesIssued_(stats.counter("prefetch.issued"))
+{
+    panic_if(params_.tiles != noc_.numTiles(),
+             "tile count (%u) != mesh size (%u)", params_.tiles,
+             noc_.numTiles());
+    tiles_.reserve(params_.tiles);
+    for (unsigned t = 0; t < params_.tiles; ++t)
+        tiles_.push_back(std::make_unique<TileState>(params_, eq_));
+
+    ctrls_.reserve(params_.memCtrls);
+    for (unsigned c = 0; c < params_.memCtrls; ++c)
+        ctrls_.emplace_back(params_.memLat, params_.memBytesPerCycle);
+
+    // Spread controllers across the diagonal of the mesh.
+    ctrlTiles_.resize(params_.memCtrls);
+    for (unsigned c = 0; c < params_.memCtrls; ++c) {
+        ctrlTiles_[c] =
+            params_.memCtrls > 1
+                ? static_cast<int>(c * (params_.tiles - 1) /
+                                   (params_.memCtrls - 1))
+                : 0;
+    }
+
+    setPhase("default");
+}
+
+void
+MemorySystem::setPhase(const std::string &phase)
+{
+    phase_ = phase;
+}
+
+std::uint64_t
+MemorySystem::dramReads() const
+{
+    return static_cast<std::uint64_t>(dramReads_.value());
+}
+
+std::uint64_t
+MemorySystem::dramWrites() const
+{
+    return static_cast<std::uint64_t>(dramWrites_.value());
+}
+
+// ---------------------------------------------------------------------
+// Main access path
+// ---------------------------------------------------------------------
+
+Task<std::uint64_t>
+MemorySystem::access(AccessReq req)
+{
+    const Addr line = lineAlign(req.addr);
+    const bool need_m = req.cmd != MemCmd::Load;
+    const MorphBinding *mb = resolve(req.addr);
+
+    // Sec. 4.3 restriction: callbacks may not access data with a Morph
+    // registered at the same or a higher level of the hierarchy.
+    if (req.callbackLevel >= 0 && mb) {
+        const bool forbidden =
+            req.callbackLevel == 1 ||
+            (req.callbackLevel == 0 && mb->level == MorphLevel::Private);
+        panic_if(forbidden,
+                 "callback at level %d accesses morphed address %#llx "
+                 "(registered %s)",
+                 req.callbackLevel, (unsigned long long)req.addr,
+                 mb->level == MorphLevel::Private ? "PRIVATE" : "SHARED");
+    }
+    panic_if(isPhantom(req.addr) && !mb,
+             "access to unregistered phantom address %#llx",
+             (unsigned long long)req.addr);
+    if (mb && mb->phantom && mb->level == MorphLevel::Private) {
+        panic_if(req.tile != mb->tile,
+                 "PRIVATE phantom address %#llx accessed from tile %d "
+                 "(registered on tile %d)",
+                 (unsigned long long)req.addr, req.tile, mb->tile);
+    }
+
+    ++inflight_;
+    TileState &t = *tiles_[req.tile];
+    CacheArray &l1 = req.fromEngine ? t.engL1 : t.l1;
+    // Engine accesses carry trrîp's low-priority tag (Sec. 5.2):
+    // engine-filled lines never promote past long re-reference priority,
+    // so they age out before core-reused data. Use-once accesses
+    // additionally demote to eviction-first after the fill.
+    const bool engine_repl = req.fromEngine;
+
+    co_await Delay{eq_, req.fromEngine ? params_.engL1Lat : params_.l1Lat};
+    if (req.fromEngine)
+        energy_.engineL1Access();
+    else
+        energy_.l1Access();
+
+    auto l1_hit_ok = [&]() -> bool {
+        CacheWay *w1 = l1.lookup(line);
+        if (!w1)
+            return false;
+        if (!need_m)
+            return true;
+        CacheWay *w2 = t.l2.lookup(line);
+        panic_if(!w2, "L1 line %#llx missing from L2 (inclusion)",
+                 (unsigned long long)line);
+        return w2->coh == Coh::E || w2->coh == Coh::M;
+    };
+
+    if (!req.prefetch && l1_hit_ok()) {
+        ++l1Hits_;
+        l1.touch(*l1.lookup(line), engine_repl);
+        const std::uint64_t v = doFunctional(req);
+        --inflight_;
+        co_return v;
+    }
+    ++l1Misses_;
+
+    // Serialize same-line transactions within the tile; this also merges
+    // concurrent misses to the same line (MSHR-style).
+    co_await t.tileLocks.acquire(line);
+
+    if (!req.prefetch && l1_hit_ok()) {
+        // A merged request filled the line while we waited.
+        l1.touch(*l1.lookup(line), engine_repl);
+        t.tileLocks.release(line);
+        const std::uint64_t v = doFunctional(req);
+        --inflight_;
+        co_return v;
+    }
+
+    co_await Delay{eq_, params_.l2TagLat};
+    energy_.l2Access();
+
+    CacheWay *w2 = t.l2.lookup(line);
+
+    // Train the stream prefetcher on demand core accesses (loads,
+    // stores, and atomics all advance streams — e.g., HATS consumes its
+    // edge stream with atomic exchanges) that miss the L2 or take the
+    // first demand hit on a prefetched line.
+    bool was_prefetched = false;
+    if (!req.fromEngine && !req.prefetch) {
+        if (!w2) {
+            maybePrefetch(req.tile, line);
+        } else if (w2->prefetched) {
+            w2->prefetched = false;
+            was_prefetched = true;
+            ++t.pfUsefulWindow;
+            maybePrefetch(req.tile, line);
+        }
+    }
+    const bool l2_ok =
+        w2 && (!need_m || w2->coh == Coh::E || w2->coh == Coh::M);
+
+    TRACE(Cache, eq_.now(), "tile %d %s %#llx %s L2", req.tile,
+          req.cmd == MemCmd::Load ? "ld" : "st/at",
+          (unsigned long long)line, l2_ok ? "hits" : "misses");
+    if (l2_ok) {
+        ++l2Hits_;
+        co_await Delay{eq_, params_.l2DataLat};
+        t.l2.touch(*w2, engine_repl);
+        if (req.useOnce)
+            t.l2.demote(*w2);
+        // Streaming (prefetched) data is used once: keep it near
+        // eviction rather than letting it displace the working set.
+        if (was_prefetched)
+            w2->rrpv = CacheArray::rrpvLong;
+    } else {
+        ++l2Misses_;
+        Semaphore &mshrs = req.fromEngine ? t.engineMshrs : t.coreMshrs;
+        co_await mshrs.acquire();
+        if (!w2 && mb && mb->level == MorphLevel::Private && mb->phantom) {
+            // Private phantom miss: allocate at L2, zero the line, and
+            // let onMiss generate the data (Table 1 semantics).
+            co_await insertL2(req.tile, line, Coh::M, mb, engine_repl,
+                              req.useOnce);
+            phantomStore_.zeroLine(line);
+            if (mb->hasMiss && sink_) {
+                Completion<bool> done(eq_);
+                sink_->triggerMiss(req.tile, line, *mb,
+                                   [&done]() { done.complete(true); });
+                co_await done;
+            }
+        } else {
+            co_await fetchIntoL2(req.tile, line, need_m, engine_repl,
+                                 mb, req.noFetch, req.useOnce);
+        }
+        mshrs.release();
+    }
+
+    if (req.prefetch) {
+        if (CacheWay *w = t.l2.lookup(line))
+            w->prefetched = true;
+    } else {
+        insertL1(req.tile, req.fromEngine, line, req.useOnce);
+    }
+
+    t.tileLocks.release(line);
+    const std::uint64_t v = req.prefetch ? 0 : doFunctional(req);
+    --inflight_;
+    co_return v;
+}
+
+Task<>
+MemorySystem::fetchIntoL2(int tile, Addr line, bool want_m, bool engine,
+                          const MorphBinding *mb, bool no_fetch,
+                          bool use_once)
+{
+    TileState &t = *tiles_[tile];
+    const int bank = bankOf(line);
+    TileState &b = *tiles_[bank];
+    const bool shared_morph = mb && mb->level == MorphLevel::Shared;
+
+    panic_if(mb && mb->level == MorphLevel::Private && mb->phantom,
+             "private phantom line %#llx reached the L3 path",
+             (unsigned long long)line);
+
+    co_await nocHop(tile, bank, 8);
+    co_await b.bankLocks.acquire(line);
+    co_await Delay{eq_, params_.l3TagLat};
+    energy_.l3Access();
+
+    CacheWay *w3 = b.l3.lookup(line);
+    if (!w3) {
+        ++l3Misses_;
+        w3 = co_await allocL3Way(bank, line, mb, engine);
+        if (use_once)
+            b.l3.demote(*w3);
+
+        if (shared_morph && mb->phantom) {
+            phantomStore_.zeroLine(line);
+            if (mb->hasMiss && sink_) {
+                Completion<bool> done(eq_);
+                sink_->triggerMiss(bank, line, *mb,
+                                   [&done]() { done.complete(true); });
+                co_await done;
+            }
+        } else if (shared_morph && mb->hasMiss && sink_) {
+            // Real shared morph: onMiss overlaps the memory fetch
+            // (Sec. 4.3: "onMiss begins executing in parallel with
+            // reading addr").
+            Join join(eq_);
+            join.add(2);
+            spawn(dramFetch(bank, line), [&join]() { join.done(); });
+            sink_->triggerMiss(bank, line, *mb,
+                               [&join]() { join.done(); });
+            co_await join.wait();
+        } else if (no_fetch && want_m && !mb) {
+            // Streaming store: write-combining allocation, no memory
+            // read. The line becomes dirty and writes back as usual.
+            w3->dirty = true;
+        } else {
+            co_await dramFetch(bank, line);
+        }
+    } else {
+        ++l3Hits_;
+        Tick extra = 0;
+        if (want_m) {
+            // Invalidate all other copies.
+            std::uint32_t others =
+                w3->sharers & ~(1u << static_cast<unsigned>(tile));
+            if (w3->owner >= 0 && w3->owner != tile)
+                others |= 1u << static_cast<unsigned>(w3->owner);
+            for (unsigned s = 0; s < params_.tiles; ++s) {
+                if (!(others & (1u << s)))
+                    continue;
+                ++invalidations_;
+                TRACE(Coherence, eq_.now(),
+                      "bank %d invalidates tile %u for %#llx", bank, s,
+                      (unsigned long long)line);
+                const bool dirty = invalidateTileCopies(
+                    static_cast<int>(s), line, true);
+                if (dirty)
+                    w3->dirty = true;
+                const Tick rt =
+                    noc_.traverse(eq_.now(), bank, static_cast<int>(s),
+                                  8) +
+                    params_.l2TagLat +
+                    noc_.traverse(eq_.now(), static_cast<int>(s), bank,
+                                  8);
+                extra = std::max(extra, rt);
+            }
+        } else if (w3->owner >= 0 && w3->owner != tile) {
+            // Downgrade the exclusive owner to Shared.
+            ++downgrades_;
+            TileState &o = *tiles_[w3->owner];
+            if (CacheWay *ow = o.l2.lookup(line)) {
+                if (ow->dirty) {
+                    w3->dirty = true;
+                    ow->dirty = false;
+                }
+                ow->coh = Coh::S;
+            }
+            const Tick rt =
+                noc_.traverse(eq_.now(), bank, w3->owner, 8) +
+                params_.l2TagLat + params_.l2DataLat +
+                noc_.traverse(eq_.now(), w3->owner, bank, 72);
+            extra = rt;
+            w3->owner = -1;
+        }
+        co_await Delay{eq_, extra + params_.l3DataLat};
+        b.l3.touch(*w3, engine);
+    }
+
+    // Directory update and L2 install commit atomically here, while the
+    // bank lock is held, so invalidations always observe a consistent
+    // directory (see DESIGN.md on the serialized-at-directory model).
+    Coh grant;
+    if (want_m) {
+        w3->sharers = 1u << static_cast<unsigned>(tile);
+        w3->owner = static_cast<std::int8_t>(tile);
+        grant = Coh::M;
+    } else {
+        const bool sole =
+            (w3->sharers & ~(1u << static_cast<unsigned>(tile))) == 0 &&
+            (w3->owner < 0 || w3->owner == tile);
+        w3->sharers |= 1u << static_cast<unsigned>(tile);
+        w3->owner = sole ? static_cast<std::int8_t>(tile)
+                         : static_cast<std::int8_t>(-1);
+        grant = sole ? Coh::E : Coh::S;
+    }
+
+    if (CacheWay *w2 = t.l2.lookup(line)) {
+        // Upgrade in place.
+        w2->coh = grant;
+        t.l2.touch(*w2, engine);
+        if (use_once)
+            t.l2.demote(*w2);
+    } else {
+        co_await insertL2(tile, line, grant, mb, engine, use_once);
+    }
+
+    b.bankLocks.release(line);
+    co_await nocHop(bank, tile, 72);
+}
+
+Task<>
+MemorySystem::dramFetch(int bank_tile, Addr line)
+{
+    const unsigned c = ctrlOf(line);
+    co_await nocHop(bank_tile, ctrlTile(c), 8);
+    const Tick lat = ctrls_[c].access(eq_.now());
+    TRACE(Dram, eq_.now(), "read %#llx via ctrl %u",
+          (unsigned long long)line, c);
+    ++dramReads_;
+    stats_.counter("dram.reads." + phase_)++;
+    energy_.dramAccess();
+    if (dramTracer_)
+        dramTracer_(line, false);
+    co_await Delay{eq_, lat};
+    co_await nocHop(ctrlTile(c), bank_tile, 72);
+}
+
+Task<>
+MemorySystem::dramWritebackTask(int bank_tile, Addr line)
+{
+    const unsigned c = ctrlOf(line);
+    co_await nocHop(bank_tile, ctrlTile(c), 72);
+    const Tick lat = ctrls_[c].access(eq_.now());
+    ++dramWrites_;
+    stats_.counter("dram.writes." + phase_)++;
+    energy_.dramAccess();
+    if (dramTracer_)
+        dramTracer_(line, true);
+    co_await Delay{eq_, lat};
+}
+
+void
+MemorySystem::dramWriteback(int bank_tile, Addr line)
+{
+    spawn(dramWritebackTask(bank_tile, line));
+}
+
+Task<>
+MemorySystem::writebackToL3Task(int tile, Addr line)
+{
+    // Timing/traffic only: the directory dirty bit was merged at
+    // eviction-commit time (functional data is always current).
+    co_await nocHop(tile, bankOf(line), 72);
+    energy_.l3Access();
+}
+
+// ---------------------------------------------------------------------
+// Fills and evictions
+// ---------------------------------------------------------------------
+
+Task<CacheWay *>
+MemorySystem::insertL2(int tile, Addr line, Coh state,
+                       const MorphBinding *mb, bool engine_fill,
+                       bool use_once)
+{
+    TileState &t = *tiles_[tile];
+    const bool morph_here = mb && mb->level == MorphLevel::Private;
+    // Prefer victims that are not locked and not cached in an L1 above
+    // (inclusive hierarchies avoid back-invalidating hot upper-level
+    // lines); relax the L1-presence constraint if nothing qualifies.
+    // When every way is held by an in-flight transaction, wait for one
+    // to drain (hardware would stall the fill in an MSHR).
+    CacheWay *victim = nullptr;
+    for (;;) {
+        victim =
+            t.l2.findVictim(line, mb != nullptr, [&](const CacheWay &w) {
+                return !t.tileLocks.held(w.lineAddr) &&
+                       !t.l1.lookup(w.lineAddr) &&
+                       !t.engL1.lookup(w.lineAddr);
+            });
+        if (!victim) {
+            victim = t.l2.findVictim(
+                line, mb != nullptr, [&](const CacheWay &w) {
+                    return !t.tileLocks.held(w.lineAddr);
+                });
+        }
+        if (victim)
+            break;
+        co_await Delay{eq_, 4};
+    }
+    if (victim->valid)
+        evictL2Way(tile, *victim);
+    t.l2.fill(*victim, line, morph_here, morph_here ? mb->id : 0,
+              engine_fill);
+    if (use_once)
+        t.l2.demote(*victim);
+    victim->coh = state;
+    co_return victim;
+}
+
+Task<CacheWay *>
+MemorySystem::allocL3Way(int bank_tile, Addr line, const MorphBinding *mb,
+                         bool engine_fill)
+{
+    TileState &b = *tiles_[bank_tile];
+    CacheWay *victim = nullptr;
+    for (;;) {
+        victim = b.l3.findVictim(
+            line, mb != nullptr, [&](const CacheWay &w) {
+                return !b.bankLocks.held(w.lineAddr);
+            });
+        if (victim)
+            break;
+        co_await Delay{eq_, 4};
+    }
+    if (victim->valid)
+        evictL3Way(bank_tile, *victim);
+    b.l3.fill(*victim, line, mb != nullptr, mb ? mb->id : 0, engine_fill);
+    co_return victim;
+}
+
+void
+MemorySystem::insertL1(int tile, bool engine, Addr line, bool cold)
+{
+    TileState &t = *tiles_[tile];
+    // The fill may have been squashed by a racing invalidation between
+    // the directory grant and now; L1 must stay included in L2.
+    if (!t.l2.lookup(line))
+        return;
+    CacheArray &l1 = engine ? t.engL1 : t.l1;
+    if (l1.lookup(line))
+        return;
+    CacheWay *v = l1.findVictim(line, false);
+    panic_if(!v, "no L1 victim");
+    if (v->valid) {
+        if (v->dirty) {
+            if (CacheWay *w2 = t.l2.lookup(v->lineAddr))
+                w2->dirty = true;
+        }
+        v->invalidate();
+    }
+    l1.fill(*v, line, false, 0, engine);
+    // Use-once data inserts cold: it is the next victim unless touched.
+    if (cold)
+        l1.demote(*v);
+}
+
+void
+MemorySystem::evictL2Way(int tile, CacheWay &w)
+{
+    TileState &t = *tiles_[tile];
+    ++l2Evictions_;
+    const Addr line = w.lineAddr;
+    TRACE(Cache, eq_.now(), "tile %d evicts %#llx%s%s", tile,
+          (unsigned long long)line, w.dirty ? " dirty" : "",
+          w.morph ? " morph" : "");
+
+    // Inclusion: pull back L1 copies, merging dirtiness.
+    for (CacheArray *l1 : {&t.l1, &t.engL1}) {
+        if (CacheWay *w1 = l1->lookup(line)) {
+            if (w1->dirty)
+                w.dirty = true;
+            w1->invalidate();
+        }
+    }
+
+    const MorphBinding *mb = resolve(line);
+    const bool dirty = w.dirty;
+    const bool private_morph = mb && mb->level == MorphLevel::Private;
+
+    if (private_morph) {
+        // The line leaves the registered cache level: capture its data
+        // and hand it to onEviction/onWriteback.
+        LineData data = storeFor(line).readLine(line);
+        if (mb->phantom) {
+            phantomStore_.zeroLine(line);
+            launchEvictionCallback(tile, line, *mb, dirty, data, {});
+        } else {
+            // Real line: callback first, then the writeback proceeds.
+            updateDirectoryOnPrivateEvict(tile, line, dirty);
+            std::function<void()> after;
+            if (dirty) {
+                after = [this, tile, line]() {
+                    spawn(writebackToL3Task(tile, line));
+                };
+            }
+            launchEvictionCallback(tile, line, *mb, dirty, data,
+                                   std::move(after));
+        }
+    } else if (!isPhantom(line)) {
+        updateDirectoryOnPrivateEvict(tile, line, dirty);
+        if (dirty)
+            spawn(writebackToL3Task(tile, line));
+    } else {
+        // Shared phantom line cached privately: its home is the L3, so
+        // the private copy just folds back (dirty merge at directory).
+        updateDirectoryOnPrivateEvict(tile, line, dirty);
+    }
+
+    w.invalidate();
+}
+
+void
+MemorySystem::updateDirectoryOnPrivateEvict(int tile, Addr line,
+                                            bool dirty)
+{
+    TileState &b = *tiles_[bankOf(line)];
+    CacheWay *w3 = b.l3.lookup(line);
+    // The L3 copy can be concurrently mid-eviction; tolerate absence.
+    if (!w3)
+        return;
+    w3->sharers &= ~(1u << static_cast<unsigned>(tile));
+    if (w3->owner == tile)
+        w3->owner = -1;
+    if (dirty)
+        w3->dirty = true;
+}
+
+void
+MemorySystem::evictL3Way(int bank_tile, CacheWay &w)
+{
+    ++l3Evictions_;
+    const Addr line = w.lineAddr;
+    bool dirty = w.dirty;
+    TRACE(Cache, eq_.now(), "bank %d evicts %#llx%s%s", bank_tile,
+          (unsigned long long)line, dirty ? " dirty" : "",
+          w.morph ? " morph" : "");
+
+    // Inclusive L3: back-invalidate every private copy.
+    std::uint32_t copies = w.sharers;
+    if (w.owner >= 0)
+        copies |= 1u << static_cast<unsigned>(w.owner);
+    for (unsigned s = 0; s < params_.tiles; ++s) {
+        if (copies & (1u << s))
+            dirty |= invalidateTileCopies(static_cast<int>(s), line, true);
+    }
+
+    const MorphBinding *mb = resolve(line);
+    const bool shared_morph = mb && mb->level == MorphLevel::Shared;
+
+    if (shared_morph) {
+        LineData data = storeFor(line).readLine(line);
+        if (mb->phantom) {
+            phantomStore_.zeroLine(line);
+            launchEvictionCallback(bank_tile, line, *mb, dirty, data, {});
+        } else {
+            std::function<void()> after;
+            if (dirty) {
+                after = [this, bank_tile, line]() {
+                    dramWriteback(bank_tile, line);
+                };
+            }
+            launchEvictionCallback(bank_tile, line, *mb, dirty, data,
+                                   std::move(after));
+        }
+    } else if (!isPhantom(line)) {
+        if (dirty)
+            dramWriteback(bank_tile, line);
+    } else {
+        phantomStore_.zeroLine(line);
+    }
+
+    w.invalidate();
+}
+
+bool
+MemorySystem::invalidateTileCopies(int tile, Addr line,
+                                   bool trigger_callbacks)
+{
+    TileState &t = *tiles_[tile];
+    bool dirty = false;
+    for (CacheArray *l1 : {&t.l1, &t.engL1}) {
+        if (CacheWay *w1 = l1->lookup(line)) {
+            dirty |= w1->dirty;
+            w1->invalidate();
+        }
+    }
+    if (CacheWay *w2 = t.l2.lookup(line)) {
+        dirty |= w2->dirty;
+        const MorphBinding *mb = resolve(line);
+        if (trigger_callbacks && mb &&
+            mb->level == MorphLevel::Private) {
+            // Losing the line at the registered level triggers the
+            // eviction callback even when the eviction is inflicted by
+            // the directory (inclusion victim / invalidation).
+            LineData data = storeFor(line).readLine(line);
+            launchEvictionCallback(tile, line, *mb, w2->dirty, data, {});
+        }
+        w2->invalidate();
+    }
+    return dirty;
+}
+
+void
+MemorySystem::launchEvictionCallback(int engine_tile, Addr line,
+                                     const MorphBinding &mb, bool dirty,
+                                     LineData data,
+                                     std::function<void()> after)
+{
+    const bool has = dirty ? mb.hasWriteback : mb.hasEviction;
+    ++outstanding_[mb.id].count;
+    auto retire = [this, id = mb.id, after = std::move(after)]() {
+        if (after)
+            after();
+        evictionCallbackRetired(id);
+    };
+    if (has && sink_) {
+        sink_->triggerEviction(engine_tile, line, mb, dirty,
+                               std::move(data), std::move(retire));
+    } else {
+        eq_.schedule(0, std::move(retire));
+    }
+}
+
+void
+MemorySystem::evictionCallbackRetired(std::uint32_t morph_id)
+{
+    auto it = outstanding_.find(morph_id);
+    panic_if(it == outstanding_.end() || it->second.count == 0,
+             "eviction callback retired with no record (morph %u)",
+             morph_id);
+    if (--it->second.count == 0) {
+        for (auto h : it->second.waiters)
+            eq_.schedule(0, [h]() { h.resume(); });
+        it->second.waiters.clear();
+    }
+}
+
+// ---------------------------------------------------------------------
+// RMO, flush
+// ---------------------------------------------------------------------
+
+Task<>
+MemorySystem::remoteAtomicAdd(int tile, Addr addr, std::uint64_t delta)
+{
+    const MorphBinding *mb = resolve(addr);
+    ++rmoOps_;
+    TRACE(Rmo, eq_.now(), "tile %d rmoAdd %#llx += %llu", tile,
+          (unsigned long long)addr, (unsigned long long)delta);
+    if (!mb || mb->level != MorphLevel::Shared) {
+        // No shared Morph: execute as a local atomic through the caches.
+        AccessReq r;
+        r.cmd = MemCmd::AtomicAdd;
+        r.addr = addr;
+        r.wdata = delta;
+        r.tile = tile;
+        co_await access(r);
+        co_return;
+    }
+
+    const Addr line = lineAlign(addr);
+    const int bank = bankOf(line);
+    TileState &b = *tiles_[bank];
+
+    co_await nocHop(tile, bank, 16);
+    co_await b.bankLocks.acquire(line);
+    co_await Delay{eq_, params_.l3TagLat};
+    energy_.l3Access();
+
+    CacheWay *w3 = b.l3.lookup(line);
+    if (!w3) {
+        ++l3Misses_;
+        w3 = co_await allocL3Way(bank, line, mb, false);
+        if (mb->phantom) {
+            // Phantom miss makes no request down the hierarchy: onMiss
+            // initializes the line (e.g., PHI's identity element).
+            phantomStore_.zeroLine(line);
+            if (mb->hasMiss && sink_) {
+                Completion<bool> done(eq_);
+                sink_->triggerMiss(bank, line, *mb,
+                                   [&done]() { done.complete(true); });
+                co_await done;
+            }
+        } else {
+            co_await dramFetch(bank, line);
+        }
+    } else {
+        ++l3Hits_;
+        co_await Delay{eq_, params_.l3DataLat};
+        b.l3.touch(*w3, false);
+    }
+
+    storeFor(addr).fetchAdd64(addr, delta);
+    w3->dirty = true;
+    b.bankLocks.release(line);
+}
+
+Task<>
+MemorySystem::flushMorphData(const MorphBinding &binding)
+{
+    const Addr base = binding.base;
+    const std::uint64_t len = binding.length;
+    auto in_range = [&](Addr a) { return a >= base && a < base + len; };
+
+    if (binding.level == MorphLevel::Private) {
+        TileState &t = *tiles_[binding.tile];
+        // Tag-array walk cost (Sec. 4.4): the controller scans its sets.
+        co_await Delay{eq_, t.l2.numSets() / 4 + 1};
+        std::vector<Addr> lines;
+        t.l2.forEachValid([&](CacheWay &w) {
+            if (in_range(w.lineAddr))
+                lines.push_back(w.lineAddr);
+        });
+        std::sort(lines.begin(), lines.end());
+        for (Addr line : lines) {
+            co_await t.tileLocks.acquire(line);
+            if (CacheWay *w = t.l2.lookup(line))
+                evictL2Way(binding.tile, *w);
+            t.tileLocks.release(line);
+        }
+    } else {
+        for (unsigned bank = 0; bank < params_.tiles; ++bank) {
+            TileState &b = *tiles_[bank];
+            co_await Delay{eq_, b.l3.numSets() / 4 + 1};
+            std::vector<Addr> lines;
+            b.l3.forEachValid([&](CacheWay &w) {
+                if (in_range(w.lineAddr))
+                    lines.push_back(w.lineAddr);
+            });
+            std::sort(lines.begin(), lines.end());
+            for (Addr line : lines) {
+                co_await b.bankLocks.acquire(line);
+                if (CacheWay *w = b.l3.lookup(line))
+                    evictL3Way(static_cast<int>(bank), *w);
+                b.bankLocks.release(line);
+            }
+        }
+        // Private copies of shared-morph lines were back-invalidated by
+        // the L3 evictions (inclusion); nothing else to do.
+    }
+
+    // Block until every outstanding callback of this Morph retires
+    // (flushData blocks the software thread, Sec. 4.4).
+    struct OutstandingAwaiter
+    {
+        MemorySystem &ms;
+        std::uint32_t id;
+
+        bool
+        await_ready() const noexcept
+        {
+            auto it = ms.outstanding_.find(id);
+            return it == ms.outstanding_.end() || it->second.count == 0;
+        }
+
+        void
+        await_suspend(std::coroutine_handle<> h)
+        {
+            ms.outstanding_[id].waiters.push_back(h);
+        }
+
+        void await_resume() const noexcept {}
+    };
+    co_await OutstandingAwaiter{*this, binding.id};
+}
+
+Task<>
+MemorySystem::flushRangePlain(Addr base, std::uint64_t length)
+{
+    auto in_range = [&](Addr a) { return a >= base && a < base + length; };
+    // Evict from every L3 bank (back-invalidating private copies) ...
+    for (unsigned bank = 0; bank < params_.tiles; ++bank) {
+        TileState &b = *tiles_[bank];
+        std::vector<Addr> lines;
+        b.l3.forEachValid([&](CacheWay &w) {
+            if (in_range(w.lineAddr))
+                lines.push_back(w.lineAddr);
+        });
+        for (Addr line : lines) {
+            co_await b.bankLocks.acquire(line);
+            if (CacheWay *w = b.l3.lookup(line))
+                evictL3Way(static_cast<int>(bank), *w);
+            b.bankLocks.release(line);
+        }
+    }
+    // ... and any private-only (phantom) lines.
+    for (unsigned tile = 0; tile < params_.tiles; ++tile) {
+        TileState &t = *tiles_[tile];
+        std::vector<Addr> lines;
+        t.l2.forEachValid([&](CacheWay &w) {
+            if (in_range(w.lineAddr))
+                lines.push_back(w.lineAddr);
+        });
+        for (Addr line : lines) {
+            co_await t.tileLocks.acquire(line);
+            if (CacheWay *w = t.l2.lookup(line))
+                evictL2Way(static_cast<int>(tile), *w);
+            t.tileLocks.release(line);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Functional commit, prefetcher, invariants
+// ---------------------------------------------------------------------
+
+std::uint64_t
+MemorySystem::doFunctional(const AccessReq &req)
+{
+    BackingStore &st = storeFor(req.addr);
+    const bool is_write = req.cmd != MemCmd::Load;
+    std::uint64_t result = 0;
+    switch (req.cmd) {
+      case MemCmd::Load:
+        result = st.read64(req.addr);
+        break;
+      case MemCmd::Store:
+        st.write64(req.addr, req.wdata);
+        break;
+      case MemCmd::AtomicAdd:
+        result = st.fetchAdd64(req.addr, req.wdata);
+        break;
+      case MemCmd::AtomicSwap:
+        result = st.swap64(req.addr, req.wdata);
+        break;
+    }
+    if (is_write) {
+        const Addr line = lineAlign(req.addr);
+        TileState &t = *tiles_[req.tile];
+        CacheArray &mine = req.fromEngine ? t.engL1 : t.l1;
+        CacheArray &other = req.fromEngine ? t.l1 : t.engL1;
+        if (CacheWay *w1 = mine.lookup(line))
+            w1->dirty = true;
+        if (CacheWay *w2 = t.l2.lookup(line))
+            w2->dirty = true;
+        // Intra-tile snoop: the sibling L1's copy is invalidated so it
+        // cannot serve stale-timed hits (clustered coherence, Sec. 4.3).
+        if (CacheWay *wo = other.lookup(line))
+            wo->invalidate();
+    }
+    return result;
+}
+
+void
+MemorySystem::maybePrefetch(int tile, Addr miss_line)
+{
+    if (!params_.prefetchEnable)
+        return;
+    TileState &t = *tiles_[tile];
+
+    constexpr std::uint64_t regionBytes = 4096;
+    const std::uint64_t region = miss_line / regionBytes;
+
+    auto it = t.streams.find(region);
+    if (it == t.streams.end()) {
+        // A stream crossing into a fresh region continues its run.
+        auto prev = t.streams.find((miss_line - lineBytes) / regionBytes);
+        unsigned run = 0;
+        Addr next_issue = 0;
+        if (prev != t.streams.end() &&
+            prev->second.lastLine == miss_line - lineBytes) {
+            run = prev->second.run + 1;
+            next_issue = prev->second.nextIssue;
+            if (prev->first != region)
+                t.streams.erase(prev);
+        }
+        if (t.streams.size() >= 16) {
+            auto lru = std::min_element(
+                t.streams.begin(), t.streams.end(),
+                [](const auto &a, const auto &b) {
+                    return a.second.lastUse < b.second.lastUse;
+                });
+            t.streams.erase(lru);
+        }
+        it = t.streams.emplace(region, TileState::Stream{}).first;
+        it->second.run = run;
+        it->second.nextIssue = next_issue;
+    } else if (miss_line == it->second.lastLine + lineBytes) {
+        ++it->second.run;
+    } else if (miss_line != it->second.lastLine) {
+        it->second.run = 0;
+        it->second.nextIssue = 0;
+    }
+    it->second.lastLine = miss_line;
+    it->second.lastUse = ++t.streamClock;
+    if (it->second.run < 2)
+        return;
+
+    // Adaptive degree: throttle when prefetched lines die unused.
+    if (t.pfDegree == 0)
+        t.pfDegree = params_.prefetchDegree;
+    if (t.pfIssuedWindow >= 256) {
+        const double useful = static_cast<double>(t.pfUsefulWindow) /
+                              static_cast<double>(t.pfIssuedWindow);
+        if (useful < 0.5)
+            t.pfDegree = std::max(1u, t.pfDegree / 2);
+        else if (useful > 0.85)
+            t.pfDegree =
+                std::min(params_.prefetchDegree, t.pfDegree + 1);
+        t.pfIssuedWindow = 0;
+        t.pfUsefulWindow = 0;
+    }
+
+    // Issue only beyond the stream's high-water mark, so a demand miss
+    // never re-requests lines the stream already prefetched (they may
+    // have been evicted, but re-fetching them wholesale thrashes DRAM).
+    const MorphBinding *mb = resolve(miss_line);
+    const Addr start =
+        std::max(miss_line + lineBytes, it->second.nextIssue);
+    const Addr end =
+        miss_line + std::uint64_t(t.pfDegree) * lineBytes;
+    for (Addr cand = start; cand <= end; cand += lineBytes) {
+        if (resolve(cand) != mb)
+            break; // don't cross morph/range boundaries
+        it->second.nextIssue = cand + lineBytes;
+        if (t.inflightPrefetch.contains(cand) || t.l2.lookup(cand))
+            continue;
+        t.inflightPrefetch.insert(cand);
+        ++prefetchesIssued_;
+        ++t.pfIssuedWindow;
+        spawn(prefetchLine(tile, cand));
+    }
+}
+
+Task<>
+MemorySystem::prefetchLine(int tile, Addr line)
+{
+    AccessReq r;
+    r.cmd = MemCmd::Load;
+    r.addr = line;
+    r.tile = tile;
+    r.prefetch = true;
+    co_await access(r);
+    tiles_[tile]->inflightPrefetch.erase(line);
+}
+
+void
+MemorySystem::checkInvariants() const
+{
+    for (unsigned tile = 0; tile < params_.tiles; ++tile) {
+        const TileState &t = *tiles_[tile];
+        for (const CacheArray *l1 : {&t.l1, &t.engL1}) {
+            for (unsigned s = 0; s < l1->numSets(); ++s) {
+                for (const CacheWay &w : l1->set(s)) {
+                    if (!w.valid)
+                        continue;
+                    panic_if(!t.l2.lookup(w.lineAddr),
+                             "inclusion violation: L1 line %#llx not in "
+                             "tile %u L2",
+                             (unsigned long long)w.lineAddr, tile);
+                }
+            }
+        }
+        // trrîp reserve rule: no set may be entirely morph lines.
+        for (unsigned s = 0; s < t.l2.numSets(); ++s) {
+            bool ok = false;
+            for (const CacheWay &w : t.l2.set(s)) {
+                if (!w.valid || !w.morph)
+                    ok = true;
+            }
+            panic_if(!ok, "tile %u L2 set %u is all-morph", tile, s);
+        }
+        for (unsigned s = 0; s < t.l3.numSets(); ++s) {
+            bool ok = false;
+            for (const CacheWay &w : t.l3.set(s)) {
+                if (!w.valid || !w.morph)
+                    ok = true;
+            }
+            panic_if(!ok, "bank %u L3 set %u is all-morph", tile, s);
+        }
+    }
+}
+
+bool
+MemorySystem::cachedInL2(int tile, Addr addr) const
+{
+    return tiles_[tile]->l2.lookup(lineAlign(addr)) != nullptr;
+}
+
+bool
+MemorySystem::cachedInL3(Addr addr) const
+{
+    const Addr line = lineAlign(addr);
+    return tiles_[bankOf(line)]->l3.lookup(line) != nullptr;
+}
+
+bool
+MemorySystem::cachedAnywhere(Addr addr) const
+{
+    if (cachedInL3(addr))
+        return true;
+    for (unsigned t = 0; t < params_.tiles; ++t) {
+        if (cachedInL2(static_cast<int>(t), addr))
+            return true;
+    }
+    return false;
+}
+
+Coh
+MemorySystem::l2State(int tile, Addr addr) const
+{
+    const CacheWay *w = tiles_[tile]->l2.lookup(lineAlign(addr));
+    return w ? w->coh : Coh::I;
+}
+
+} // namespace tako

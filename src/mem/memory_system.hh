@@ -1,0 +1,396 @@
+/**
+ * @file
+ * The tiled-CMP memory hierarchy: per-tile L1d + engine L1d + private L2,
+ * banked inclusive shared L3 with a MESI directory, memory controllers,
+ * and the täkō trigger paths (onMiss / onEviction / onWriteback).
+ *
+ * Timing model
+ * ------------
+ * Each access is a transaction: a coroutine that walks the hierarchy,
+ * charging array/NoC/DRAM latencies on the global event queue and holding
+ * per-line locks to serialize same-line transactions (which also provides
+ * MSHR-style merging and the paper's per-address callback locking).
+ * Directory state changes commit atomically at event granularity; remote
+ * invalidations/downgrades charge round-trip latencies. See DESIGN.md for
+ * the full list of simplifications.
+ *
+ * Functional model
+ * ----------------
+ * Data values live in two BackingStores (real and phantom) and are
+ * mutated at access-commit events; caches simulate tags/coherence/timing
+ * only. Phantom lines exist in the store only while cached: they are
+ * zeroed at fill (before onMiss) and cleared at final eviction (after
+ * capture for the eviction callback), matching the paper's semantics.
+ */
+
+#ifndef TAKO_MEM_MEMORY_SYSTEM_HH
+#define TAKO_MEM_MEMORY_SYSTEM_HH
+
+#include <coroutine>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "energy/energy.hh"
+#include "mem/backing_store.hh"
+#include "mem/cache_array.hh"
+#include "mem/lock_table.hh"
+#include "mem/mem_ctrl.hh"
+#include "mem/morph_types.hh"
+#include "noc/mesh.hh"
+#include "sim/event_queue.hh"
+#include "sim/stats.hh"
+#include "sim/task.hh"
+
+namespace tako
+{
+
+struct MemParams
+{
+    unsigned tiles = 16;
+
+    std::uint64_t l1Size = 32 * 1024;
+    unsigned l1Ways = 8;
+    Tick l1Lat = 3;
+
+    std::uint64_t engL1Size = 8 * 1024;
+    unsigned engL1Ways = 4;
+    Tick engL1Lat = 1;
+
+    std::uint64_t l2Size = 128 * 1024;
+    unsigned l2Ways = 8;
+    Tick l2TagLat = 2;
+    Tick l2DataLat = 4;
+    ReplPolicy l2Repl = ReplPolicy::Trrip;
+
+    std::uint64_t l3BankSize = 512 * 1024;
+    unsigned l3Ways = 16;
+    Tick l3TagLat = 3;
+    Tick l3DataLat = 5;
+    ReplPolicy l3Repl = ReplPolicy::Trrip;
+
+    unsigned memCtrls = 4;
+    Tick memLat = 100;
+    /** 11.8 GB/s per controller at 2.4 GHz. */
+    double memBytesPerCycle = 11.8 / 2.4;
+
+    unsigned coreMshrs = 16;
+    unsigned engineMshrs = 8;
+
+    bool prefetchEnable = true;
+    unsigned prefetchDegree = 8;
+};
+
+enum class MemCmd
+{
+    Load,
+    Store,
+    AtomicAdd,  ///< local atomic fetch-and-add (needs M state)
+    AtomicSwap, ///< local atomic exchange (needs M state)
+};
+
+struct AccessReq
+{
+    MemCmd cmd = MemCmd::Load;
+    Addr addr = 0;
+    std::uint64_t wdata = 0;
+    int tile = 0;
+    bool fromEngine = false;
+    bool prefetch = false;
+    /**
+     * Streaming (non-temporal / write-combining) store: on a miss the
+     * line is allocated in M state without fetching it from memory.
+     * Used for sequential append buffers (bins, journals, logs).
+     */
+    bool noFetch = false;
+    /**
+     * Use-once (non-temporal) load hint: fills insert at distant
+     * re-reference priority so streaming reads (bin drains, log
+     * replays) do not displace the resident working set.
+     */
+    bool useOnce = false;
+    /**
+     * Level of the täkō callback issuing this access (-1: not a
+     * callback). Used to enforce the Sec. 4.3 restriction that callbacks
+     * may not access data with a Morph at the same or a higher level.
+     */
+    int callbackLevel = -1;
+};
+
+class MemorySystem
+{
+  public:
+    MemorySystem(const MemParams &params, EventQueue &eq,
+                 StatsRegistry &stats, EnergyModel &energy, Mesh &noc);
+
+    MemorySystem(const MemorySystem &) = delete;
+    MemorySystem &operator=(const MemorySystem &) = delete;
+
+    void setMorphResolver(const MorphResolver *resolver)
+    {
+        resolver_ = resolver;
+    }
+
+    void setCallbackSink(CallbackSink *sink) { sink_ = sink; }
+
+    const MemParams &params() const { return params_; }
+
+    BackingStore &realStore() { return realStore_; }
+    BackingStore &phantomStore() { return phantomStore_; }
+
+    /** Store backing @p addr (phantom ranges vs. real memory). */
+    BackingStore &
+    storeFor(Addr addr)
+    {
+        return isPhantom(addr) ? phantomStore_ : realStore_;
+    }
+
+    /**
+     * Full timing path for a core or engine access; resolves to the
+     * loaded value (old value for atomics, 0 for stores/prefetches).
+     */
+    Task<std::uint64_t> access(AccessReq req);
+
+    /**
+     * Remote memory operation (relaxed atomic add, Sec. 8.1): executes
+     * at the Morph's registered level without caching at the requester.
+     * Falls back to a local atomic when no Morph covers the address.
+     */
+    Task<> remoteAtomicAdd(int tile, Addr addr, std::uint64_t delta);
+
+    /**
+     * flushData (Sec. 4.4): evict every cached line of the Morph's
+     * range, triggering eviction callbacks, and wait for all of the
+     * Morph's outstanding callbacks to retire.
+     */
+    Task<> flushMorphData(const MorphBinding &binding);
+
+    /**
+     * Flush an address range without triggering callbacks; used when
+     * (un)registering Morphs over real addresses.
+     */
+    Task<> flushRangePlain(Addr base, std::uint64_t length);
+
+    /** Label DRAM accesses by workload phase (Figs. 14/17). */
+    void setPhase(const std::string &phase);
+
+    /** Optional tracer invoked on every DRAM access (addr, is_write). */
+    void
+    setDramTracer(std::function<void(Addr, bool)> tracer)
+    {
+        dramTracer_ = std::move(tracer);
+    }
+    const std::string &phase() const { return phase_; }
+
+    std::uint64_t dramReads() const;
+    std::uint64_t dramWrites() const;
+
+    /** Count of transactions currently in flight (deadlock checks). */
+    unsigned inflight() const { return inflight_; }
+
+    /**
+     * Notify that an eviction callback for @p morph_id retired
+     * (invoked by the engine layer via the `done` continuation).
+     */
+    void evictionCallbackRetired(std::uint32_t morph_id);
+
+    /** Sanity checks on tag/directory state (tests). */
+    void checkInvariants() const;
+
+    /** Tag-state introspection for tests. */
+    bool cachedInL2(int tile, Addr addr) const;
+    bool cachedInL3(Addr addr) const;
+    bool cachedAnywhere(Addr addr) const;
+    Coh l2State(int tile, Addr addr) const;
+
+  private:
+    struct TileState
+    {
+        TileState(const MemParams &p, EventQueue &eq)
+            : l1(p.l1Size, p.l1Ways, ReplPolicy::Lru),
+              engL1(p.engL1Size, p.engL1Ways, ReplPolicy::Lru),
+              l2(p.l2Size, p.l2Ways, p.l2Repl),
+              l3(p.l3BankSize, p.l3Ways, p.l3Repl),
+              tileLocks(eq), bankLocks(eq),
+              coreMshrs(eq, p.coreMshrs), engineMshrs(eq, p.engineMshrs)
+        {
+        }
+
+        CacheArray l1;    ///< core L1d
+        CacheArray engL1; ///< engine L1d (tile-clustered coherence)
+        CacheArray l2;    ///< private unified L2
+        CacheArray l3;    ///< the L3 bank that lives on this tile
+        LineLockTable tileLocks; ///< private-hierarchy transactions
+        LineLockTable bankLocks; ///< L3-bank transactions
+        Semaphore coreMshrs;
+        Semaphore engineMshrs;
+
+        // Multi-stream prefetcher state: one detector per 4KB region,
+        // so interleaved random traffic does not break stream detection.
+        struct Stream
+        {
+            Addr lastLine = invalidAddr;
+            /** High-water mark of issued prefetches (no re-issue). */
+            Addr nextIssue = 0;
+            unsigned run = 0;
+            std::uint64_t lastUse = 0;
+        };
+        std::unordered_map<std::uint64_t, Stream> streams;
+        std::uint64_t streamClock = 0;
+        std::unordered_set<Addr> inflightPrefetch;
+
+        // Usefulness-based prefetch throttling: when prefetched lines
+        // die unused (thrash), back the degree off; when they are
+        // consumed, open it back up.
+        unsigned pfDegree = 0; ///< 0 = initialize from params
+        std::uint64_t pfIssuedWindow = 0;
+        std::uint64_t pfUsefulWindow = 0;
+    };
+
+    /** Outstanding eviction-callback tracking per morph (flushData). */
+    struct Outstanding
+    {
+        std::uint64_t count = 0;
+        std::vector<std::coroutine_handle<>> waiters;
+    };
+
+    bool isPhantom(Addr addr) const
+    {
+        return resolver_ && resolver_->isPhantomAddr(addr);
+    }
+
+    const MorphBinding *
+    resolve(Addr addr) const
+    {
+        return resolver_ ? resolver_->resolve(addr) : nullptr;
+    }
+
+    int bankOf(Addr line) const
+    {
+        return static_cast<int>(lineNumber(line) % params_.tiles);
+    }
+
+    unsigned ctrlOf(Addr line) const
+    {
+        return static_cast<unsigned>(lineNumber(line) % params_.memCtrls);
+    }
+
+    int ctrlTile(unsigned ctrl) const { return ctrlTiles_[ctrl]; }
+
+    /** co_await-able NoC hop; charges contention + energy. */
+    auto nocHop(int src, int dst, unsigned bytes)
+    {
+        return Delay{eq_, noc_.traverse(eq_.now(), src, dst, bytes)};
+    }
+
+    /**
+     * Ensure @p line is present in tile @p tile's L2 with at least
+     * Shared (or Exclusive if @p want_m) permission, via the L3
+     * directory. Assumes the tile line lock is held.
+     */
+    Task<> fetchIntoL2(int tile, Addr line, bool want_m, bool engine,
+                       const MorphBinding *mb, bool no_fetch,
+                       bool use_once);
+
+    /** DRAM read on the critical path (charges NoC + controller). */
+    Task<> dramFetch(int bank_tile, Addr line);
+
+    /** Detached DRAM write (writebacks). */
+    void dramWriteback(int bank_tile, Addr line);
+    Task<> dramWritebackTask(int bank_tile, Addr line);
+
+    /** Detached L2->L3 writeback traffic (timing/energy only). */
+    Task<> writebackToL3Task(int tile, Addr line);
+
+    /** Clear tile presence in the directory on a private eviction. */
+    void updateDirectoryOnPrivateEvict(int tile, Addr line, bool dirty);
+
+    /**
+     * Insert into L2, evicting as needed. Retries (with backoff) when
+     * every way of the set is held by an in-flight transaction.
+     */
+    Task<CacheWay *> insertL2(int tile, Addr line, Coh state,
+                              const MorphBinding *mb, bool engine_fill,
+                              bool use_once = false);
+
+    /** Allocate an L3 way for @p line (same retry discipline). */
+    Task<CacheWay *> allocL3Way(int bank_tile, Addr line,
+                                const MorphBinding *mb, bool engine_fill);
+
+    /** Insert into an L1, evicting as needed. */
+    void insertL1(int tile, bool engine, Addr line, bool cold = false);
+
+    /**
+     * Evict an L2 way: invalidate L1 copies, update directory, trigger
+     * the eviction callback for Private morph lines, write back dirty
+     * real lines, clear final phantom lines.
+     */
+    void evictL2Way(int tile, CacheWay &w);
+
+    /** Evict an L3 way: back-invalidate sharers, callbacks, DRAM WB. */
+    void evictL3Way(int bank_tile, CacheWay &w);
+
+    /**
+     * Remove @p line from tile @p tile's private caches (L3 eviction or
+     * invalidation). Returns true if a dirty copy was merged.
+     */
+    bool invalidateTileCopies(int tile, Addr line, bool trigger_callbacks);
+
+    /** Launch the eviction/writeback callback for a captured line. */
+    void launchEvictionCallback(int engine_tile, Addr line,
+                                const MorphBinding &mb, bool dirty,
+                                LineData data,
+                                std::function<void()> after = {});
+
+    /** Apply the functional effect of a committed access. */
+    std::uint64_t doFunctional(const AccessReq &req);
+
+    /** Stream-prefetcher bookkeeping; spawns prefetch transactions. */
+    void maybePrefetch(int tile, Addr miss_line);
+
+    Task<> prefetchLine(int tile, Addr line);
+
+    MemParams params_;
+    EventQueue &eq_;
+    StatsRegistry &stats_;
+    EnergyModel &energy_;
+    Mesh &noc_;
+
+    const MorphResolver *resolver_ = nullptr;
+    CallbackSink *sink_ = nullptr;
+
+    BackingStore realStore_;
+    BackingStore phantomStore_;
+
+    std::vector<std::unique_ptr<TileState>> tiles_;
+    std::vector<MemCtrl> ctrls_;
+    std::vector<int> ctrlTiles_;
+
+    std::unordered_map<std::uint32_t, Outstanding> outstanding_;
+
+    std::string phase_ = "default";
+    unsigned inflight_ = 0;
+    std::function<void(Addr, bool)> dramTracer_;
+
+    // Stats.
+    Counter &l1Hits_;
+    Counter &l1Misses_;
+    Counter &l2Hits_;
+    Counter &l2Misses_;
+    Counter &l3Hits_;
+    Counter &l3Misses_;
+    Counter &dramReads_;
+    Counter &dramWrites_;
+    Counter &invalidations_;
+    Counter &downgrades_;
+    Counter &l2Evictions_;
+    Counter &l3Evictions_;
+    Counter &rmoOps_;
+    Counter &prefetchesIssued_;
+};
+
+} // namespace tako
+
+#endif // TAKO_MEM_MEMORY_SYSTEM_HH

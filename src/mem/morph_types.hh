@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Types shared between the memory hierarchy and the täkō layer.
+ *
+ * The memory hierarchy (src/mem) must trigger callbacks without depending
+ * on the engine implementation (src/tako), so it talks through the
+ * CallbackSink and MorphResolver interfaces defined here. MorphBinding is
+ * the resolved registration record the hierarchy consults on every miss,
+ * eviction, and writeback — the simulated equivalent of the TLB morph
+ * bits plus per-line tag bit of Sec. 5.1/5.2.
+ */
+
+#ifndef TAKO_MEM_MORPH_TYPES_HH
+#define TAKO_MEM_MORPH_TYPES_HH
+
+#include <cstdint>
+#include <functional>
+
+#include "mem/backing_store.hh"
+#include "sim/types.hh"
+
+namespace tako
+{
+
+class Morph;
+
+/** Where a Morph is registered (paper Sec. 4.1). */
+enum class MorphLevel
+{
+    Private, ///< at the tile's L2
+    Shared,  ///< at the L3 (one view per bank)
+};
+
+enum class CallbackKind
+{
+    Miss,
+    Eviction,
+    Writeback,
+};
+
+/** Resolved registration record for an address. */
+struct MorphBinding
+{
+    Morph *morph = nullptr;
+    std::uint32_t id = 0;
+    MorphLevel level = MorphLevel::Private;
+    /** Phantom range: no backing memory; callbacks define semantics. */
+    bool phantom = false;
+    /** Owning tile for Private registrations (engine + cache locality). */
+    int tile = 0;
+    bool hasMiss = false;
+    bool hasEviction = false;
+    bool hasWriteback = false;
+    Addr base = 0;
+    std::uint64_t length = 0;
+};
+
+/**
+ * Interface to the engine layer. The memory hierarchy enqueues callback
+ * requests here. `done` must be invoked through the event queue once the
+ * callback retires.
+ */
+class CallbackSink
+{
+  public:
+    virtual ~CallbackSink() = default;
+
+    /**
+     * onMiss for @p line_addr on tile @p tile's engine. The cache
+     * controller has already allocated and zeroed the line; the miss
+     * response is deferred until @p done runs.
+     */
+    virtual void triggerMiss(int tile, Addr line_addr,
+                             const MorphBinding &binding,
+                             std::function<void()> done) = 0;
+
+    /**
+     * onEviction (clean) or onWriteback (dirty) for @p line_addr. @p data
+     * is the line's contents captured at eviction time; the line itself
+     * has already left the cache (it occupies a writeback-buffer entry
+     * until the callback retires, per Sec. 5.2).
+     */
+    virtual void triggerEviction(int tile, Addr line_addr,
+                                 const MorphBinding &binding, bool dirty,
+                                 LineData data,
+                                 std::function<void()> done) = 0;
+};
+
+/** Interface to the morph registry (implemented in src/tako). */
+class MorphResolver
+{
+  public:
+    virtual ~MorphResolver() = default;
+
+    /** Registration covering @p addr, or nullptr. */
+    virtual const MorphBinding *resolve(Addr addr) const = 0;
+
+    /** True if @p addr lies in the phantom region of the address space. */
+    virtual bool isPhantomAddr(Addr addr) const = 0;
+};
+
+} // namespace tako
+
+#endif // TAKO_MEM_MORPH_TYPES_HH

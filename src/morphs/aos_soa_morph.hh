@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Array-of-structs to struct-of-arrays layout transform, the Morph the
+ * paper uses to motivate trrîp's low-priority insertion for engine
+ * accesses (Sec. 5.2: "> 4x speedup"). The phantom range exposes one
+ * field as a dense array; onMiss gathers the field from eight AoS
+ * elements — eight *different* real cache lines that are dead after the
+ * gather and would pollute the caches without trrîp.
+ */
+
+#ifndef TAKO_MORPHS_AOS_SOA_MORPH_HH
+#define TAKO_MORPHS_AOS_SOA_MORPH_HH
+
+#include "tako/engine.hh"
+#include "tako/morph.hh"
+
+namespace tako
+{
+
+class AosToSoaMorph : public Morph
+{
+  public:
+    /**
+     * @param aos_base    array of structs in real memory
+     * @param struct_words struct size in 64-bit words (8 = one line)
+     * @param field       field index within the struct
+     * @param num_elems   number of elements
+     */
+    AosToSoaMorph(Addr aos_base, unsigned struct_words, unsigned field,
+                  std::uint64_t num_elems)
+        : Morph(MorphTraits{
+              .name = "aos2soa",
+              .hasMiss = true,
+              .hasEviction = false,
+              .hasWriteback = false,
+              .missKernel = {18, 4},
+          }),
+          aosBase_(aos_base),
+          structWords_(struct_words),
+          field_(field),
+          numElems_(num_elems)
+    {
+    }
+
+    void bind(const MorphBinding *b) { base_ = b->base; }
+
+    Task<>
+    onMiss(EngineCtx &ctx) override
+    {
+        panic_if(base_ == 0, "AosToSoaMorph used before bind()");
+        const std::uint64_t first = (ctx.addr() - base_) / 8;
+        std::vector<Addr> addrs;
+        for (unsigned i = 0; i < wordsPerLine; ++i) {
+            if (first + i < numElems_) {
+                addrs.push_back(aosBase_ +
+                                (first + i) * structWords_ * 8 +
+                                field_ * 8);
+            }
+        }
+        std::vector<std::uint64_t> vals;
+        co_await ctx.streamLoadMulti(addrs, &vals);
+        co_await ctx.compute(18, 4);
+        for (unsigned i = 0; i < vals.size(); ++i)
+            ctx.setLineWord(i, vals[i]);
+    }
+
+  private:
+    Addr aosBase_;
+    unsigned structWords_;
+    unsigned field_;
+    std::uint64_t numElems_;
+    Addr base_ = 0;
+};
+
+} // namespace tako
+
+#endif // TAKO_MORPHS_AOS_SOA_MORPH_HH

@@ -1,0 +1,30 @@
+#include "morphs/decompress_morph.hh"
+
+namespace tako
+{
+
+Task<>
+DecompressMorph::onMiss(EngineCtx &ctx)
+{
+    panic_if(base_ == 0, "DecompressMorph used before bind()");
+    const std::uint64_t first = (ctx.addr() - base_) / 8;
+    if (first >= numValues_) {
+        // Past the logical end: leave the zero fill.
+        co_return;
+    }
+    // One line of decompressed values <-> one base + one packed delta
+    // word. Both fetched in parallel through the engine L1d.
+    std::vector<Addr> addrs{bases_ + (first / 8) * 8, deltas_ + first};
+    std::vector<std::uint64_t> vals;
+    co_await ctx.loadMulti(addrs, &vals);
+    // SIMD byte-extract + add across the full line.
+    co_await ctx.compute(14, 4);
+    for (unsigned i = 0; i < wordsPerLine; ++i) {
+        if (first + i < numValues_) {
+            ctx.setLineWord(i, decompress(vals[0], vals[1], i));
+            ++decompressions_;
+        }
+    }
+}
+
+} // namespace tako

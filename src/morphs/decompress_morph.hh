@@ -1,0 +1,67 @@
+/**
+ * @file
+ * In-cache data transformation (Sec. 3): software-defined lossy
+ * decompression. Values are stored compressed as a shared base per group
+ * of eight plus one byte delta per value (similar to base-delta-immediate
+ * [107]). The Morph exposes a phantom array of decompressed 64-bit
+ * values; onMiss decompresses a full cache line (8 values), which is then
+ * cached normally so locality eliminates redundant decompressions.
+ */
+
+#ifndef TAKO_MORPHS_DECOMPRESS_MORPH_HH
+#define TAKO_MORPHS_DECOMPRESS_MORPH_HH
+
+#include "tako/engine.hh"
+#include "tako/morph.hh"
+
+namespace tako
+{
+
+class DecompressMorph : public Morph
+{
+  public:
+    /**
+     * @param bases   address of the bases array (8B per 8 values)
+     * @param deltas  address of the packed delta bytes (1B per value)
+     * @param num_values  logical length of the decompressed array
+     */
+    DecompressMorph(Addr bases, Addr deltas, std::uint64_t num_values)
+        : Morph(MorphTraits{
+              .name = "decompress",
+              .hasMiss = true,
+              .hasEviction = false,
+              .hasWriteback = false,
+              .missKernel = {14, 4},
+          }),
+          bases_(bases),
+          deltas_(deltas),
+          numValues_(num_values)
+    {
+    }
+
+    /** Attach the phantom range assigned at registration. */
+    void bind(const MorphBinding *b) { base_ = b->base; }
+
+    Task<> onMiss(EngineCtx &ctx) override;
+
+    /** Values decompressed by the engine (Fig. 7). */
+    std::uint64_t decompressions() const { return decompressions_; }
+
+    /** Host-side expected value (for validation). */
+    static std::uint64_t
+    decompress(std::uint64_t base, std::uint64_t delta_word, unsigned i)
+    {
+        return base + ((delta_word >> (8 * i)) & 0xff);
+    }
+
+  private:
+    Addr bases_;
+    Addr deltas_;
+    std::uint64_t numValues_;
+    Addr base_ = 0;
+    std::uint64_t decompressions_ = 0;
+};
+
+} // namespace tako
+
+#endif // TAKO_MORPHS_DECOMPRESS_MORPH_HH

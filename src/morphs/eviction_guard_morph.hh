@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Side-channel detection (Sec. 8.4): a "real data" Morph over a secure
+ * data structure (e.g., AES T-tables) at the SHARED cache. Its only
+ * callback is onEviction, which interrupts the victim thread whenever a
+ * table line is evicted — the signature of a prime+probe attack priming
+ * the victim's sets (Table 7, Fig. 21).
+ */
+
+#ifndef TAKO_MORPHS_EVICTION_GUARD_MORPH_HH
+#define TAKO_MORPHS_EVICTION_GUARD_MORPH_HH
+
+#include <vector>
+
+#include "tako/engine.hh"
+#include "tako/morph.hh"
+
+namespace tako
+{
+
+class EvictionGuardMorph : public Morph
+{
+  public:
+    struct Event
+    {
+        Tick when;
+        Addr line;
+    };
+
+    explicit EvictionGuardMorph(int victim_core)
+        : Morph(MorphTraits{
+              .name = "evictionGuard",
+              .hasMiss = false,
+              .hasEviction = true,
+              .hasWriteback = true,
+              .evictionKernel = {4, 2},
+              .writebackKernel = {4, 2},
+          }),
+          victimCore_(victim_core)
+    {
+    }
+
+    Task<>
+    onEviction(EngineCtx &ctx) override
+    {
+        trace_.push_back(Event{ctx.eq().now(), ctx.addr()});
+        co_await ctx.compute(4, 2);
+        ctx.interrupt(victimCore_);
+    }
+
+    Task<>
+    onWriteback(EngineCtx &ctx) override
+    {
+        co_await onEviction(ctx);
+    }
+
+    const std::vector<Event> &trace() const { return trace_; }
+
+  private:
+    int victimCore_;
+    std::vector<Event> trace_;
+};
+
+} // namespace tako
+
+#endif // TAKO_MORPHS_EVICTION_GUARD_MORPH_HH

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Data-integrity morph: software-visible writebacks as a redundancy
+ * hook (the Tvarak use case the paper points to in Sec. 8.3, [67]).
+ *
+ * Registered over real data at the private cache, the morph's
+ * onWriteback computes a checksum of every line that leaves the cache
+ * modified and stores it in a shadow region — off the critical path of
+ * the writing thread, with no instrumentation in application code. A
+ * verify pass recomputes checksums and flags silent corruption (e.g.,
+ * of the in-memory copy on NVM).
+ */
+
+#ifndef TAKO_MORPHS_INTEGRITY_MORPH_HH
+#define TAKO_MORPHS_INTEGRITY_MORPH_HH
+
+#include "tako/engine.hh"
+#include "tako/morph.hh"
+
+namespace tako
+{
+
+class IntegrityMorph : public Morph
+{
+  public:
+    /**
+     * @param data_base    protected real range base (line aligned)
+     * @param shadow_base  checksum array, one 8B word per data line
+     */
+    IntegrityMorph(Addr data_base, Addr shadow_base)
+        : Morph(MorphTraits{
+              .name = "integrity",
+              .hasMiss = false,
+              .hasEviction = false,
+              .hasWriteback = true,
+              .writebackKernel = {12, 4}, // SIMD reduce + mix
+          }),
+          dataBase_(data_base),
+          shadowBase_(shadow_base)
+    {
+    }
+
+    /** FNV-style line checksum (also used by the verify pass). */
+    static std::uint64_t
+    checksum(const LineData &line)
+    {
+        std::uint64_t h = 0xcbf29ce484222325ULL;
+        for (unsigned i = 0; i < wordsPerLine; ++i) {
+            h ^= line[i];
+            h *= 0x100000001b3ULL;
+        }
+        return h;
+    }
+
+    Task<>
+    onWriteback(EngineCtx &ctx) override
+    {
+        ++checksummedLines_;
+        const std::uint64_t idx = (ctx.addr() - dataBase_) / lineBytes;
+        co_await ctx.compute(12, 4);
+        co_await ctx.store(shadowBase_ + idx * 8,
+                           checksum(ctx.capturedLine()));
+    }
+
+    std::uint64_t checksummedLines() const { return checksummedLines_; }
+
+    Addr shadowBase() const { return shadowBase_; }
+    Addr dataBase() const { return dataBase_; }
+
+  private:
+    Addr dataBase_;
+    Addr shadowBase_;
+    std::uint64_t checksummedLines_ = 0;
+};
+
+} // namespace tako
+
+#endif // TAKO_MORPHS_INTEGRITY_MORPH_HH

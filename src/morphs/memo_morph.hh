@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Memoization morph: the caches as a software-managed memo table.
+ *
+ * Memoization is one of the transformation families the paper motivates
+ * täkō with (Sec. 3.1, citing [8, 40, 153, 154]): a phantom array maps
+ * key -> f(key) for an expensive pure function. onMiss evaluates f for
+ * the eight keys of the requested line on the engine; hits are served at
+ * cache speed, and cold entries simply age out — no invalidation or
+ * table-management code in the application.
+ *
+ * The function itself is supplied by the instantiator as (a) a host
+ * lambda for functional evaluation and (b) a KernelDesc-style cost and
+ * optional per-key memory reads for timing.
+ */
+
+#ifndef TAKO_MORPHS_MEMO_MORPH_HH
+#define TAKO_MORPHS_MEMO_MORPH_HH
+
+#include <functional>
+
+#include "tako/engine.hh"
+#include "tako/morph.hh"
+
+namespace tako
+{
+
+class MemoMorph : public Morph
+{
+  public:
+    /** f(key) -> value; must be pure. */
+    using Fn = std::function<std::uint64_t(std::uint64_t)>;
+
+    /**
+     * @param fn            the memoized function
+     * @param num_keys      domain size (table length)
+     * @param instrs_per_key engine cost of one evaluation
+     * @param depth         dataflow critical path of one evaluation
+     * @param operand_base  optional array read per key (0 = pure compute)
+     */
+    MemoMorph(Fn fn, std::uint64_t num_keys, unsigned instrs_per_key,
+              unsigned depth, Addr operand_base = 0)
+        : Morph(MorphTraits{
+              .name = "memo",
+              .hasMiss = true,
+              .missKernel = {instrs_per_key, depth},
+          }),
+          fn_(std::move(fn)),
+          numKeys_(num_keys),
+          instrsPerKey_(instrs_per_key),
+          depth_(depth),
+          operandBase_(operand_base)
+    {
+    }
+
+    void bind(const MorphBinding *b) { base_ = b->base; }
+
+    /** Engine evaluations performed (memoization effectiveness). */
+    std::uint64_t evaluations() const { return evaluations_; }
+
+    Task<>
+    onMiss(EngineCtx &ctx) override
+    {
+        panic_if(base_ == 0, "MemoMorph used before bind()");
+        const std::uint64_t first = (ctx.addr() - base_) / 8;
+        if (operandBase_ != 0) {
+            std::vector<Addr> addrs;
+            for (unsigned i = 0; i < wordsPerLine; ++i) {
+                if (first + i < numKeys_)
+                    addrs.push_back(operandBase_ + (first + i) * 8);
+            }
+            co_await ctx.loadMulti(addrs, nullptr);
+        }
+        // SIMD evaluation across the line.
+        co_await ctx.compute(instrsPerKey_ * wordsPerLine, depth_);
+        for (unsigned i = 0; i < wordsPerLine; ++i) {
+            if (first + i < numKeys_) {
+                ctx.setLineWord(i, fn_(first + i));
+                ++evaluations_;
+            }
+        }
+    }
+
+  private:
+    Fn fn_;
+    std::uint64_t numKeys_;
+    unsigned instrsPerKey_;
+    unsigned depth_;
+    Addr operandBase_;
+    Addr base_ = 0;
+    std::uint64_t evaluations_ = 0;
+};
+
+} // namespace tako
+
+#endif // TAKO_MORPHS_MEMO_MORPH_HH

@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Transactions on direct-access NVM with battery-backed caches
+ * (Sec. 8.3). The phantom range stages a transaction's writes in the
+ * (persistent) cache. On commit, the application flushes the Morph's
+ * data: onWriteback copies committed lines directly to their NVM home —
+ * the cache itself served as the journal. If a line is evicted *before*
+ * commit, onWriteback journals it instead (Table 6), and commit must
+ * replay the journal.
+ */
+
+#ifndef TAKO_MORPHS_NVM_MORPH_HH
+#define TAKO_MORPHS_NVM_MORPH_HH
+
+#include "tako/engine.hh"
+#include "tako/morph.hh"
+
+namespace tako
+{
+
+class NvmTxMorph : public Morph
+{
+  public:
+    /**
+     * Words never written by the transaction carry this sentinel
+     * (Table 6: "onMiss sets line with INVALID value"), so writebacks
+     * of partially-written lines know which words are live — without
+     * it, a line evicted, re-missed (zero-filled), and evicted again
+     * would clobber its earlier journaled words at replay.
+     */
+    static constexpr std::uint64_t invalidWord = ~std::uint64_t(0) - 7;
+
+    /**
+     * @param home_base    NVM home region the staging range shadows
+     * @param journal_base redo-journal region in NVM
+     * @param journal_capacity_entries max journaled lines
+     */
+    NvmTxMorph(Addr home_base, Addr journal_base,
+               std::uint64_t journal_capacity_entries)
+        : Morph(MorphTraits{
+              .name = "nvmtx",
+              .hasMiss = true,
+              .hasEviction = false,
+              .hasWriteback = true,
+              .missKernel = {3, 1},
+              .writebackKernel = {12, 3},
+          }),
+          homeBase_(home_base),
+          journalBase_(journal_base),
+          journalCapacity_(journal_capacity_entries)
+    {
+    }
+
+    void bind(const MorphBinding *b) { base_ = b->base; }
+
+    /** Mark the in-flight transaction committed (just before flush). */
+    void setCommitted(bool committed) { committed_ = committed; }
+
+    /** Retarget the NVM home region (per transaction for append logs). */
+    void setHomeBase(Addr home) { homeBase_ = home; }
+
+    /** Journaled lines of the current transaction. */
+    std::uint64_t journalEntries() const { return journalCursor_; }
+    Addr journalBase() const { return journalBase_; }
+    void resetJournal() { journalCursor_ = 0; }
+
+    std::uint64_t directWrites() const { return directWrites_; }
+    std::uint64_t journaledLines() const { return journaledLines_; }
+
+    Task<>
+    onMiss(EngineCtx &ctx) override
+    {
+        // Fresh staging line: INVALID fill, no memory request.
+        co_await ctx.compute(3, 1);
+        for (unsigned i = 0; i < wordsPerLine; ++i)
+            ctx.setLineWord(i, invalidWord);
+    }
+
+    Task<>
+    onWriteback(EngineCtx &ctx) override
+    {
+        const Addr off = ctx.addr() - base_;
+        std::vector<std::pair<Addr, std::uint64_t>> writes;
+        if (committed_) {
+            // Commit flush: copy the live words straight to the NVM
+            // home. The cache was the journal; no journaling work ever
+            // happened.
+            ++directWrites_;
+            for (unsigned i = 0; i < wordsPerLine; ++i) {
+                if (ctx.capturedLine()[i] != invalidWord) {
+                    writes.emplace_back(homeBase_ + off + i * 8,
+                                        ctx.capturedLine()[i]);
+                }
+            }
+        } else {
+            // Evicted before commit: journal (addr tag + data; INVALID
+            // words keep their sentinel so replay skips them).
+            panic_if(journalCursor_ >= journalCapacity_,
+                     "NVM journal overflow");
+            ++journaledLines_;
+            const Addr entry =
+                journalBase_ + journalCursor_ * (lineBytes + 8);
+            writes.emplace_back(entry, off);
+            for (unsigned i = 0; i < wordsPerLine; ++i)
+                writes.emplace_back(entry + 8 + i * 8,
+                                    ctx.capturedLine()[i]);
+            ++journalCursor_;
+        }
+        co_await ctx.compute(12, 3);
+        co_await ctx.streamStoreMulti(writes);
+    }
+
+  private:
+    Addr homeBase_;
+    Addr journalBase_;
+    std::uint64_t journalCapacity_;
+    Addr base_ = 0;
+    bool committed_ = false;
+    std::uint64_t journalCursor_ = 0;
+    std::uint64_t directWrites_ = 0;
+    std::uint64_t journaledLines_ = 0;
+};
+
+} // namespace tako
+
+#endif // TAKO_MORPHS_NVM_MORPH_HH

@@ -1,0 +1,97 @@
+#include "noc/mesh.hh"
+
+#include <algorithm>
+#include <cstdlib>
+
+namespace tako
+{
+
+namespace
+{
+
+enum Direction : int
+{
+    East = 0,
+    West = 1,
+    North = 2,
+    South = 3,
+};
+
+} // namespace
+
+Mesh::Mesh(const MeshParams &params, StatsRegistry &stats,
+           EnergyModel &energy)
+    : params_(params),
+      energy_(energy),
+      messages_(stats.counter("noc.messages")),
+      flitHopsStat_(stats.counter("noc.flitHops")),
+      linkFree_(static_cast<std::size_t>(params.dimX) * params.dimY * 4, 0)
+{
+}
+
+unsigned
+Mesh::hops(int src, int dst) const
+{
+    const int sx = src % static_cast<int>(params_.dimX);
+    const int sy = src / static_cast<int>(params_.dimX);
+    const int dx = dst % static_cast<int>(params_.dimX);
+    const int dy = dst / static_cast<int>(params_.dimX);
+    return static_cast<unsigned>(std::abs(sx - dx) + std::abs(sy - dy));
+}
+
+Tick
+Mesh::traverse(Tick now, int src, int dst, unsigned bytes)
+{
+    ++messages_;
+    const unsigned flits =
+        std::max<unsigned>(1, static_cast<unsigned>(
+                                  divCeil(bytes, params_.flitBytes)));
+
+    if (src == dst) {
+        // Local delivery still crosses the tile router once.
+        return params_.routerDelay;
+    }
+
+    int x = src % static_cast<int>(params_.dimX);
+    int y = src / static_cast<int>(params_.dimX);
+    const int dx = dst % static_cast<int>(params_.dimX);
+    const int dy = dst / static_cast<int>(params_.dimX);
+
+    Tick head = now;
+    unsigned hop_count = 0;
+    while (x != dx || y != dy) {
+        int dir;
+        int nx = x, ny = y;
+        if (x != dx) {
+            dir = (dx > x) ? East : West;
+            nx += (dx > x) ? 1 : -1;
+        } else {
+            dir = (dy > y) ? South : North;
+            ny += (dy > y) ? 1 : -1;
+        }
+        const int tile = y * static_cast<int>(params_.dimX) + x;
+        Tick &free = linkFree_[linkIndex(tile, dir)];
+        const Tick start = std::max(head, free);
+        free = start + flits;
+        head = start + params_.routerDelay + params_.linkDelay;
+        ++hop_count;
+        x = nx;
+        y = ny;
+    }
+    // Destination router plus tail-flit serialization.
+    head += params_.routerDelay + (flits - 1);
+
+    flitHops_ += std::uint64_t(flits) * hop_count;
+    flitHopsStat_ += static_cast<double>(std::uint64_t(flits) * hop_count);
+    energy_.nocFlitHops(std::uint64_t(flits) * hop_count);
+    return head - now;
+}
+
+void
+Mesh::reset()
+{
+    std::fill(linkFree_.begin(), linkFree_.end(), 0);
+    flitHops_ = 0;
+}
+
+} // namespace tako

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Mesh on-chip network model.
+ *
+ * Table 3: mesh, 128-bit flits and links, 2/1-cycle router/link delay.
+ * Messages route XY. Each directed link keeps a next-free time; a message
+ * of F flits occupies each link on its path for F cycles, so the model
+ * captures both zero-load latency and serialization/queueing contention
+ * without per-flit events.
+ */
+
+#ifndef TAKO_NOC_MESH_HH
+#define TAKO_NOC_MESH_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "energy/energy.hh"
+#include "sim/stats.hh"
+#include "sim/types.hh"
+
+namespace tako
+{
+
+struct MeshParams
+{
+    unsigned dimX = 4;
+    unsigned dimY = 4;
+    Tick routerDelay = 2;
+    Tick linkDelay = 1;
+    unsigned flitBytes = 16; ///< 128-bit flits.
+};
+
+class Mesh
+{
+  public:
+    Mesh(const MeshParams &params, StatsRegistry &stats,
+         EnergyModel &energy);
+
+    unsigned numTiles() const { return params_.dimX * params_.dimY; }
+
+    /** Manhattan hop count between two tiles. */
+    unsigned hops(int src, int dst) const;
+
+    /**
+     * Deliver a @p bytes -byte message from @p src to @p dst starting at
+     * @p now; reserves link time on the path.
+     * @return latency until the tail flit arrives.
+     */
+    Tick traverse(Tick now, int src, int dst, unsigned bytes);
+
+    std::uint64_t flitHops() const { return flitHops_; }
+
+    void reset();
+
+  private:
+    /** Directed link index leaving @p tile in direction @p dir (0..3). */
+    std::size_t
+    linkIndex(int tile, int dir) const
+    {
+        return static_cast<std::size_t>(tile) * 4 + dir;
+    }
+
+    MeshParams params_;
+    EnergyModel &energy_;
+    Counter &messages_;
+    Counter &flitHopsStat_;
+    std::vector<Tick> linkFree_;
+    std::uint64_t flitHops_ = 0;
+};
+
+} // namespace tako
+
+#endif // TAKO_NOC_MESH_HH

@@ -1,0 +1,145 @@
+/**
+ * @file
+ * Deterministic discrete-event queue.
+ *
+ * Events are totally ordered by (tick, priority, insertion sequence), so a
+ * simulation with the same inputs and seeds always replays identically.
+ * Everything that takes simulated time in tako-sim — cache lookups, NoC
+ * hops, DRAM accesses, engine callbacks, core compute — is an event chain
+ * on one global queue.
+ */
+
+#ifndef TAKO_SIM_EVENT_QUEUE_HH
+#define TAKO_SIM_EVENT_QUEUE_HH
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "sim/logging.hh"
+#include "sim/types.hh"
+
+namespace tako
+{
+
+/** Scheduling priority for events at the same tick (lower runs first). */
+enum class EventPriority : int
+{
+    High = -1,
+    Default = 0,
+    Low = 1,
+};
+
+class EventQueue
+{
+  public:
+    using Callback = std::function<void()>;
+
+    EventQueue() = default;
+    EventQueue(const EventQueue &) = delete;
+    EventQueue &operator=(const EventQueue &) = delete;
+
+    /** Current simulated time. */
+    Tick now() const { return now_; }
+
+    /** Schedule @p fn to run @p delta ticks from now. */
+    void
+    schedule(Tick delta, Callback fn,
+             EventPriority prio = EventPriority::Default)
+    {
+        scheduleAbs(now_ + delta, std::move(fn), prio);
+    }
+
+    /** Schedule @p fn at absolute tick @p when (must not be in the past). */
+    void
+    scheduleAbs(Tick when, Callback fn,
+                EventPriority prio = EventPriority::Default)
+    {
+        panic_if(when < now_, "scheduling event in the past (%llu < %llu)",
+                 (unsigned long long)when, (unsigned long long)now_);
+        events_.push(Entry{when, static_cast<int>(prio), nextSeq_++,
+                           std::move(fn)});
+    }
+
+    /** Number of pending events. */
+    std::size_t pending() const { return events_.size(); }
+
+    bool empty() const { return events_.empty(); }
+
+    /**
+     * Pop and run the next event. Returns false if the queue was empty.
+     */
+    bool
+    step()
+    {
+        if (events_.empty())
+            return false;
+        // Copy out before pop: the callback may schedule new events.
+        Entry e = std::move(const_cast<Entry &>(events_.top()));
+        events_.pop();
+        now_ = e.when;
+        e.fn();
+        return true;
+    }
+
+    /** Run until the queue drains. */
+    void
+    run()
+    {
+        while (step()) {}
+    }
+
+    /**
+     * Run until the queue drains or simulated time would exceed @p limit.
+     * Events at exactly @p limit still run.
+     */
+    void
+    runUntil(Tick limit)
+    {
+        while (!events_.empty() && events_.top().when <= limit)
+            step();
+        if (now_ < limit && events_.empty())
+            now_ = limit;
+    }
+
+    /**
+     * Reset time and drop all pending events. Only valid between
+     * independent simulations.
+     */
+    void
+    reset()
+    {
+        events_ = {};
+        now_ = 0;
+        nextSeq_ = 0;
+    }
+
+  private:
+    struct Entry
+    {
+        Tick when;
+        int priority;
+        std::uint64_t seq;
+        Callback fn;
+
+        bool
+        operator>(const Entry &o) const
+        {
+            if (when != o.when)
+                return when > o.when;
+            if (priority != o.priority)
+                return priority > o.priority;
+            return seq > o.seq;
+        }
+    };
+
+    std::priority_queue<Entry, std::vector<Entry>, std::greater<Entry>>
+        events_;
+    Tick now_ = 0;
+    std::uint64_t nextSeq_ = 0;
+};
+
+} // namespace tako
+
+#endif // TAKO_SIM_EVENT_QUEUE_HH

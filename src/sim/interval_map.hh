@@ -1,0 +1,90 @@
+/**
+ * @file
+ * A simple non-overlapping interval map keyed by address ranges.
+ * Used by the morph registry to map address ranges to registered Morphs
+ * (at most one Morph per address, paper Sec. 4.1).
+ */
+
+#ifndef TAKO_SIM_INTERVAL_MAP_HH
+#define TAKO_SIM_INTERVAL_MAP_HH
+
+#include <map>
+#include <optional>
+
+#include "sim/types.hh"
+
+namespace tako
+{
+
+template <typename T>
+class IntervalMap
+{
+  public:
+    struct Entry
+    {
+        Addr base;
+        std::uint64_t length;
+        T value;
+    };
+
+    /**
+     * Insert [base, base+length) -> value.
+     * @return false if the range overlaps an existing entry.
+     */
+    bool
+    insert(Addr base, std::uint64_t length, T value)
+    {
+        if (length == 0 || overlaps(base, length))
+            return false;
+        map_.emplace(base, Entry{base, length, std::move(value)});
+        return true;
+    }
+
+    /** True if [base, base+length) intersects any entry. */
+    bool
+    overlaps(Addr base, std::uint64_t length) const
+    {
+        auto it = map_.upper_bound(base);
+        if (it != map_.begin()) {
+            auto prev = std::prev(it);
+            if (prev->second.base + prev->second.length > base)
+                return true;
+        }
+        return it != map_.end() && it->second.base < base + length;
+    }
+
+    /** Entry containing @p addr, or nullptr. */
+    const Entry *
+    find(Addr addr) const
+    {
+        auto it = map_.upper_bound(addr);
+        if (it == map_.begin())
+            return nullptr;
+        --it;
+        const Entry &e = it->second;
+        return (addr >= e.base && addr < e.base + e.length) ? &e : nullptr;
+    }
+
+    Entry *
+    find(Addr addr)
+    {
+        return const_cast<Entry *>(
+            static_cast<const IntervalMap *>(this)->find(addr));
+    }
+
+    /** Remove the entry whose base is exactly @p base. */
+    bool erase(Addr base) { return map_.erase(base) > 0; }
+
+    std::size_t size() const { return map_.size(); }
+    bool empty() const { return map_.empty(); }
+
+    auto begin() const { return map_.begin(); }
+    auto end() const { return map_.end(); }
+
+  private:
+    std::map<Addr, Entry> map_;
+};
+
+} // namespace tako
+
+#endif // TAKO_SIM_INTERVAL_MAP_HH

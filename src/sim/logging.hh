@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Error and status reporting, in the spirit of gem5's logging.hh.
+ *
+ * panic()  - internal simulator invariant violated; aborts.
+ * fatal()  - user/configuration error; exits with status 1.
+ * warn()   - something questionable but survivable.
+ * inform() - status messages.
+ */
+
+#ifndef TAKO_SIM_LOGGING_HH
+#define TAKO_SIM_LOGGING_HH
+
+#include <cstdarg>
+#include <string>
+
+namespace tako
+{
+
+/** Printf-style formatting into a std::string. */
+std::string strprintf(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+[[noreturn]] void panicImpl(const char *file, int line, const std::string &msg);
+[[noreturn]] void fatalImpl(const char *file, int line, const std::string &msg);
+void warnImpl(const std::string &msg);
+void informImpl(const std::string &msg);
+
+/** Enable/disable inform() output (benches silence it). */
+void setVerbose(bool verbose);
+bool verbose();
+
+} // namespace tako
+
+#define panic(...) \
+    ::tako::panicImpl(__FILE__, __LINE__, ::tako::strprintf(__VA_ARGS__))
+#define fatal(...) \
+    ::tako::fatalImpl(__FILE__, __LINE__, ::tako::strprintf(__VA_ARGS__))
+#define warn(...) ::tako::warnImpl(::tako::strprintf(__VA_ARGS__))
+#define inform(...) ::tako::informImpl(::tako::strprintf(__VA_ARGS__))
+
+#define panic_if(cond, ...)                  \
+    do {                                     \
+        if (cond) { panic(__VA_ARGS__); }    \
+    } while (0)
+
+#define fatal_if(cond, ...)                  \
+    do {                                     \
+        if (cond) { fatal(__VA_ARGS__); }    \
+    } while (0)
+
+#endif // TAKO_SIM_LOGGING_HH

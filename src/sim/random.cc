@@ -1,0 +1,50 @@
+#include "sim/random.hh"
+
+#include "sim/logging.hh"
+
+namespace tako
+{
+
+namespace
+{
+
+double
+zeta(std::uint64_t n, double theta)
+{
+    double sum = 0;
+    for (std::uint64_t i = 1; i <= n; ++i)
+        sum += 1.0 / std::pow(static_cast<double>(i), theta);
+    return sum;
+}
+
+} // namespace
+
+ZipfianGenerator::ZipfianGenerator(std::uint64_t n, double theta)
+    : n_(n), theta_(theta)
+{
+    panic_if(n == 0, "Zipfian over empty domain");
+    zetan_ = zeta(n, theta);
+    const double zeta2 = zeta(2, theta);
+    alpha_ = 1.0 / (1.0 - theta);
+    eta_ = (1.0 - std::pow(2.0 / static_cast<double>(n), 1.0 - theta)) /
+           (1.0 - zeta2 / zetan_);
+}
+
+std::uint64_t
+ZipfianGenerator::operator()(Rng &rng) const
+{
+    const double u = rng.real();
+    const double uz = u * zetan_;
+    if (uz < 1.0)
+        return 0;
+    if (uz < 1.0 + std::pow(0.5, theta_))
+        return 1;
+    auto rank = static_cast<std::uint64_t>(
+        static_cast<double>(n_) *
+        std::pow(eta_ * u - eta_ + 1.0, alpha_));
+    if (rank >= n_)
+        rank = n_ - 1;
+    return rank;
+}
+
+} // namespace tako

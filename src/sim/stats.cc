@@ -1,0 +1,58 @@
+#include "sim/stats.hh"
+
+#include <iomanip>
+
+namespace tako
+{
+
+namespace
+{
+
+/** Match @p name against a pattern with at most one '*' wildcard. */
+bool
+matches(const std::string &name, const std::string &pattern)
+{
+    auto star = pattern.find('*');
+    if (star == std::string::npos)
+        return name == pattern;
+    const std::string prefix = pattern.substr(0, star);
+    const std::string suffix = pattern.substr(star + 1);
+    if (name.size() < prefix.size() + suffix.size())
+        return false;
+    return name.compare(0, prefix.size(), prefix) == 0 &&
+           name.compare(name.size() - suffix.size(), suffix.size(),
+                        suffix) == 0;
+}
+
+} // namespace
+
+double
+StatsRegistry::sumMatching(const std::string &pattern) const
+{
+    double sum = 0;
+    for (const auto &kv : counters_) {
+        if (matches(kv.first, pattern))
+            sum += kv.second.value();
+    }
+    return sum;
+}
+
+void
+StatsRegistry::dump(std::ostream &os) const
+{
+    os << std::left;
+    for (const auto &kv : counters_) {
+        os << std::setw(48) << kv.first << " "
+           << std::setprecision(12) << kv.second.value() << "\n";
+    }
+    for (const auto &kv : histograms_) {
+        const Histogram &h = kv.second;
+        os << std::setw(48) << (kv.first + ".count") << " " << h.count()
+           << "\n";
+        os << std::setw(48) << (kv.first + ".mean") << " " << h.mean()
+           << "\n";
+        os << std::setw(48) << (kv.first + ".max") << " " << h.max() << "\n";
+    }
+}
+
+} // namespace tako

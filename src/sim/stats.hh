@@ -1,0 +1,151 @@
+/**
+ * @file
+ * Lightweight statistics registry.
+ *
+ * Components create named counters/histograms under a hierarchical dotted
+ * name ("tile3.l2.misses"). Benches read them back by name or dump all.
+ */
+
+#ifndef TAKO_SIM_STATS_HH
+#define TAKO_SIM_STATS_HH
+
+#include <cstdint>
+#include <map>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "sim/logging.hh"
+
+namespace tako
+{
+
+/** A scalar, accumulating statistic. */
+class Counter
+{
+  public:
+    Counter &operator+=(double v) { value_ += v; return *this; }
+    Counter &operator++() { value_ += 1; return *this; }
+    void operator++(int) { value_ += 1; }
+    double value() const { return value_; }
+    void reset() { value_ = 0; }
+
+  private:
+    double value_ = 0;
+};
+
+/** A histogram over fixed-width buckets plus mean tracking. */
+class Histogram
+{
+  public:
+    Histogram() : Histogram(16, 8) {}
+
+    /** @p num_buckets buckets of width @p bucket_width; overflow last. */
+    Histogram(unsigned num_buckets, std::uint64_t bucket_width)
+        : buckets_(num_buckets, 0), width_(bucket_width)
+    {
+    }
+
+    void
+    sample(std::uint64_t v)
+    {
+        std::size_t idx = v / width_;
+        if (idx >= buckets_.size())
+            idx = buckets_.size() - 1;
+        ++buckets_[idx];
+        ++count_;
+        sum_ += static_cast<double>(v);
+        if (v > max_)
+            max_ = v;
+    }
+
+    std::uint64_t count() const { return count_; }
+    double sum() const { return sum_; }
+    double mean() const { return count_ ? sum_ / count_ : 0.0; }
+    std::uint64_t max() const { return max_; }
+    const std::vector<std::uint64_t> &buckets() const { return buckets_; }
+    std::uint64_t bucketWidth() const { return width_; }
+
+    void
+    reset()
+    {
+        std::fill(buckets_.begin(), buckets_.end(), 0);
+        count_ = 0;
+        sum_ = 0;
+        max_ = 0;
+    }
+
+  private:
+    std::vector<std::uint64_t> buckets_;
+    std::uint64_t width_;
+    std::uint64_t count_ = 0;
+    double sum_ = 0;
+    std::uint64_t max_ = 0;
+};
+
+/**
+ * Registry of named statistics. Owns all stats; references returned by
+ * counter()/histogram() stay valid for the registry's lifetime.
+ */
+class StatsRegistry
+{
+  public:
+    Counter &
+    counter(const std::string &name)
+    {
+        return counters_[name];
+    }
+
+    Histogram &
+    histogram(const std::string &name, unsigned num_buckets = 16,
+              std::uint64_t bucket_width = 8)
+    {
+        auto it = histograms_.find(name);
+        if (it == histograms_.end()) {
+            it = histograms_
+                     .emplace(name, Histogram(num_buckets, bucket_width))
+                     .first;
+        }
+        return it->second;
+    }
+
+    /** Value of a counter; 0 if it was never created. */
+    double
+    get(const std::string &name) const
+    {
+        auto it = counters_.find(name);
+        return it == counters_.end() ? 0.0 : it->second.value();
+    }
+
+    /** Sum of all counters whose name matches "prefix*suffix" pattern. */
+    double sumMatching(const std::string &pattern) const;
+
+    const std::map<std::string, Counter> &counters() const
+    {
+        return counters_;
+    }
+
+    const std::map<std::string, Histogram> &histograms() const
+    {
+        return histograms_;
+    }
+
+    void dump(std::ostream &os) const;
+
+    void
+    reset()
+    {
+        for (auto &kv : counters_)
+            kv.second.reset();
+        for (auto &kv : histograms_)
+            kv.second.reset();
+    }
+
+  private:
+    std::map<std::string, Counter> counters_;
+    std::map<std::string, Histogram> histograms_;
+};
+
+} // namespace tako
+
+#endif // TAKO_SIM_STATS_HH

@@ -1,0 +1,416 @@
+/**
+ * @file
+ * C++20 coroutine plumbing for simulated threads.
+ *
+ * Guest programs (software threads on simulated cores) and täkō callbacks
+ * (threads on near-cache engines) are written as coroutines returning
+ * Task<> or Task<T>. Tasks are lazy: they run only when awaited or
+ * spawned. Awaitables suspend the coroutine and arrange for an EventQueue
+ * event to resume it at the right simulated time.
+ *
+ * Rule: completion callbacks must be invoked from the event queue, never
+ * synchronously from within the issuing call. Every hardware component in
+ * tako-sim has nonzero (or explicitly zero-delta scheduled) latency, so
+ * this falls out naturally.
+ */
+
+#ifndef TAKO_SIM_TASK_HH
+#define TAKO_SIM_TASK_HH
+
+#include <coroutine>
+#include <exception>
+#include <functional>
+#include <utility>
+
+#include "sim/event_queue.hh"
+#include "sim/logging.hh"
+
+namespace tako
+{
+
+template <typename T>
+class Task;
+
+namespace detail
+{
+
+struct PromiseBase
+{
+    std::coroutine_handle<> continuation;
+    std::exception_ptr exception;
+
+    std::suspend_always initial_suspend() noexcept { return {}; }
+
+    struct FinalAwaiter
+    {
+        bool await_ready() noexcept { return false; }
+
+        template <typename Promise>
+        std::coroutine_handle<>
+        await_suspend(std::coroutine_handle<Promise> h) noexcept
+        {
+            // Symmetric transfer to whoever awaited us.
+            if (h.promise().continuation)
+                return h.promise().continuation;
+            return std::noop_coroutine();
+        }
+
+        void await_resume() noexcept {}
+    };
+
+    FinalAwaiter final_suspend() noexcept { return {}; }
+
+    void unhandled_exception() { exception = std::current_exception(); }
+};
+
+template <typename T>
+struct Promise : PromiseBase
+{
+    T value{};
+
+    Task<T> get_return_object();
+    void return_value(T v) { value = std::move(v); }
+};
+
+template <>
+struct Promise<void> : PromiseBase
+{
+    Task<void> get_return_object();
+    void return_void() {}
+};
+
+} // namespace detail
+
+/**
+ * A lazily-started coroutine yielding a T (or nothing), awaitable from
+ * other coroutines. Modeled on cppcoro::task.
+ */
+template <typename T = void>
+class [[nodiscard]] Task
+{
+  public:
+    using promise_type = detail::Promise<T>;
+    using Handle = std::coroutine_handle<promise_type>;
+
+    Task() = default;
+    explicit Task(Handle h) : handle_(h) {}
+    Task(Task &&o) noexcept : handle_(std::exchange(o.handle_, {})) {}
+
+    Task &
+    operator=(Task &&o) noexcept
+    {
+        if (this != &o) {
+            destroy();
+            handle_ = std::exchange(o.handle_, {});
+        }
+        return *this;
+    }
+
+    Task(const Task &) = delete;
+    Task &operator=(const Task &) = delete;
+
+    ~Task() { destroy(); }
+
+    bool valid() const { return static_cast<bool>(handle_); }
+    bool done() const { return !handle_ || handle_.done(); }
+
+    /** Awaiting a Task starts it and suspends the awaiter until done. */
+    auto
+    operator co_await() && noexcept
+    {
+        struct Awaiter
+        {
+            Handle h;
+
+            bool await_ready() const noexcept { return !h || h.done(); }
+
+            std::coroutine_handle<>
+            await_suspend(std::coroutine_handle<> cont) noexcept
+            {
+                h.promise().continuation = cont;
+                return h;
+            }
+
+            T
+            await_resume()
+            {
+                if (h && h.promise().exception)
+                    std::rethrow_exception(h.promise().exception);
+                if constexpr (!std::is_void_v<T>)
+                    return std::move(h.promise().value);
+            }
+        };
+        return Awaiter{handle_};
+    }
+
+  private:
+    void
+    destroy()
+    {
+        if (handle_) {
+            handle_.destroy();
+            handle_ = {};
+        }
+    }
+
+    Handle handle_;
+};
+
+namespace detail
+{
+
+template <typename T>
+Task<T>
+Promise<T>::get_return_object()
+{
+    return Task<T>(std::coroutine_handle<Promise<T>>::from_promise(*this));
+}
+
+inline Task<void>
+Promise<void>::get_return_object()
+{
+    return Task<void>(
+        std::coroutine_handle<Promise<void>>::from_promise(*this));
+}
+
+} // namespace detail
+
+/**
+ * Fire-and-forget top-level coroutine; self-destroying. Used only by
+ * spawn() below.
+ */
+struct DetachedTask
+{
+    struct promise_type
+    {
+        DetachedTask get_return_object() { return {}; }
+        std::suspend_never initial_suspend() noexcept { return {}; }
+        std::suspend_never final_suspend() noexcept { return {}; }
+        void return_void() {}
+
+        void
+        unhandled_exception()
+        {
+            panic("unhandled exception escaped a detached task");
+        }
+    };
+};
+
+/**
+ * Start @p task detached; call @p on_done (if set) when it completes.
+ * The task runs its first step immediately.
+ */
+inline void
+spawn(Task<> task, std::function<void()> on_done = {})
+{
+    [](Task<> t, std::function<void()> done) -> DetachedTask {
+        co_await std::move(t);
+        if (done)
+            done();
+    }(std::move(task), std::move(on_done));
+}
+
+/** Awaitable that delays the coroutine by @p delta ticks. */
+struct Delay
+{
+    EventQueue &eq;
+    Tick delta;
+    EventPriority prio = EventPriority::Default;
+
+    bool await_ready() const noexcept { return delta == 0; }
+
+    void
+    await_suspend(std::coroutine_handle<> h) const
+    {
+        eq.schedule(delta, [h]() { h.resume(); }, prio);
+    }
+
+    void await_resume() const noexcept {}
+};
+
+/**
+ * One-shot event a coroutine can await; some component later calls
+ * complete(value), which schedules the resumption via the event queue
+ * (zero-delta by default). Single waiter.
+ */
+template <typename T>
+class Completion
+{
+  public:
+    explicit Completion(EventQueue &eq) : eq_(eq) {}
+
+    Completion(const Completion &) = delete;
+    Completion &operator=(const Completion &) = delete;
+
+    bool completed() const { return completed_; }
+
+    void
+    complete(T value, Tick delta = 0)
+    {
+        panic_if(completed_, "Completion completed twice");
+        completed_ = true;
+        value_ = std::move(value);
+        if (waiter_) {
+            auto w = waiter_;
+            eq_.schedule(delta, [w]() { w.resume(); });
+        } else {
+            completionDelta_ = delta;
+        }
+    }
+
+    auto
+    operator co_await() noexcept
+    {
+        struct Awaiter
+        {
+            Completion &c;
+
+            bool await_ready() const noexcept { return false; }
+
+            void
+            await_suspend(std::coroutine_handle<> h)
+            {
+                panic_if(static_cast<bool>(c.waiter_),
+                         "Completion awaited twice");
+                c.waiter_ = h;
+                if (c.completed_) {
+                    c.eq_.schedule(c.completionDelta_,
+                                   [h]() { h.resume(); });
+                }
+            }
+
+            T await_resume() { return std::move(c.value_); }
+        };
+        return Awaiter{*this};
+    }
+
+  private:
+    EventQueue &eq_;
+    std::coroutine_handle<> waiter_;
+    bool completed_ = false;
+    Tick completionDelta_ = 0;
+    T value_{};
+};
+
+/**
+ * Join counter: a coroutine awaits wait() until all added work items have
+ * called done(). Work is added with add() before the await.
+ */
+class Join
+{
+  public:
+    explicit Join(EventQueue &eq) : eq_(eq) {}
+
+    Join(const Join &) = delete;
+    Join &operator=(const Join &) = delete;
+
+    void add(unsigned n = 1) { outstanding_ += n; }
+
+    void
+    done()
+    {
+        panic_if(outstanding_ == 0, "Join::done() without matching add()");
+        --outstanding_;
+        if (outstanding_ == 0 && waiter_) {
+            auto w = std::exchange(waiter_, {});
+            eq_.schedule(0, [w]() { w.resume(); });
+        }
+    }
+
+    unsigned outstanding() const { return outstanding_; }
+
+    auto
+    wait()
+    {
+        struct Awaiter
+        {
+            Join &join;
+
+            bool await_ready() const noexcept
+            {
+                return join.outstanding_ == 0;
+            }
+
+            void
+            await_suspend(std::coroutine_handle<> h)
+            {
+                panic_if(static_cast<bool>(join.waiter_),
+                         "Join awaited twice");
+                join.waiter_ = h;
+            }
+
+            void await_resume() const noexcept {}
+        };
+        return Awaiter{*this};
+    }
+
+  private:
+    EventQueue &eq_;
+    std::coroutine_handle<> waiter_;
+    unsigned outstanding_ = 0;
+};
+
+/**
+ * Counting semaphore with FIFO coroutine waiters; completions are
+ * scheduled through the event queue for determinism.
+ */
+class Semaphore
+{
+  public:
+    Semaphore(EventQueue &eq, unsigned count) : eq_(eq), count_(count) {}
+
+    Semaphore(const Semaphore &) = delete;
+    Semaphore &operator=(const Semaphore &) = delete;
+
+    auto
+    acquire()
+    {
+        struct Awaiter
+        {
+            Semaphore &sem;
+
+            bool
+            await_ready() const noexcept
+            {
+                if (sem.count_ > 0) {
+                    --sem.count_;
+                    return true;
+                }
+                return false;
+            }
+
+            void
+            await_suspend(std::coroutine_handle<> h)
+            {
+                sem.waiters_.push_back(h);
+            }
+
+            void await_resume() const noexcept {}
+        };
+        return Awaiter{*this};
+    }
+
+    void
+    release()
+    {
+        if (!waiters_.empty()) {
+            // Hand the slot directly to the oldest waiter.
+            auto h = waiters_.front();
+            waiters_.erase(waiters_.begin());
+            eq_.schedule(0, [h]() { h.resume(); });
+        } else {
+            ++count_;
+        }
+    }
+
+    unsigned available() const { return count_; }
+
+  private:
+    EventQueue &eq_;
+    unsigned count_;
+    std::vector<std::coroutine_handle<>> waiters_;
+};
+
+} // namespace tako
+
+#endif // TAKO_SIM_TASK_HH

@@ -1,0 +1,95 @@
+#include "sim/trace.hh"
+
+#include <cstdarg>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+namespace tako::trace
+{
+
+namespace
+{
+
+const char *
+name(Flag f)
+{
+    switch (f) {
+      case Flag::Cache:
+        return "cache";
+      case Flag::Coherence:
+        return "coherence";
+      case Flag::Engine:
+        return "engine";
+      case Flag::Morph:
+        return "morph";
+      case Flag::Noc:
+        return "noc";
+      case Flag::Dram:
+        return "dram";
+      case Flag::Rmo:
+        return "rmo";
+    }
+    return "?";
+}
+
+std::uint32_t
+parseMask()
+{
+    const char *env = std::getenv("TAKO_TRACE");
+    if (!env || !*env)
+        return 0;
+    std::uint32_t mask = 0;
+    std::string spec(env);
+    std::size_t pos = 0;
+    while (pos < spec.size()) {
+        const std::size_t comma = spec.find(',', pos);
+        const std::string tok = spec.substr(
+            pos, comma == std::string::npos ? std::string::npos
+                                            : comma - pos);
+        if (tok == "all") {
+            mask = ~0u;
+        } else {
+            bool known = false;
+            for (std::uint32_t bit = 1; bit <= (1u << 6); bit <<= 1) {
+                if (tok == name(static_cast<Flag>(bit))) {
+                    mask |= bit;
+                    known = true;
+                }
+            }
+            if (!known && !tok.empty()) {
+                std::fprintf(stderr,
+                             "warn: unknown TAKO_TRACE category '%s'\n",
+                             tok.c_str());
+            }
+        }
+        if (comma == std::string::npos)
+            break;
+        pos = comma + 1;
+    }
+    return mask;
+}
+
+} // namespace
+
+std::uint32_t
+enabledMask()
+{
+    static const std::uint32_t mask = parseMask();
+    return mask;
+}
+
+void
+emit(Flag f, Tick now, const char *fmt, ...)
+{
+    char buf[512];
+    va_list args;
+    va_start(args, fmt);
+    std::vsnprintf(buf, sizeof(buf), fmt, args);
+    va_end(args);
+    std::fprintf(stderr, "%12llu: %-9s: %s\n", (unsigned long long)now,
+                 name(f), buf);
+}
+
+} // namespace tako::trace

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Category-based debug tracing, in the spirit of gem5's DPRINTF.
+ *
+ * Enable categories with the TAKO_TRACE environment variable, e.g.:
+ *
+ *   TAKO_TRACE=cache,engine ./build/examples/quickstart
+ *   TAKO_TRACE=all          ./build/tests/test_mem
+ *
+ * Each line carries the simulated tick and the category. Tracing is
+ * compiled in (the enabled() check is one branch on a cached bitmask)
+ * so any binary can be traced without rebuilding.
+ */
+
+#ifndef TAKO_SIM_TRACE_HH
+#define TAKO_SIM_TRACE_HH
+
+#include <cstdint>
+
+#include "sim/logging.hh"
+#include "sim/types.hh"
+
+namespace tako::trace
+{
+
+enum class Flag : std::uint32_t
+{
+    Cache = 1u << 0,     ///< hits/misses/evictions at L1/L2
+    Coherence = 1u << 1, ///< directory actions, invalidations
+    Engine = 1u << 2,    ///< callback scheduling and retirement
+    Morph = 1u << 3,     ///< registration / flush / unregister
+    Noc = 1u << 4,       ///< message traversals
+    Dram = 1u << 5,      ///< memory-controller accesses
+    Rmo = 1u << 6,       ///< remote memory operations
+};
+
+/** Bitmask of enabled flags, parsed once from TAKO_TRACE. */
+std::uint32_t enabledMask();
+
+inline bool
+enabled(Flag f)
+{
+    return (enabledMask() & static_cast<std::uint32_t>(f)) != 0;
+}
+
+/** Emit one trace line: "<tick>: <category>: <message>". */
+void emit(Flag f, Tick now, const char *fmt, ...)
+    __attribute__((format(printf, 3, 4)));
+
+} // namespace tako::trace
+
+/** Guarded trace macro: evaluates arguments only when enabled. */
+#define TRACE(flag, now, ...)                                           \
+    do {                                                                \
+        if (::tako::trace::enabled(::tako::trace::Flag::flag))          \
+            ::tako::trace::emit(::tako::trace::Flag::flag, (now),       \
+                                __VA_ARGS__);                           \
+    } while (0)
+
+#endif // TAKO_SIM_TRACE_HH

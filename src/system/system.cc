@@ -1,0 +1,93 @@
+#include "system/system.hh"
+
+#include <cmath>
+
+namespace tako
+{
+
+SystemConfig
+SystemConfig::forCores(unsigned cores)
+{
+    SystemConfig cfg;
+    cfg.mem.tiles = cores;
+    // Pick the most-square mesh whose area is `cores`.
+    unsigned best_x = 1;
+    for (unsigned x = 1; x * x <= cores; ++x) {
+        if (cores % x == 0)
+            best_x = x;
+    }
+    cfg.mesh.dimX = cores / best_x;
+    cfg.mesh.dimY = best_x;
+    // Memory bandwidth scales proportionally with cores (Sec. 9):
+    // 4 controllers at 16 cores -> 1 controller per 4 tiles.
+    cfg.mem.memCtrls = std::max(1u, cores / 4);
+    return cfg;
+}
+
+System::System(const SystemConfig &config) : config_(config), rng_(config.seed)
+{
+    fatal_if(config_.mesh.dimX * config_.mesh.dimY != config_.mem.tiles,
+             "mesh %ux%u does not cover %u tiles", config_.mesh.dimX,
+             config_.mesh.dimY, config_.mem.tiles);
+    energy_ = std::make_unique<EnergyModel>(stats_, config_.energy);
+    noc_ = std::make_unique<Mesh>(config_.mesh, stats_, *energy_);
+    mem_ = std::make_unique<MemorySystem>(config_.mem, eq_, stats_,
+                                          *energy_, *noc_);
+    registry_ = std::make_unique<MorphRegistry>(*mem_, eq_);
+    engines_ = std::make_unique<EngineCluster>(
+        config_.mem.tiles, config_.engine, *mem_, eq_, stats_, *energy_);
+    mem_->setCallbackSink(engines_.get());
+
+    cores_.reserve(config_.mem.tiles);
+    for (unsigned c = 0; c < config_.mem.tiles; ++c) {
+        cores_.push_back(std::make_unique<Core>(
+            static_cast<int>(c), config_.core, *mem_, *registry_, eq_,
+            stats_, *energy_, config_.seed * 7919 + c));
+    }
+
+    engines_->setInterruptHandler([this](int core, Addr line) {
+        cores_[core]->postInterrupt(line);
+    });
+}
+
+void
+System::addThread(int core, std::function<Task<>(Guest &)> fn)
+{
+    pending_.emplace_back(core, std::move(fn));
+}
+
+Tick
+System::runFor(Tick limit)
+{
+    const Tick start = eq_.now();
+    for (auto &[core, fn] : pending_)
+        cores_[core]->run(std::move(fn));
+    pending_.clear();
+    eq_.runUntil(start + limit);
+    return eq_.now() - start;
+}
+
+Tick
+System::run()
+{
+    const Tick start = eq_.now();
+    for (auto &[core, fn] : pending_)
+        cores_[core]->run(std::move(fn));
+    pending_.clear();
+
+    eq_.run();
+
+    unsigned blocked = 0;
+    for (const auto &core : cores_)
+        blocked += core->running();
+    panic_if(blocked != 0,
+             "event queue drained with %u guest thread(s) blocked "
+             "(deadlock); %u memory transactions in flight",
+             blocked, mem_->inflight());
+    panic_if(mem_->inflight() != 0,
+             "event queue drained with %u memory transactions in flight",
+             mem_->inflight());
+    return eq_.now() - start;
+}
+
+} // namespace tako

@@ -1,0 +1,97 @@
+/**
+ * @file
+ * System builder: constructs the full tiled CMP of Table 3 (cores, NoC,
+ * caches, memory controllers, engines, morph registry) from one config,
+ * runs guest threads to completion, and reports results.
+ */
+
+#ifndef TAKO_SYSTEM_SYSTEM_HH
+#define TAKO_SYSTEM_SYSTEM_HH
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "core/core.hh"
+#include "energy/energy.hh"
+#include "mem/memory_system.hh"
+#include "noc/mesh.hh"
+#include "sim/event_queue.hh"
+#include "sim/random.hh"
+#include "sim/stats.hh"
+#include "tako/engine.hh"
+#include "tako/registry.hh"
+
+namespace tako
+{
+
+struct SystemConfig
+{
+    MemParams mem;
+    EngineParams engine;
+    CoreParams core;
+    MeshParams mesh;
+    EnergyParams energy;
+    std::uint64_t seed = 1;
+
+    /** Table 3 configuration scaled to @p cores (8 -> 4x2, 16 -> 4x4,
+     *  36 -> 6x6; memory bandwidth scales with cores, Sec. 9). */
+    static SystemConfig forCores(unsigned cores);
+};
+
+class System
+{
+  public:
+    explicit System(const SystemConfig &config);
+
+    System(const System &) = delete;
+    System &operator=(const System &) = delete;
+
+    const SystemConfig &config() const { return config_; }
+    EventQueue &eq() { return eq_; }
+    StatsRegistry &stats() { return stats_; }
+    EnergyModel &energy() { return *energy_; }
+    Mesh &noc() { return *noc_; }
+    MemorySystem &mem() { return *mem_; }
+    MorphRegistry &registry() { return *registry_; }
+    EngineCluster &engines() { return *engines_; }
+    Core &core(int i) { return *cores_[i]; }
+    unsigned numCores() const { return static_cast<unsigned>(cores_.size()); }
+    Rng &rng() { return rng_; }
+
+    /** Queue a guest thread on @p core (runs when run() is called). */
+    void addThread(int core, std::function<Task<>(Guest &)> fn);
+
+    /**
+     * Run to completion (event queue drains). Panics with diagnostics if
+     * guests are still blocked when no events remain (deadlock).
+     * @return simulated cycles elapsed.
+     */
+    Tick run();
+
+    /**
+     * Run for at most @p limit cycles (crash-injection experiments):
+     * execution simply stops mid-flight, leaving caches and stores in
+     * their at-crash state for inspection. The system cannot be resumed.
+     */
+    Tick runFor(Tick limit);
+
+    double totalEnergy() const { return energy_->total(); }
+
+  private:
+    SystemConfig config_;
+    EventQueue eq_;
+    StatsRegistry stats_;
+    Rng rng_;
+    std::unique_ptr<EnergyModel> energy_;
+    std::unique_ptr<Mesh> noc_;
+    std::unique_ptr<MemorySystem> mem_;
+    std::unique_ptr<MorphRegistry> registry_;
+    std::unique_ptr<EngineCluster> engines_;
+    std::vector<std::unique_ptr<Core>> cores_;
+    std::vector<std::pair<int, std::function<Task<>(Guest &)>>> pending_;
+};
+
+} // namespace tako
+
+#endif // TAKO_SYSTEM_SYSTEM_HH

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Hardware-overhead model reproducing Table 2 of the paper: state added
+ * per L3 bank by täkō, as a fraction of the bank's data capacity.
+ */
+
+#ifndef TAKO_TAKO_AREA_MODEL_HH
+#define TAKO_TAKO_AREA_MODEL_HH
+
+#include <cstdint>
+#include <ostream>
+
+#include "mem/memory_system.hh"
+#include "tako/engine.hh"
+
+namespace tako
+{
+
+struct AreaReport
+{
+    double l3TagBytes;
+    double engineSramBytes; ///< engine L1d + TLB + rTLB
+    double callbackBufferBytes;
+    double tokenStoreBytes;
+    double instrMemoryBytes;
+    double totalBytes;
+    double l3BankBytes;
+
+    double
+    overheadFraction() const
+    {
+        return totalBytes / l3BankBytes;
+    }
+};
+
+/** Compute Table 2 from the configured parameters. */
+inline AreaReport
+computeAreaReport(const MemParams &mem, const EngineParams &eng)
+{
+    AreaReport r{};
+    // L3 tags: 1 morph bit per line.
+    const double l3_lines = static_cast<double>(mem.l3BankSize) / lineBytes;
+    r.l3TagBytes = l3_lines / 8.0;
+    // Engine L1d + TLB + rTLB (Table 2 charges 8KB + 2KB + 2KB).
+    const double tlb_bytes = 2 * 1024;
+    const double rtlb_bytes =
+        static_cast<double>(eng.rtlbEntries) * 8.0; // ~8B per entry
+    r.engineSramBytes = static_cast<double>(mem.engL1Size) + tlb_bytes +
+                        rtlb_bytes;
+    r.callbackBufferBytes =
+        static_cast<double>(eng.callbackBuffer) * lineBytes;
+    r.tokenStoreBytes = static_cast<double>(eng.totalPEs()) *
+                        eng.tokensPerPE * lineBytes;
+    r.instrMemoryBytes = static_cast<double>(eng.totalPEs()) *
+                         eng.instrsPerPE * 4.0;
+    r.totalBytes = r.l3TagBytes + r.engineSramBytes +
+                   r.callbackBufferBytes + r.tokenStoreBytes +
+                   r.instrMemoryBytes;
+    r.l3BankBytes = static_cast<double>(mem.l3BankSize);
+    return r;
+}
+
+inline void
+printAreaReport(std::ostream &os, const AreaReport &r)
+{
+    auto kb = [](double b) { return b / 1024.0; };
+    os << "L3 tags (morph bits)      " << kb(r.l3TagBytes) << " KB\n"
+       << "Engine L1d, TLB, rTLB     " << kb(r.engineSramBytes) << " KB\n"
+       << "Callback buffer           " << kb(r.callbackBufferBytes)
+       << " KB\n"
+       << "Token store               " << kb(r.tokenStoreBytes) << " KB\n"
+       << "Instruction memory        " << kb(r.instrMemoryBytes) << " KB\n"
+       << "Total per L3 bank         " << kb(r.totalBytes) << " KB / "
+       << kb(r.l3BankBytes) << " KB = "
+       << r.overheadFraction() * 100.0 << "%\n";
+}
+
+} // namespace tako
+
+#endif // TAKO_TAKO_AREA_MODEL_HH

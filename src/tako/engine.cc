@@ -1,0 +1,467 @@
+#include "tako/engine.hh"
+
+#include <algorithm>
+
+#include "sim/trace.hh"
+
+namespace tako
+{
+
+// ---------------------------------------------------------------------
+// Morph defaults
+// ---------------------------------------------------------------------
+
+Task<>
+Morph::onMiss(EngineCtx &)
+{
+    panic("morph '%s' has no onMiss", traits_.name.c_str());
+}
+
+Task<>
+Morph::onEviction(EngineCtx &)
+{
+    panic("morph '%s' has no onEviction", traits_.name.c_str());
+}
+
+Task<>
+Morph::onWriteback(EngineCtx &)
+{
+    panic("morph '%s' has no onWriteback", traits_.name.c_str());
+}
+
+// ---------------------------------------------------------------------
+// EngineCtx
+// ---------------------------------------------------------------------
+
+EngineCtx::EngineCtx(Engine &engine, const MorphBinding &binding,
+                     CallbackKind kind, Addr line, LineData captured,
+                     bool dirty)
+    : engine_(engine),
+      binding_(binding),
+      kind_(kind),
+      line_(line),
+      captured_(captured),
+      dirty_(dirty)
+{
+}
+
+int
+EngineCtx::tile() const
+{
+    return engine_.tile();
+}
+
+EventQueue &
+EngineCtx::eq() const
+{
+    return engine_.eq();
+}
+
+std::uint64_t
+EngineCtx::lineWord(unsigned i) const
+{
+    panic_if(i >= wordsPerLine, "lineWord index %u out of range", i);
+    if (kind_ == CallbackKind::Miss)
+        return engine_.mem().storeFor(line_).read64(line_ + i * 8);
+    return captured_[i];
+}
+
+void
+EngineCtx::setLineWord(unsigned i, std::uint64_t value)
+{
+    panic_if(kind_ != CallbackKind::Miss,
+             "setLineWord outside onMiss (the line has left the cache)");
+    panic_if(i >= wordsPerLine, "setLineWord index %u out of range", i);
+    engine_.mem().storeFor(line_).write64(line_ + i * 8, value);
+}
+
+namespace
+{
+
+int
+callbackLevelOf(const MorphBinding &b)
+{
+    return b.level == MorphLevel::Private ? 0 : 1;
+}
+
+/** One ported engine memory op: bounded by the engine's memory PEs. */
+Task<>
+portedAccess(Engine &engine, int level, MemCmd cmd, Addr addr,
+             std::uint64_t wdata, std::uint64_t *out,
+             bool no_fetch = false, bool use_once = false)
+{
+    Semaphore &sem = engine.memPortSem();
+    co_await sem.acquire();
+    const std::uint64_t v = co_await engine.memAccess(
+        cmd, addr, wdata, level, no_fetch, use_once);
+    sem.release();
+    if (out)
+        *out = v;
+}
+
+} // namespace
+
+Task<std::uint64_t>
+EngineCtx::load(Addr addr)
+{
+    std::uint64_t v = 0;
+    co_await portedAccess(engine_, callbackLevelOf(binding_), MemCmd::Load,
+                          addr, 0, &v);
+    co_return v;
+}
+
+Task<>
+EngineCtx::store(Addr addr, std::uint64_t value)
+{
+    co_await portedAccess(engine_, callbackLevelOf(binding_),
+                          MemCmd::Store, addr, value, nullptr);
+}
+
+Task<std::uint64_t>
+EngineCtx::atomicAdd(Addr addr, std::uint64_t delta)
+{
+    std::uint64_t v = 0;
+    co_await portedAccess(engine_, callbackLevelOf(binding_),
+                          MemCmd::AtomicAdd, addr, delta, &v);
+    co_return v;
+}
+
+Task<>
+EngineCtx::loadMulti(const std::vector<Addr> &addrs,
+                     std::vector<std::uint64_t> *out)
+{
+    if (out)
+        out->assign(addrs.size(), 0);
+    Join join(eq());
+    for (std::size_t i = 0; i < addrs.size(); ++i) {
+        join.add();
+        spawn(portedAccess(engine_, callbackLevelOf(binding_),
+                           MemCmd::Load, addrs[i], 0,
+                           out ? &(*out)[i] : nullptr),
+              [&join]() { join.done(); });
+    }
+    co_await join.wait();
+}
+
+Task<>
+EngineCtx::streamLoadMulti(const std::vector<Addr> &addrs,
+                           std::vector<std::uint64_t> *out)
+{
+    if (out)
+        out->assign(addrs.size(), 0);
+    Join join(eq());
+    for (std::size_t i = 0; i < addrs.size(); ++i) {
+        join.add();
+        spawn(portedAccess(engine_, callbackLevelOf(binding_),
+                           MemCmd::Load, addrs[i], 0,
+                           out ? &(*out)[i] : nullptr, false, true),
+              [&join]() { join.done(); });
+    }
+    co_await join.wait();
+}
+
+Task<>
+EngineCtx::storeMulti(
+    const std::vector<std::pair<Addr, std::uint64_t>> &writes)
+{
+    Join join(eq());
+    for (const auto &[addr, value] : writes) {
+        join.add();
+        spawn(portedAccess(engine_, callbackLevelOf(binding_),
+                           MemCmd::Store, addr, value, nullptr),
+              [&join]() { join.done(); });
+    }
+    co_await join.wait();
+}
+
+Task<>
+EngineCtx::streamStoreMulti(
+    const std::vector<std::pair<Addr, std::uint64_t>> &writes)
+{
+    Join join(eq());
+    for (const auto &[addr, value] : writes) {
+        join.add();
+        spawn(portedAccess(engine_, callbackLevelOf(binding_),
+                           MemCmd::Store, addr, value, nullptr, true),
+              [&join]() { join.done(); });
+    }
+    co_await join.wait();
+}
+
+Task<>
+EngineCtx::compute(unsigned instrs, unsigned depth)
+{
+    if (instrs == 0)
+        co_return;
+    engine_.chargeCompute(instrs);
+    const Tick lat = engine_.computeLatency(instrs, depth);
+    if (lat > 0)
+        co_await Delay{eq(), lat};
+}
+
+void
+EngineCtx::interrupt(int core)
+{
+    engine_.raiseInterrupt(core, line_);
+}
+
+// ---------------------------------------------------------------------
+// Engine
+// ---------------------------------------------------------------------
+
+Engine::Engine(int tile, const EngineParams &params, MemorySystem &mem,
+               EventQueue &eq, StatsRegistry &stats, EnergyModel &energy,
+               EngineCluster &cluster)
+    : tile_(tile),
+      params_(params),
+      mem_(mem),
+      eq_(eq),
+      stats_(stats),
+      energy_(energy),
+      cluster_(cluster),
+      bufferSlots_(eq, params.callbackBuffer),
+      fabricSlots_(eq, params.kind == EngineKind::Inorder
+                           ? 1
+                           : (params.kind == EngineKind::Ideal
+                                  ? 1u << 20
+                                  : params.maxConcurrent)),
+      memPortSem_(eq, memPorts()),
+      addrOrder_(eq),
+      cbMiss_(stats.counter("engine.cb.miss")),
+      cbEviction_(stats.counter("engine.cb.eviction")),
+      cbWriteback_(stats.counter("engine.cb.writeback")),
+      engineInstrs_(stats.counter("engine.instrs")),
+      rtlbHits_(stats.counter("engine.rtlb.hits")),
+      rtlbMisses_(stats.counter("engine.rtlb.misses")),
+      bitstreamLoads_(stats.counter("engine.bitstream.loads")),
+      missLatency_(stats.histogram("engine.missLatency", 32, 16)),
+      bufferWait_(stats.histogram("engine.bufferWait", 16, 8))
+{
+}
+
+unsigned
+Engine::memPorts() const
+{
+    switch (params_.kind) {
+      case EngineKind::Dataflow:
+        return std::max(1u, params_.memPEs);
+      case EngineKind::Inorder:
+        return 1; // blocking loads
+      case EngineKind::Ideal:
+        return 1u << 20;
+    }
+    return 1;
+}
+
+Tick
+Engine::computeLatency(unsigned instrs, unsigned depth) const
+{
+    switch (params_.kind) {
+      case EngineKind::Ideal:
+        return 0;
+      case EngineKind::Dataflow: {
+        // Latency-bound by the dataflow critical path, throughput-bound
+        // by the integer PEs; SIMD ops count once per line.
+        const unsigned d = std::max(depth, 1u);
+        const Tick tput = divCeil(instrs, std::max(1u, params_.intPEs()));
+        return std::max<Tick>(d, tput) * params_.peLatency;
+      }
+      case EngineKind::Inorder:
+        // Single-issue pipeline refetching/decoding every instruction.
+        return Tick(instrs) * 2;
+    }
+    return 0;
+}
+
+void
+Engine::chargeCompute(unsigned instrs)
+{
+    engineInstrs_ += instrs;
+    energy_.engineInstrs(instrs, inorder());
+}
+
+Task<std::uint64_t>
+Engine::memAccess(MemCmd cmd, Addr addr, std::uint64_t wdata,
+                  int callback_level, bool no_fetch, bool use_once)
+{
+    AccessReq req;
+    req.cmd = cmd;
+    req.addr = addr;
+    req.wdata = wdata;
+    req.tile = tile_;
+    req.fromEngine = true;
+    req.callbackLevel = callback_level;
+    req.noFetch = no_fetch;
+    req.useOnce = use_once;
+    co_return co_await mem_.access(req);
+}
+
+void
+Engine::raiseInterrupt(int core, Addr line)
+{
+    eq_.schedule(params_.interruptLat, [this, core, line]() {
+        cluster_.deliverInterrupt(core, line);
+    });
+}
+
+Tick
+Engine::rtlbLookup(Addr line)
+{
+    energy_.tlbAccess();
+    const std::uint64_t page = line / params_.pageBytes;
+    auto it = rtlb_.find(page);
+    if (it != rtlb_.end()) {
+        it->second = ++rtlbClock_;
+        ++rtlbHits_;
+        return params_.tlbLat;
+    }
+    ++rtlbMisses_;
+    if (rtlb_.size() >= params_.rtlbEntries) {
+        auto lru = std::min_element(
+            rtlb_.begin(), rtlb_.end(),
+            [](const auto &a, const auto &b) {
+                return a.second < b.second;
+            });
+        rtlb_.erase(lru);
+    }
+    rtlb_.emplace(page, ++rtlbClock_);
+    return params_.rtlbMissLat;
+}
+
+Tick
+Engine::bitstreamLookup(const MorphBinding &binding)
+{
+    auto it = bitstreams_.find(binding.id);
+    if (it != bitstreams_.end()) {
+        it->second = ++bitstreamClock_;
+        return 0;
+    }
+    ++bitstreamLoads_;
+    if (bitstreams_.size() >= params_.bitstreamCacheEntries) {
+        auto lru = std::min_element(
+            bitstreams_.begin(), bitstreams_.end(),
+            [](const auto &a, const auto &b) {
+                return a.second < b.second;
+            });
+        bitstreams_.erase(lru);
+    }
+    bitstreams_.emplace(binding.id, ++bitstreamClock_);
+    // One cycle per static instruction to stream the configuration in.
+    return binding.morph ? binding.morph->traits().totalInstrs() : 0;
+}
+
+void
+Engine::trigger(CallbackKind kind, Addr line, const MorphBinding &binding,
+                bool dirty, LineData data, std::function<void()> done)
+{
+    Request req;
+    req.kind = kind;
+    req.line = line;
+    req.binding = &binding;
+    req.dirty = dirty;
+    req.data = data;
+    req.done = std::move(done);
+    spawn(runCallback(std::move(req)));
+}
+
+Task<>
+Engine::runCallback(Request req)
+{
+    const Tick enqueued = eq_.now();
+
+    // Misses are latency-critical and hold a reserved MSHR (Sec. 5.2),
+    // so on the dataflow/ideal engines they do not queue behind buffered
+    // eviction work; evictions take a callback-buffer entry (waiting in
+    // the cache's writeback buffer while full) and a fabric slot. The
+    // in-order engine serializes everything — one thread context.
+    const bool priority_miss =
+        req.kind == CallbackKind::Miss && !inorder();
+    if (!priority_miss) {
+        co_await bufferSlots_.acquire();
+        bufferWait_.sample(eq_.now() - enqueued);
+    }
+
+    // Callbacks on the same address execute in arrival order.
+    co_await addrOrder_.acquire(req.line);
+
+    co_await Delay{eq_, params_.schedulerLat};
+
+    const Tick xlate = rtlbLookup(req.line) + bitstreamLookup(*req.binding);
+    if (xlate > 0)
+        co_await Delay{eq_, xlate};
+
+    if (!priority_miss)
+        co_await fabricSlots_.acquire();
+
+    EngineCtx ctx(*this, *req.binding, req.kind, req.line, req.data,
+                  req.dirty);
+    Morph &morph = *req.binding->morph;
+    TRACE(Engine, eq_.now(), "tile %d runs %s(%#llx) for '%s'", tile_,
+          req.kind == CallbackKind::Miss
+              ? "onMiss"
+              : (req.kind == CallbackKind::Writeback ? "onWriteback"
+                                                     : "onEviction"),
+          (unsigned long long)req.line, morph.traits().name.c_str());
+    switch (req.kind) {
+      case CallbackKind::Miss:
+        ++cbMiss_;
+        co_await morph.onMiss(ctx);
+        missLatency_.sample(eq_.now() - enqueued);
+        break;
+      case CallbackKind::Eviction:
+        ++cbEviction_;
+        co_await morph.onEviction(ctx);
+        break;
+      case CallbackKind::Writeback:
+        ++cbWriteback_;
+        co_await morph.onWriteback(ctx);
+        break;
+    }
+
+    if (!priority_miss) {
+        fabricSlots_.release();
+        bufferSlots_.release();
+    }
+    addrOrder_.release(req.line);
+    TRACE(Engine, eq_.now(), "tile %d retires callback on %#llx", tile_,
+          (unsigned long long)req.line);
+    req.done();
+}
+
+// ---------------------------------------------------------------------
+// EngineCluster
+// ---------------------------------------------------------------------
+
+EngineCluster::EngineCluster(unsigned tiles, const EngineParams &params,
+                             MemorySystem &mem, EventQueue &eq,
+                             StatsRegistry &stats, EnergyModel &energy)
+    : params_(params)
+{
+    engines_.reserve(tiles);
+    for (unsigned t = 0; t < tiles; ++t) {
+        engines_.push_back(std::make_unique<Engine>(
+            static_cast<int>(t), params, mem, eq, stats, energy, *this));
+    }
+}
+
+void
+EngineCluster::triggerMiss(int tile, Addr line_addr,
+                           const MorphBinding &binding,
+                           std::function<void()> done)
+{
+    engines_[tile]->trigger(CallbackKind::Miss, line_addr, binding, false,
+                            LineData{}, std::move(done));
+}
+
+void
+EngineCluster::triggerEviction(int tile, Addr line_addr,
+                               const MorphBinding &binding, bool dirty,
+                               LineData data, std::function<void()> done)
+{
+    engines_[tile]->trigger(dirty ? CallbackKind::Writeback
+                                  : CallbackKind::Eviction,
+                            line_addr, binding, dirty, std::move(data),
+                            std::move(done));
+}
+
+} // namespace tako

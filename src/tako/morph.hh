@@ -1,0 +1,95 @@
+/**
+ * @file
+ * The täkō programming interface: Morph objects and callbacks (Sec. 4).
+ *
+ * A Morph groups the data and methods of one polymorphic cache hierarchy
+ * instance. Software subclasses Morph, overrides the callbacks it needs
+ * (declared in MorphTraits), and registers the Morph over a phantom or
+ * real address range at PRIVATE (L2) or SHARED (L3).
+ *
+ * Callbacks are coroutines executing on the tile's engine. They access
+ * the triggering line directly (it sits in the adjacent data array),
+ * reach other memory through the engine's coherent L1d, and charge their
+ * compute to the dataflow-fabric timing model via EngineCtx::compute().
+ * As in the paper's own evaluation, callback code is written in C++;
+ * each callback carries a KernelDesc describing its static dataflow
+ * footprint (instruction count and critical-path depth), which the
+ * fabric model uses for bitstream loading and compute latency.
+ */
+
+#ifndef TAKO_TAKO_MORPH_HH
+#define TAKO_TAKO_MORPH_HH
+
+#include <string>
+
+#include "mem/morph_types.hh"
+#include "sim/task.hh"
+
+namespace tako
+{
+
+class EngineCtx;
+
+/** Static dataflow footprint of one callback. */
+struct KernelDesc
+{
+    unsigned instrs = 0; ///< static instructions mapped onto the fabric
+    unsigned depth = 0;  ///< dataflow critical-path depth (ops)
+};
+
+/** Which callbacks a Morph implements, plus their kernels. */
+struct MorphTraits
+{
+    std::string name = "morph";
+    bool hasMiss = false;
+    bool hasEviction = false;
+    bool hasWriteback = false;
+    KernelDesc missKernel{};
+    KernelDesc evictionKernel{};
+    KernelDesc writebackKernel{};
+
+    /** Total static instructions (bitstream size, Table 2). */
+    unsigned
+    totalInstrs() const
+    {
+        return missKernel.instrs + evictionKernel.instrs +
+               writebackKernel.instrs;
+    }
+};
+
+/**
+ * Base class for polymorphic cache hierarchies. Subclasses override the
+ * callbacks declared in their traits. Default implementations panic: the
+ * engine only invokes callbacks the traits advertise.
+ */
+class Morph
+{
+  public:
+    explicit Morph(MorphTraits traits) : traits_(std::move(traits)) {}
+    virtual ~Morph() = default;
+
+    Morph(const Morph &) = delete;
+    Morph &operator=(const Morph &) = delete;
+
+    const MorphTraits &traits() const { return traits_; }
+
+    /**
+     * Invoked on a miss to a registered line. For phantom ranges the
+     * cache controller has allocated and zeroed the line; the callback
+     * generates its data (Table 1). Runs on the critical path.
+     */
+    virtual Task<> onMiss(EngineCtx &ctx);
+
+    /** Invoked when a clean registered line is evicted (off-path). */
+    virtual Task<> onEviction(EngineCtx &ctx);
+
+    /** Invoked when a dirty registered line is evicted (off-path). */
+    virtual Task<> onWriteback(EngineCtx &ctx);
+
+  private:
+    MorphTraits traits_;
+};
+
+} // namespace tako
+
+#endif // TAKO_TAKO_MORPH_HH

@@ -1,0 +1,88 @@
+#include "tako/registry.hh"
+
+#include "sim/trace.hh"
+
+namespace tako
+{
+
+const MorphBinding *
+MorphRegistry::insert(Morph &morph, MorphLevel level, Addr base,
+                      std::uint64_t size, bool phantom, int tile)
+{
+    MorphBinding b;
+    b.morph = &morph;
+    b.id = nextId_++;
+    b.level = level;
+    b.phantom = phantom;
+    b.tile = tile;
+    const MorphTraits &t = morph.traits();
+    b.hasMiss = t.hasMiss;
+    b.hasEviction = t.hasEviction;
+    b.hasWriteback = t.hasWriteback;
+    b.base = base;
+    b.length = size;
+    TRACE(Morph, 0, "register '%s' %s %s [%#llx, +%llu) id %u",
+          t.name.c_str(),
+          level == MorphLevel::Private ? "PRIVATE" : "SHARED",
+          phantom ? "phantom" : "real", (unsigned long long)base,
+          (unsigned long long)size, b.id);
+    const bool ok = map_.insert(base, size, b);
+    fatal_if(!ok,
+             "morph '%s': range [%#llx, +%llu) overlaps an existing "
+             "registration (only one Morph per address, Sec. 4.1)",
+             t.name.c_str(), (unsigned long long)base,
+             (unsigned long long)size);
+    return &map_.find(base)->value;
+}
+
+Task<const MorphBinding *>
+MorphRegistry::registerPhantom(Morph &morph, MorphLevel level,
+                               std::uint64_t size, int tile)
+{
+    fatal_if(size == 0, "empty phantom range");
+    // Page-align phantom ranges: huge pages are easy here because
+    // phantom memory has no physical backing to fragment (Sec. 6).
+    const std::uint64_t page = 2 * 1024 * 1024;
+    const std::uint64_t len = divCeil(size, page) * page;
+    const Addr base = nextPhantom_;
+    nextPhantom_ += len;
+    co_await Delay{eq_, registrationLat};
+    co_return insert(morph, level, base, len, true, tile);
+}
+
+Task<const MorphBinding *>
+MorphRegistry::registerReal(Morph &morph, MorphLevel level, Addr base,
+                            std::uint64_t size, int tile)
+{
+    fatal_if(size == 0, "empty real range");
+    fatal_if(isPhantomAddr(base), "registerReal on a phantom address");
+    // The range is flushed before the Morph takes effect so that every
+    // cached line carries the morph tag bit afterwards.
+    co_await mem_.flushRangePlain(lineAlign(base),
+                                  divCeil(base + size, lineBytes) *
+                                          lineBytes -
+                                      lineAlign(base));
+    co_await Delay{eq_, registrationLat};
+    co_return insert(morph, level, base, size, false, tile);
+}
+
+Task<>
+MorphRegistry::flushData(const MorphBinding *binding)
+{
+    panic_if(!binding, "flushData(nullptr)");
+    co_await mem_.flushMorphData(*binding);
+}
+
+Task<>
+MorphRegistry::unregister(const MorphBinding *binding)
+{
+    panic_if(!binding, "unregister(nullptr)");
+    const Addr base = binding->base;
+    co_await mem_.flushMorphData(*binding);
+    co_await Delay{eq_, registrationLat};
+    map_.erase(base);
+    // Phantom ranges are bump-allocated and not recycled; a freed range
+    // simply becomes unreachable (accesses to it panic).
+}
+
+} // namespace tako

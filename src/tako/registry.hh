@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Morph registration (Sec. 4.1-4.2) and address-space management.
+ *
+ * The registry plays the role of the paper's OS support plus the TLB
+ * morph bits: it tracks which address ranges have a Morph registered
+ * (at most one per address), allocates phantom ranges from a reserved
+ * region at the top of the address space, and resolves addresses to
+ * bindings on behalf of the cache controllers.
+ *
+ * register/unregister semantics follow the paper: registering over real
+ * addresses first flushes the range from the caches (plain, no
+ * callbacks — the Morph is not yet in effect); unregistering flushes
+ * with callbacks (the Morph is still in effect) and then removes the
+ * binding and de-allocates phantom ranges.
+ */
+
+#ifndef TAKO_TAKO_REGISTRY_HH
+#define TAKO_TAKO_REGISTRY_HH
+
+#include <memory>
+
+#include "mem/memory_system.hh"
+#include "sim/interval_map.hh"
+#include "tako/morph.hh"
+
+namespace tako
+{
+
+class MorphRegistry : public MorphResolver
+{
+  public:
+    /** Phantom ranges live at and above this address. */
+    static constexpr Addr phantomBase = Addr(1) << 46;
+
+    /** Cost of a register/unregister syscall + TLB shootdown. */
+    static constexpr Tick registrationLat = 500;
+
+    MorphRegistry(MemorySystem &mem, EventQueue &eq) : mem_(mem), eq_(eq)
+    {
+        mem_.setMorphResolver(this);
+    }
+
+    /**
+     * Allocate a phantom range of @p size bytes and register @p morph
+     * over it. @p tile names the owning L2 for PRIVATE registrations.
+     */
+    Task<const MorphBinding *> registerPhantom(Morph &morph,
+                                               MorphLevel level,
+                                               std::uint64_t size,
+                                               int tile);
+
+    /** Register @p morph over existing data [base, base+size). */
+    Task<const MorphBinding *> registerReal(Morph &morph, MorphLevel level,
+                                            Addr base, std::uint64_t size,
+                                            int tile);
+
+    /** Flush the Morph's cached data, waiting for callbacks (Sec. 4.4). */
+    Task<> flushData(const MorphBinding *binding);
+
+    /** Flush (with callbacks), then remove the registration. */
+    Task<> unregister(const MorphBinding *binding);
+
+    // MorphResolver interface.
+    const MorphBinding *
+    resolve(Addr addr) const override
+    {
+        const auto *e = map_.find(addr);
+        return e ? &e->value : nullptr;
+    }
+
+    bool
+    isPhantomAddr(Addr addr) const override
+    {
+        return addr >= phantomBase;
+    }
+
+    std::size_t numRegistered() const { return map_.size(); }
+
+  private:
+    const MorphBinding *insert(Morph &morph, MorphLevel level, Addr base,
+                               std::uint64_t size, bool phantom, int tile);
+
+    MemorySystem &mem_;
+    EventQueue &eq_;
+    IntervalMap<MorphBinding> map_;
+    Addr nextPhantom_ = phantomBase;
+    std::uint32_t nextId_ = 1;
+};
+
+} // namespace tako
+
+#endif // TAKO_TAKO_REGISTRY_HH

@@ -1,0 +1,34 @@
+/**
+ * @file
+ * trrîp ablation workload (Sec. 5.2): an AoS->SoA gather Morph streams
+ * one field out of an array of structs while the core keeps a hot
+ * working set live. The Morph's engine gathers touch eight dead real
+ * lines per phantom line; without trrîp's low-priority insertion they
+ * evict the hot set and the phantom stream ("> 4x" claim).
+ */
+
+#ifndef TAKO_WORKLOADS_AOS_SOA_HH
+#define TAKO_WORKLOADS_AOS_SOA_HH
+
+#include "workloads/common.hh"
+
+namespace tako
+{
+
+struct AosSoaConfig
+{
+    std::uint64_t numElems = 16 * 1024;
+    unsigned structWords = 8; ///< one line per element
+    unsigned field = 3;
+    std::uint64_t hotBytes = 16 * 1024;
+    unsigned hotAccessesPerLine = 24;
+    std::uint64_t seed = 7;
+};
+
+/** Run the gather workload; @p low_priority_insertion selects trrîp. */
+RunMetrics runAosSoa(bool low_priority_insertion, const AosSoaConfig &cfg,
+                     SystemConfig sys_cfg);
+
+} // namespace tako
+
+#endif // TAKO_WORKLOADS_AOS_SOA_HH

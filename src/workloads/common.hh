@@ -1,0 +1,150 @@
+/**
+ * @file
+ * Shared workload utilities: a simulated-memory arena allocator and the
+ * metrics bundle every benchmark variant reports.
+ */
+
+#ifndef TAKO_WORKLOADS_COMMON_HH
+#define TAKO_WORKLOADS_COMMON_HH
+
+#include <map>
+#include <string>
+
+#include "system/system.hh"
+
+namespace tako
+{
+
+/**
+ * Bump allocator for the simulated real address space. Workloads lay out
+ * their arrays here before timing starts; values are written directly to
+ * the functional store (program initialization is not part of the
+ * measured region in the paper's experiments).
+ */
+class Arena
+{
+  public:
+    explicit Arena(Addr base = 0x1000'0000) : next_(base) {}
+
+    Addr
+    alloc(std::uint64_t bytes, std::uint64_t align = lineBytes)
+    {
+        next_ = divCeil(next_, align) * align;
+        const Addr p = next_;
+        next_ += bytes;
+        return p;
+    }
+
+    /** Allocate and zero-fill an array of @p n 64-bit words. */
+    Addr
+    allocWords(BackingStore &store, std::uint64_t n)
+    {
+        const Addr p = alloc(n * 8);
+        for (std::uint64_t i = 0; i < n; ++i)
+            store.write64(p + i * 8, 0);
+        return p;
+    }
+
+  private:
+    Addr next_;
+};
+
+/**
+ * Reusable barrier for multi-threaded workload phases. All participants
+ * must arrive before any proceeds; the barrier then resets itself.
+ */
+class SimBarrier
+{
+  public:
+    SimBarrier(EventQueue &eq, unsigned participants)
+        : eq_(eq), participants_(participants)
+    {
+    }
+
+    auto
+    arrive()
+    {
+        struct Awaiter
+        {
+            SimBarrier &bar;
+
+            bool
+            await_ready() const noexcept
+            {
+                if (bar.arrived_ + 1 == bar.participants_) {
+                    bar.arrived_ = 0;
+                    for (auto h : bar.waiters_)
+                        bar.eq_.schedule(0, [h]() { h.resume(); });
+                    bar.waiters_.clear();
+                    return true;
+                }
+                return false;
+            }
+
+            void
+            await_suspend(std::coroutine_handle<> h)
+            {
+                ++bar.arrived_;
+                bar.waiters_.push_back(h);
+            }
+
+            void await_resume() const noexcept {}
+        };
+        return Awaiter{*this};
+    }
+
+  private:
+    EventQueue &eq_;
+    unsigned participants_;
+    unsigned arrived_ = 0;
+    std::vector<std::coroutine_handle<>> waiters_;
+};
+
+/** Metrics every variant of every case study reports. */
+struct RunMetrics
+{
+    std::string label;
+    Tick cycles = 0;
+    double energy = 0;
+    std::uint64_t coreInstrs = 0;
+    std::uint64_t engineInstrs = 0;
+    std::uint64_t dramReads = 0;
+    std::uint64_t dramWrites = 0;
+    std::uint64_t dramAccesses() const { return dramReads + dramWrites; }
+    /** Case-study-specific outputs (decompressions, mispredicts, ...). */
+    std::map<std::string, double> extra;
+
+    double
+    speedupOver(const RunMetrics &base) const
+    {
+        return static_cast<double>(base.cycles) /
+               static_cast<double>(cycles);
+    }
+
+    double
+    energyVs(const RunMetrics &base) const
+    {
+        return energy / base.energy;
+    }
+};
+
+/** Snapshot system-wide metrics after run() completes. */
+inline RunMetrics
+collectMetrics(System &sys, std::string label, Tick cycles)
+{
+    RunMetrics m;
+    m.label = std::move(label);
+    m.cycles = cycles;
+    m.energy = sys.totalEnergy();
+    m.coreInstrs =
+        static_cast<std::uint64_t>(sys.stats().get("core.instrs"));
+    m.engineInstrs =
+        static_cast<std::uint64_t>(sys.stats().get("engine.instrs"));
+    m.dramReads = sys.mem().dramReads();
+    m.dramWrites = sys.mem().dramWrites();
+    return m;
+}
+
+} // namespace tako
+
+#endif // TAKO_WORKLOADS_COMMON_HH

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * The Sec. 3 example program: computing the average of a data set stored
+ * in an approximate base+delta compressed format, over a Zipfian index
+ * stream. Four implementations (Fig. 6):
+ *
+ *  - Baseline: the core decompresses on every access.
+ *  - Precompute: decompress everything up-front into a real array
+ *    (vectorized), then read it (extra memory + wasted decompressions).
+ *  - NDC: every access offloads the decompression to the L2 engine,
+ *    as in Livia-style near-data computing [83] — no result caching.
+ *  - Tako: a phantom decompressed array; onMiss decompresses a line,
+ *    which is then cached, memoizing hot lines (Fig. 7).
+ */
+
+#ifndef TAKO_WORKLOADS_DECOMPRESS_HH
+#define TAKO_WORKLOADS_DECOMPRESS_HH
+
+#include "workloads/common.hh"
+
+namespace tako
+{
+
+struct DecompressConfig
+{
+    std::uint64_t numValues = 16 * 1024;
+    std::uint64_t numIndices = 32 * 1024;
+    double zipfTheta = 0.99;
+    std::uint64_t seed = 42;
+    /**
+     * Per-value decompression cost on a core. Cores are inefficient at
+     * data transformations (Sec. 3.1, [108, 146]): the scalar kernel
+     * spends tens of instructions on byte extraction, bounds handling,
+     * and format bookkeeping per value.
+     */
+    unsigned coreDecompressInstrs = 30;
+    /** Vectorized per-line (8 values) cost in the precompute phase. */
+    unsigned vectorDecompressInstrs = 14;
+    /** NDC request dispatch/scheduling overhead at the engine [83]. */
+    Tick ndcDispatchLat = 8;
+    /** Concurrent NDC task slots at the engine. */
+    unsigned ndcPorts = 1;
+};
+
+enum class DecompressVariant
+{
+    Baseline,
+    Precompute,
+    Ndc,
+    Tako,
+    TakoIdeal,
+};
+
+const char *name(DecompressVariant v);
+
+/**
+ * Run one variant on a fresh system. extra["checksum"] must agree across
+ * variants; extra["decompressions"] reproduces Fig. 7.
+ */
+RunMetrics runDecompress(DecompressVariant variant,
+                         const DecompressConfig &cfg,
+                         SystemConfig sys_cfg);
+
+} // namespace tako
+
+#endif // TAKO_WORKLOADS_DECOMPRESS_HH

@@ -1,0 +1,103 @@
+#include "workloads/graph.hh"
+
+#include <algorithm>
+#include <numeric>
+
+namespace tako
+{
+
+void
+Graph::materialize(BackingStore &store, Arena &arena)
+{
+    rowPtrAddr = arena.alloc(rowPtr.size() * 8);
+    colIdxAddr = arena.alloc(colIdx.size() * 8);
+    for (std::size_t i = 0; i < rowPtr.size(); ++i)
+        store.write64(rowPtrAddr + i * 8, rowPtr[i]);
+    for (std::size_t i = 0; i < colIdx.size(); ++i)
+        store.write64(colIdxAddr + i * 8, colIdx[i]);
+}
+
+Graph
+makeCommunityGraph(const GraphParams &params)
+{
+    Graph g;
+    g.numVertices = params.numVertices;
+    Rng rng(params.seed);
+
+    // Community membership vs. the id space: mostly id-contiguous, with
+    // an idScatter fraction displaced randomly (see GraphParams).
+    const std::uint64_t n = params.numVertices;
+    std::vector<std::uint32_t> perm(n);
+    std::iota(perm.begin(), perm.end(), 0u);
+    for (std::uint64_t i = 0; i < n; ++i) {
+        if (rng.chance(params.idScatter))
+            std::swap(perm[i], perm[rng.below(n)]);
+    }
+    // perm[v]: position of v in "community space"; community members of
+    // community c are the vertices v with perm[v] / communitySize == c.
+    std::vector<std::uint32_t> byCommunity(n);
+    for (std::uint64_t v = 0; v < n; ++v)
+        byCommunity[perm[v]] = static_cast<std::uint32_t>(v);
+
+    const std::uint64_t csize = params.communitySize;
+    const std::uint64_t numCommunities = divCeil(n, csize);
+
+    // Degree: 1 + geometric-ish tail around avgDegree.
+    auto draw_degree = [&]() -> unsigned {
+        const unsigned base = params.avgDegree / 2;
+        unsigned d = base + static_cast<unsigned>(
+                                rng.below(params.avgDegree + 1));
+        return std::max(1u, d);
+    };
+
+    g.rowPtr.resize(n + 1, 0);
+    std::vector<unsigned> degrees(n);
+    std::uint64_t total = 0;
+    for (std::uint64_t v = 0; v < n; ++v) {
+        degrees[v] = draw_degree();
+        total += degrees[v];
+    }
+    g.numEdges = total;
+    g.colIdx.reserve(total);
+
+    for (std::uint64_t v = 0; v < n; ++v) {
+        g.rowPtr[v] = g.colIdx.size();
+        const std::uint64_t community = perm[v] / csize;
+        const std::uint64_t cbase = community * csize;
+        const std::uint64_t clen =
+            std::min<std::uint64_t>(csize, n - cbase);
+        for (unsigned e = 0; e < degrees[v]; ++e) {
+            std::uint64_t dst;
+            if (rng.chance(params.intraProb)) {
+                dst = byCommunity[cbase + rng.below(clen)];
+            } else {
+                const std::uint64_t rc = rng.below(numCommunities);
+                const std::uint64_t rbase = rc * csize;
+                const std::uint64_t rlen =
+                    std::min<std::uint64_t>(csize, n - rbase);
+                dst = byCommunity[rbase + rng.below(rlen)];
+            }
+            g.colIdx.push_back(dst);
+        }
+    }
+    g.rowPtr[n] = g.colIdx.size();
+    return g;
+}
+
+std::vector<std::uint64_t>
+pagerankPushReference(const Graph &g,
+                      const std::vector<std::uint64_t> &rank)
+{
+    std::vector<std::uint64_t> next(g.numVertices, 0);
+    for (std::uint64_t u = 0; u < g.numVertices; ++u) {
+        const unsigned deg = g.degree(u);
+        if (deg == 0)
+            continue;
+        const std::uint64_t contrib = rank[u] / deg;
+        for (std::uint64_t e = g.rowPtr[u]; e < g.rowPtr[u + 1]; ++e)
+            next[g.colIdx[e]] += contrib;
+    }
+    return next;
+}
+
+} // namespace tako

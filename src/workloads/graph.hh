@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Synthetic graph generation and CSR layout in simulated memory.
+ *
+ * The paper evaluates PHI on large synthetic graphs and HATS on uk-2002;
+ * both are far beyond this harness's cycle-level budget, so we generate
+ * smaller graphs with *planted community structure* — the property HATS
+ * exploits (Sec. 8.2: "many graphs exhibit strong community structure")
+ * — and scale cache sizes so the vertex data : LLC ratio matches the
+ * paper's regime (see EXPERIMENTS.md).
+ *
+ * Generator: vertices are partitioned into communities; each edge is
+ * intra-community with probability `intraProb`, else global-random.
+ * Community membership is scattered over the vertex-id space by a
+ * pseudorandom permutation, as in real graphs, so vertex-ordered
+ * traversals get no community locality for free.
+ */
+
+#ifndef TAKO_WORKLOADS_GRAPH_HH
+#define TAKO_WORKLOADS_GRAPH_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "mem/backing_store.hh"
+#include "sim/random.hh"
+#include "workloads/common.hh"
+
+namespace tako
+{
+
+struct GraphParams
+{
+    std::uint64_t numVertices = 1 << 17;
+    unsigned avgDegree = 10;
+    unsigned communitySize = 512;
+    double intraProb = 0.85;
+    /**
+     * Fraction of vertices whose id is scattered away from their
+     * community's id range. Real web/social graphs keep most community
+     * members adjacent in the id space (crawl order, user cohorts) with
+     * a scattered minority; 1.0 reduces to a full random permutation.
+     */
+    double idScatter = 0.3;
+    std::uint64_t seed = 12345;
+};
+
+struct Graph
+{
+    std::uint64_t numVertices = 0;
+    std::uint64_t numEdges = 0;
+    std::vector<std::uint64_t> rowPtr; ///< numVertices + 1
+    std::vector<std::uint64_t> colIdx; ///< numEdges (destination ids)
+
+    // Simulated-memory layout (after materialize()).
+    Addr rowPtrAddr = 0;
+    Addr colIdxAddr = 0;
+
+    unsigned
+    degree(std::uint64_t v) const
+    {
+        return static_cast<unsigned>(rowPtr[v + 1] - rowPtr[v]);
+    }
+
+    /** Write CSR arrays into the simulated functional memory. */
+    void materialize(BackingStore &store, Arena &arena);
+};
+
+/** Generate a community-structured graph (see file comment). */
+Graph makeCommunityGraph(const GraphParams &params);
+
+/**
+ * Host-side PageRank push reference, in the fixed-point integer
+ * arithmetic the simulated kernels use: one iteration of
+ * next[v] += rank[u] / deg(u) over all edges (u, v).
+ */
+std::vector<std::uint64_t>
+pagerankPushReference(const Graph &g,
+                      const std::vector<std::uint64_t> &rank);
+
+} // namespace tako
+
+#endif // TAKO_WORKLOADS_GRAPH_HH

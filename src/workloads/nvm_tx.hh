@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Append-only transactions on direct-access NVM with battery-backed
+ * caches (Sec. 8.3, Figs. 19-20). A transaction appends txBytes to a
+ * persistent log-structured region.
+ *
+ *  - Journaling: classic redo journaling — every word is written twice
+ *    (journal, then home) plus journaling instructions.
+ *  - Tako: writes stage in a phantom range (the persistent cache *is*
+ *    the journal); commit flushes, and onWriteback copies committed
+ *    lines straight to NVM. Lines evicted before commit fall back to
+ *    the journal, which commit then replays.
+ */
+
+#ifndef TAKO_WORKLOADS_NVM_TX_HH
+#define TAKO_WORKLOADS_NVM_TX_HH
+
+#include "workloads/common.hh"
+
+namespace tako
+{
+
+struct NvmTxConfig
+{
+    std::uint64_t txBytes = 16 * 1024;
+    unsigned numTx = 32;
+    /** Per-word journaling overhead instructions (headers, checksums). */
+    unsigned journalInstrsPerWord = 3;
+};
+
+enum class NvmVariant
+{
+    Journaling,
+    Tako,
+    TakoIdeal,
+};
+
+const char *name(NvmVariant v);
+
+/**
+ * extra: "correct" (home region contents), "nvmWrites",
+ * "coreInstrsPer8B"/"totalInstrsPer8B" (Fig. 20),
+ * "journaledLines"/"directLines".
+ */
+RunMetrics runNvmTx(NvmVariant variant, const NvmTxConfig &cfg,
+                    SystemConfig sys_cfg);
+
+} // namespace tako
+
+#endif // TAKO_WORKLOADS_NVM_TX_HH

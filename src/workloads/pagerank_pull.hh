@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Single-threaded PageRank edge processing under different traversal
+ * schedules (Sec. 8.2, HATS). Processing edge (u, v) accumulates
+ * contrib[v] into next[u]; the traversal order determines the locality
+ * of the contrib[] accesses.
+ *
+ * Variants (Fig. 16):
+ *  - VertexOrdered: edges in CSR layout order.
+ *  - SoftwareBdfs: the core runs the bounded-DFS traversal itself
+ *    (better locality, but stack management and unpredictable branches).
+ *  - Hats: the HatsMorph fills a phantom edge stream in BDFS order on
+ *    the engine; the core consumes a regular, prefetchable stream.
+ *  - HatsIdeal: Hats on the idealized engine.
+ */
+
+#ifndef TAKO_WORKLOADS_PAGERANK_PULL_HH
+#define TAKO_WORKLOADS_PAGERANK_PULL_HH
+
+#include "workloads/graph.hh"
+
+namespace tako
+{
+
+struct PagerankPullConfig
+{
+    GraphParams graph;
+    std::uint64_t rankScale = 1 << 20;
+    unsigned bdfsBound = 512; ///< BDFS stack bound (covers a community;
+                              ///  see EXPERIMENTS.md on graph scaling)
+    unsigned bdfsDepth = 6;   ///< BDFS depth bound (stay in-community)
+    /** Branch mispredict probability per edge, by control-flow shape. */
+    double mispredictVertexOrdered = 0.08;
+    double mispredictBdfs = 0.35;
+    double mispredictStream = 0.02;
+};
+
+enum class PullVariant
+{
+    VertexOrdered,
+    SoftwareBdfs,
+    Hats,
+    HatsIdeal,
+};
+
+const char *name(PullVariant v);
+
+/**
+ * extra: "correct", "dram.edge"/"dram.vertex" and
+ * "mispredictsPerEdge"/"meanLoadLatency" reproduce Fig. 17,
+ * "edgesLogged" counts HATS's lost-edge recoveries.
+ */
+RunMetrics runPagerankPull(PullVariant variant,
+                           const PagerankPullConfig &cfg,
+                           SystemConfig sys_cfg);
+
+} // namespace tako
+
+#endif // TAKO_WORKLOADS_PAGERANK_PULL_HH

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * PageRank with push-based commutative scatter-updates (Sec. 8.1).
+ *
+ * One iteration, three phases (Fig. 14): the *edge* phase pushes
+ * rank[u]/deg(u) to every out-neighbor, the *bin* phase applies deferred
+ * updates with good locality, and the *vertex* phase streams the
+ * accumulators into the next rank vector.
+ *
+ * Variants (Fig. 13):
+ *  - Baseline: atomic adds directly to the accumulator array.
+ *  - UpdateBatching: software propagation blocking [14, 70] — updates
+ *    binned by destination region, applied region-at-a-time.
+ *  - Phi: the PHI Morph at SHARED; cores push RMOs to phantom
+ *    accumulators, onWriteback applies dense lines in place and bins
+ *    sparse ones.
+ *  - PhiIdeal: Phi on the idealized engine.
+ */
+
+#ifndef TAKO_WORKLOADS_PAGERANK_PUSH_HH
+#define TAKO_WORKLOADS_PAGERANK_PUSH_HH
+
+#include "workloads/graph.hh"
+
+namespace tako
+{
+
+struct PagerankPushConfig
+{
+    GraphParams graph;
+    unsigned threads = 16;
+    std::uint64_t regionVertices = 4096; ///< bin-region granularity
+    unsigned phiThreshold = 4;           ///< PHI in-place threshold
+    std::uint64_t rankScale = 1 << 20;   ///< fixed-point initial rank
+};
+
+enum class PushVariant
+{
+    Baseline,
+    UpdateBatching,
+    Phi,
+    PhiIdeal,
+};
+
+const char *name(PushVariant v);
+
+/**
+ * Run one variant on a fresh system. extra["correct"] is 1 when the
+ * accumulator array matches the host reference after edge+bin phases.
+ * extra["dram.<phase>"] reproduces Fig. 14.
+ */
+RunMetrics runPagerankPush(PushVariant variant,
+                           const PagerankPushConfig &cfg,
+                           SystemConfig sys_cfg);
+
+} // namespace tako
+
+#endif // TAKO_WORKLOADS_PAGERANK_PUSH_HH

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Prime+probe side-channel attack on shared-L3 AES table accesses
+ * (Sec. 8.4, Fig. 21). The attacker primes one L3 set with its own
+ * lines, lets the victim run, then probes: long reload latency reveals
+ * that the victim touched that set, leaking its key-dependent access
+ * pattern. With täkō, the victim registers an eviction-guard Morph over
+ * the table; the attacker's priming evicts a table line, onEviction
+ * interrupts the victim, and the victim defends itself before the probe
+ * leaks anything.
+ */
+
+#ifndef TAKO_WORKLOADS_PRIME_PROBE_HH
+#define TAKO_WORKLOADS_PRIME_PROBE_HH
+
+#include "workloads/common.hh"
+
+namespace tako
+{
+
+struct PrimeProbeConfig
+{
+    unsigned tableLines = 64;   ///< AES T-tables: 4KB
+    unsigned rounds = 64;       ///< prime+probe rounds
+    unsigned accessesPerRound = 16; ///< victim table accesses per round
+    std::uint64_t seed = 99;
+    /** Latency above which a probe counts as a miss (cycles). */
+    Tick probeThreshold = 40;
+};
+
+struct PrimeProbeResult
+{
+    RunMetrics metrics;
+    unsigned roundsRun = 0;
+    /** Rounds in which the attacker observed an eviction (leak signal). */
+    unsigned leakedRounds = 0;
+    /** Of those, rounds where the victim really touched the target. */
+    unsigned trueLeaks = 0;
+    bool detected = false;       ///< victim saw the guard interrupt
+    Tick detectionTime = 0;      ///< first interrupt
+    unsigned leaksBeforeDefense = 0;
+    /** Eviction trace (Fig. 21b). */
+    std::vector<std::pair<Tick, Addr>> evictionTrace;
+};
+
+PrimeProbeResult runPrimeProbe(bool with_tako,
+                               const PrimeProbeConfig &cfg,
+                               SystemConfig sys_cfg);
+
+} // namespace tako
+
+#endif // TAKO_WORKLOADS_PRIME_PROBE_HH

@@ -1,0 +1,252 @@
+/**
+ * @file
+ * Unit tests for the case-study Morphs in isolation: decompression
+ * correctness, PHI's in-place-vs-bin policy, HATS's exactly-once edge
+ * emission, and the NVM morph's INVALID-word discipline.
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "morphs/decompress_morph.hh"
+#include "morphs/hats_morph.hh"
+#include "morphs/nvm_morph.hh"
+#include "morphs/phi_morph.hh"
+#include "system/system.hh"
+#include "workloads/common.hh"
+#include "workloads/graph.hh"
+
+using namespace tako;
+
+namespace
+{
+
+SystemConfig
+smallConfig()
+{
+    SystemConfig cfg = SystemConfig::forCores(4);
+    cfg.mem.l1Size = 1024;
+    cfg.mem.l2Size = 4 * 1024;
+    cfg.mem.l3BankSize = 16 * 1024;
+    return cfg;
+}
+
+} // namespace
+
+TEST(DecompressMorphUnit, ReconstructsBasePlusDelta)
+{
+    System sys(smallConfig());
+    Arena arena;
+    BackingStore &st = sys.mem().realStore();
+    const Addr bases = arena.alloc(64 * 8);
+    const Addr deltas = arena.alloc(64 * 8);
+    // Group g: base 1000*g; deltas byte i = g + i.
+    for (unsigned grp = 0; grp < 8; ++grp) {
+        st.write64(bases + grp * 8, 1000 * grp);
+        std::uint64_t packed = 0;
+        for (unsigned i = 0; i < 8; ++i)
+            packed |= std::uint64_t((grp + i) & 0xff) << (8 * i);
+        st.write64(deltas + grp * 8, packed);
+    }
+    DecompressMorph morph(bases, deltas, 64);
+    bool ok = true;
+    sys.addThread(0, [&](Guest &g) -> Task<> {
+        const MorphBinding *b = co_await g.registerPhantom(
+            morph, MorphLevel::Private, 64 * 8);
+        morph.bind(b);
+        for (unsigned i = 0; i < 64; ++i) {
+            const auto v = co_await g.load(b->base + i * 8);
+            ok &= v == 1000 * (i / 8) + (i / 8 + i % 8);
+        }
+    });
+    sys.run();
+    EXPECT_TRUE(ok);
+    EXPECT_EQ(morph.decompressions(), 64u);
+}
+
+TEST(PhiMorphUnit, DenseLinesApplyInPlaceSparseLinesBin)
+{
+    System sys(smallConfig());
+    Arena arena;
+    const Addr next = arena.allocWords(sys.mem().realStore(), 1024);
+    const Addr bins = arena.alloc(1 << 20);
+    PhiMorph morph(next, 1024, bins, 256, sys.numCores(), 1 << 16,
+                   /*threshold=*/4);
+
+    sys.addThread(0, [&](Guest &g) -> Task<> {
+        const MorphBinding *b = co_await g.registerPhantom(
+            morph, MorphLevel::Shared, 1024 * 8);
+        morph.bind(b);
+        // Dense line: 6 updates to line 0 (>= threshold).
+        for (unsigned w = 0; w < 6; ++w)
+            co_await g.rmoAdd(b->base + w * 8, 10 + w);
+        // Sparse: 1 update to line 40.
+        co_await g.rmoAdd(b->base + 40 * wordsPerLine * 8, 5);
+        co_await g.rmoDrain();
+        co_await g.flushData(b);
+        // Drain staged leftovers like the workload does.
+        auto staged = morph.takeStaged();
+        std::vector<std::pair<Addr, std::uint64_t>> adds;
+        for (const auto &[v, d] : staged)
+            adds.emplace_back(next + v * 8, d);
+        co_await g.atomicAddMulti(adds);
+    });
+    sys.run();
+
+    EXPECT_EQ(morph.inPlaceLines(), 1u);
+    EXPECT_EQ(morph.binnedUpdates(), 1u);
+    // Dense applied in place by the engine.
+    for (unsigned w = 0; w < 6; ++w)
+        EXPECT_EQ(sys.mem().realStore().read64(next + w * 8), 10u + w);
+    // Sparse recovered via the staged drain.
+    EXPECT_EQ(sys.mem().realStore().read64(
+                  next + 40 * wordsPerLine * 8),
+              5u);
+}
+
+TEST(HatsMorphUnit, EmitsEveryEdgeExactlyOnce)
+{
+    System sys(smallConfig());
+    GraphParams gp;
+    gp.numVertices = 512;
+    gp.avgDegree = 6;
+    gp.communitySize = 64;
+    Graph graph = makeCommunityGraph(gp);
+    Arena arena;
+    graph.materialize(sys.mem().realStore(), arena);
+    const Addr visited =
+        arena.allocWords(sys.mem().realStore(), divCeil(512, 64));
+    const Addr log = arena.alloc(graph.numEdges * 8);
+
+    HatsMorph morph(graph, visited, log, graph.numEdges);
+    std::map<std::pair<std::uint64_t, std::uint64_t>, int> seen;
+
+    sys.addThread(0, [&](Guest &g) -> Task<> {
+        const std::uint64_t words =
+            divCeil(graph.numEdges + wordsPerLine, wordsPerLine) *
+            wordsPerLine;
+        const MorphBinding *b = co_await g.registerPhantom(
+            morph, MorphLevel::Private, words * 8);
+        morph.bind(b);
+        bool done = false;
+        std::uint64_t ptr = 0;
+        while (!done) {
+            std::vector<Addr> saddr;
+            for (unsigned k = 0; k < wordsPerLine; ++k)
+                saddr.push_back(b->base + (ptr + k) * 8);
+            std::vector<std::uint64_t> wordsv;
+            co_await g.atomicSwapMulti(saddr, HatsMorph::invalidEdge,
+                                       &wordsv);
+            for (std::uint64_t w : wordsv) {
+                if (w == HatsMorph::doneEdge) {
+                    done = true;
+                    break;
+                }
+                if (w == HatsMorph::invalidEdge)
+                    continue;
+                ++seen[{w >> 32, w & 0xffffffffu}];
+            }
+            ptr += wordsPerLine;
+        }
+        co_await g.flushData(b);
+        // Logged edges (evicted unconsumed) count too.
+        for (std::uint64_t i = 0; i < morph.edgesLogged(); ++i) {
+            const auto w =
+                sys.mem().realStore().read64(morph.logAddr() + i * 8);
+            ++seen[{w >> 32, w & 0xffffffffu}];
+        }
+        co_await g.unregister(b);
+    });
+    sys.run();
+
+    // Exactly-once delivery of the whole edge multiset (the generator
+    // draws destinations with replacement, so parallel edges exist and
+    // each copy must be delivered once).
+    std::map<std::pair<std::uint64_t, std::uint64_t>, int> expected;
+    for (std::uint64_t u = 0; u < graph.numVertices; ++u) {
+        for (std::uint64_t e = graph.rowPtr[u]; e < graph.rowPtr[u + 1];
+             ++e) {
+            ++expected[{u, graph.colIdx[e]}];
+        }
+    }
+    EXPECT_EQ(seen, expected);
+    EXPECT_EQ(morph.edgesEmitted(), graph.numEdges);
+}
+
+TEST(NvmMorphUnit, InvalidWordsNeverReachHomeOrClobber)
+{
+    SystemConfig cfg = smallConfig();
+    cfg.mem.l2Size = 2 * 1024; // force mid-transaction evictions
+    System sys(cfg);
+    Arena arena;
+    const Addr home = arena.alloc(1 << 16);
+    const Addr journal = arena.alloc(1 << 16);
+    NvmTxMorph morph(home, journal, 256);
+
+    sys.addThread(0, [&](Guest &g) -> Task<> {
+        const MorphBinding *b = co_await g.registerPhantom(
+            morph, MorphLevel::Private, 8 * 1024);
+        morph.bind(b);
+        morph.setCommitted(false);
+        morph.setHomeBase(home);
+        // Write only EVEN words of many lines: odd words stay INVALID.
+        for (unsigned l = 0; l < 64; ++l) {
+            for (unsigned w = 0; w < wordsPerLine; w += 2) {
+                co_await g.store(b->base + l * lineBytes + w * 8,
+                                 l * 16 + w);
+            }
+        }
+        morph.setCommitted(true);
+        co_await g.flushData(b);
+        // Replay journal skipping sentinels (as the workload does).
+        for (std::uint64_t j = 0; j < morph.journalEntries(); ++j) {
+            const Addr entry = journal + j * (lineBytes + 8);
+            const Addr off = sys.mem().realStore().read64(entry);
+            std::vector<std::pair<Addr, std::uint64_t>> hw;
+            for (unsigned k = 0; k < wordsPerLine; ++k) {
+                const auto w =
+                    sys.mem().realStore().read64(entry + 8 + k * 8);
+                if (w != NvmTxMorph::invalidWord)
+                    hw.emplace_back(home + off + k * 8, w);
+            }
+            co_await g.streamStoreMulti(hw);
+        }
+        co_await g.unregister(b);
+    });
+    sys.run();
+
+    for (unsigned l = 0; l < 64; ++l) {
+        for (unsigned w = 0; w < wordsPerLine; ++w) {
+            const auto v = sys.mem().realStore().read64(
+                home + l * lineBytes + w * 8);
+            if (w % 2 == 0) {
+                ASSERT_EQ(v, l * 16 + w) << l << ":" << w;
+            } else {
+                // Never written: stays zero, no sentinel leakage.
+                ASSERT_EQ(v, 0u) << l << ":" << w;
+            }
+        }
+    }
+}
+
+TEST(GraphGen, IntraProbShapesCommunities)
+{
+    GraphParams p;
+    p.numVertices = 8192;
+    p.communitySize = 128;
+    p.avgDegree = 10;
+    p.intraProb = 0.95;
+    p.idScatter = 0.0; // communities exactly id-contiguous
+    Graph g = makeCommunityGraph(p);
+    std::uint64_t intra = 0;
+    for (std::uint64_t u = 0; u < p.numVertices; ++u) {
+        for (std::uint64_t e = g.rowPtr[u]; e < g.rowPtr[u + 1]; ++e) {
+            if (g.colIdx[e] / p.communitySize == u / p.communitySize)
+                ++intra;
+        }
+    }
+    const double frac = double(intra) / g.numEdges;
+    EXPECT_GT(frac, 0.90);
+    EXPECT_LT(frac, 1.0);
+}

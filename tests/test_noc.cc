@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Unit tests for the mesh NoC model: hop counts, zero-load latency,
+ * serialization, link contention, and energy accounting.
+ */
+
+#include <gtest/gtest.h>
+
+#include "noc/mesh.hh"
+
+using namespace tako;
+
+namespace
+{
+
+struct MeshFixture : ::testing::Test
+{
+    MeshFixture() : energy(stats), mesh(MeshParams{}, stats, energy) {}
+
+    StatsRegistry stats;
+    EnergyModel energy;
+    Mesh mesh; // 4x4 default
+};
+
+} // namespace
+
+TEST_F(MeshFixture, HopCounts)
+{
+    EXPECT_EQ(mesh.hops(0, 0), 0u);
+    EXPECT_EQ(mesh.hops(0, 1), 1u);
+    EXPECT_EQ(mesh.hops(0, 3), 3u);
+    EXPECT_EQ(mesh.hops(0, 4), 1u);  // one row down
+    EXPECT_EQ(mesh.hops(0, 15), 6u); // corner to corner
+    EXPECT_EQ(mesh.hops(5, 10), 2u);
+    EXPECT_EQ(mesh.hops(10, 5), 2u); // symmetric
+}
+
+TEST_F(MeshFixture, ZeroLoadLatencyScalesWithDistance)
+{
+    // Single-flit message: hops * (router + link) + final router.
+    const Tick one = mesh.traverse(0, 0, 1, 8);
+    EXPECT_EQ(one, 1 * (2 + 1) + 2);
+    const Tick far = mesh.traverse(1000, 0, 15, 8);
+    EXPECT_EQ(far, 6 * (2 + 1) + 2);
+}
+
+TEST_F(MeshFixture, LocalDeliveryCrossesRouterOnce)
+{
+    EXPECT_EQ(mesh.traverse(0, 5, 5, 72), MeshParams{}.routerDelay);
+}
+
+TEST_F(MeshFixture, SerializationAddsTailLatency)
+{
+    // 72B = 5 flits: 4 extra cycles for the tail.
+    const Tick small = mesh.traverse(0, 0, 1, 8);
+    const Tick big = mesh.traverse(10000, 0, 1, 72);
+    EXPECT_EQ(big, small + 4);
+}
+
+TEST_F(MeshFixture, ContentionQueuesOnSharedLinks)
+{
+    // Two 5-flit messages on the same link at the same time: the second
+    // waits for the first's serialization.
+    const Tick first = mesh.traverse(500, 0, 1, 72);
+    const Tick second = mesh.traverse(500, 0, 1, 72);
+    EXPECT_GT(second, first);
+    // A message on a different link is unaffected.
+    const Tick other = mesh.traverse(500, 4, 5, 72);
+    EXPECT_EQ(other, first);
+}
+
+TEST_F(MeshFixture, ContentionDrainsOverTime)
+{
+    const Tick base = mesh.traverse(0, 0, 3, 72);
+    // Much later, the link is free again.
+    const Tick later = mesh.traverse(100000, 0, 3, 72);
+    EXPECT_EQ(base, later);
+}
+
+TEST_F(MeshFixture, FlitHopAccounting)
+{
+    mesh.reset();
+    mesh.traverse(0, 0, 3, 72); // 5 flits x 3 hops
+    EXPECT_EQ(mesh.flitHops(), 15u);
+    EXPECT_GT(stats.get("noc.flitHops"), 0.0);
+    EXPECT_GT(stats.get("energy.noc"), 0.0);
+}
+
+TEST(Mesh, RectangularTopology)
+{
+    StatsRegistry stats;
+    EnergyModel energy(stats);
+    MeshParams p;
+    p.dimX = 4;
+    p.dimY = 2;
+    Mesh mesh(p, stats, energy);
+    EXPECT_EQ(mesh.numTiles(), 8u);
+    EXPECT_EQ(mesh.hops(0, 7), 4u); // 3 east + 1 south
+}

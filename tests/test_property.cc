@@ -1,0 +1,384 @@
+/**
+ * @file
+ * Property-based (parameterized) tests: randomized workloads checked
+ * against reference models across many seeds.
+ *
+ *  - Memory consistency: random single-core op sequences match a flat
+ *    reference memory exactly (values returned and final state).
+ *  - Atomic conservation: concurrent random atomics from all cores sum
+ *    exactly; tag/directory invariants hold afterwards.
+ *  - Morph semantics: random loads/stores/flushes over a phantom range
+ *    match a shadow model driven by the observed callbacks.
+ *  - NVM crash consistency: executions cut at random points recover
+ *    every committed transaction from home/journal/persistent cache.
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "morphs/nvm_morph.hh"
+#include "system/system.hh"
+#include "workloads/common.hh"
+
+using namespace tako;
+
+namespace
+{
+
+SystemConfig
+tinySystem()
+{
+    SystemConfig cfg = SystemConfig::forCores(4);
+    cfg.mem.l1Size = 1024;
+    cfg.mem.l2Size = 4 * 1024;
+    cfg.mem.l3BankSize = 8 * 1024;
+    return cfg;
+}
+
+} // namespace
+
+// ---------------------------------------------------------------------
+// Single-core random ops vs. reference memory
+// ---------------------------------------------------------------------
+
+class MemRefProperty : public ::testing::TestWithParam<std::uint64_t>
+{
+};
+
+TEST_P(MemRefProperty, RandomOpsMatchReferenceModel)
+{
+    System sys(tinySystem());
+    Rng rng(GetParam());
+    std::map<Addr, std::uint64_t> ref;
+    const Addr base = 0x100000;
+    const unsigned span_lines = 96; // several sets, forces evictions
+    bool ok = true;
+
+    sys.addThread(0, [&](Guest &g) -> Task<> {
+        for (int i = 0; i < 2000 && ok; ++i) {
+            const Addr a =
+                base + rng.below(span_lines * wordsPerLine) * 8;
+            switch (rng.below(4)) {
+              case 0: {
+                const auto v = co_await g.load(a);
+                ok &= v == (ref.count(a) ? ref[a] : 0);
+                break;
+              }
+              case 1: {
+                const std::uint64_t v = rng.next();
+                co_await g.store(a, v);
+                ref[a] = v;
+                break;
+              }
+              case 2: {
+                const auto old = co_await g.atomicAdd(a, i);
+                ok &= old == (ref.count(a) ? ref[a] : 0);
+                ref[a] += i;
+                break;
+              }
+              default: {
+                const auto old = co_await g.atomicSwap(a, i);
+                ok &= old == (ref.count(a) ? ref[a] : 0);
+                ref[a] = i;
+                break;
+              }
+            }
+        }
+    });
+    sys.run();
+    EXPECT_TRUE(ok);
+    for (const auto &[a, v] : ref)
+        ASSERT_EQ(sys.mem().realStore().read64(a), v);
+    sys.mem().checkInvariants();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MemRefProperty,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34));
+
+// ---------------------------------------------------------------------
+// Multi-core random atomics: conservation + invariants
+// ---------------------------------------------------------------------
+
+class AtomicProperty : public ::testing::TestWithParam<std::uint64_t>
+{
+};
+
+TEST_P(AtomicProperty, ConcurrentAtomicsConserveSum)
+{
+    System sys(tinySystem());
+    const Addr base = 0x200000;
+    const unsigned cells = 64; // shared, contended cells
+    std::uint64_t expected = 0;
+
+    for (unsigned c = 0; c < sys.numCores(); ++c) {
+        sys.addThread(static_cast<int>(c), [&, c](Guest &g) -> Task<> {
+            Rng rng(GetParam() * 100 + c);
+            for (int i = 0; i < 400; ++i) {
+                const Addr a = base + rng.below(cells) * 8;
+                co_await g.atomicAdd(a, 3);
+                if (rng.chance(0.2))
+                    co_await g.exec(rng.below(20));
+            }
+        });
+        expected += 400u * 3u;
+    }
+    sys.run();
+
+    std::uint64_t sum = 0;
+    for (unsigned i = 0; i < cells; ++i)
+        sum += sys.mem().realStore().read64(base + i * 8);
+    EXPECT_EQ(sum, expected);
+    sys.mem().checkInvariants();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AtomicProperty,
+                         ::testing::Values(7, 11, 19, 23, 42));
+
+// ---------------------------------------------------------------------
+// Morph semantics vs. shadow model
+// ---------------------------------------------------------------------
+
+namespace
+{
+
+/** Fill-pattern morph whose eviction resets the line to the pattern. */
+class ShadowMorph : public Morph
+{
+  public:
+    ShadowMorph()
+        : Morph(MorphTraits{
+              .name = "shadow",
+              .hasMiss = true,
+              .hasEviction = true,
+              .hasWriteback = true,
+              .missKernel = {6, 2},
+              .evictionKernel = {4, 2},
+              .writebackKernel = {4, 2},
+          })
+    {
+    }
+
+    void bind(const MorphBinding *b) { base_ = b->base; }
+
+    static std::uint64_t
+    pattern(Addr word_addr)
+    {
+        return word_addr * 0x9e3779b97f4a7c15ULL;
+    }
+
+    Task<>
+    onMiss(EngineCtx &ctx) override
+    {
+        missLines.push_back(ctx.addr());
+        co_await ctx.compute(6, 2);
+        for (unsigned i = 0; i < wordsPerLine; ++i)
+            ctx.setLineWord(i, pattern(ctx.addr() + i * 8));
+    }
+
+    Task<>
+    onEviction(EngineCtx &ctx) override
+    {
+        evictLines.push_back(ctx.addr());
+        co_await ctx.compute(4, 2);
+    }
+
+    Task<>
+    onWriteback(EngineCtx &ctx) override
+    {
+        co_await onEviction(ctx);
+    }
+
+    std::vector<Addr> missLines;
+    std::vector<Addr> evictLines;
+
+  private:
+    Addr base_ = 0;
+};
+
+} // namespace
+
+class MorphProperty : public ::testing::TestWithParam<std::uint64_t>
+{
+};
+
+TEST_P(MorphProperty, PhantomSemanticsMatchShadowModel)
+{
+    System sys(tinySystem());
+    ShadowMorph morph;
+    Rng rng(GetParam());
+    // Shadow: words stored since the covering line's last (re)fill.
+    std::map<Addr, std::uint64_t> dirty;
+    std::size_t missCursor = 0;
+    bool ok = true;
+
+    sys.addThread(0, [&](Guest &g) -> Task<> {
+        const MorphBinding *b = co_await g.registerPhantom(
+            morph, MorphLevel::Private, 1 << 20);
+        morph.bind(b);
+        const unsigned lines = 128; // ~2x the tiny L2
+
+        auto sync_shadow = [&]() {
+            // Every fill since the last check resets its line's words.
+            for (; missCursor < morph.missLines.size(); ++missCursor) {
+                const Addr line = morph.missLines[missCursor];
+                for (unsigned i = 0; i < wordsPerLine; ++i)
+                    dirty.erase(line + i * 8);
+            }
+        };
+
+        for (int i = 0; i < 3000 && ok; ++i) {
+            const Addr a =
+                b->base + rng.below(lines * wordsPerLine) * 8;
+            if (rng.chance(0.6)) {
+                const auto v = co_await g.load(a);
+                sync_shadow();
+                const auto expect = dirty.count(a)
+                                        ? dirty[a]
+                                        : ShadowMorph::pattern(a);
+                if (v != expect)
+                    ok = false;
+            } else {
+                co_await g.store(a, i);
+                sync_shadow();
+                dirty[a] = i;
+            }
+            if (rng.chance(0.01)) {
+                co_await g.flushData(b);
+                sync_shadow();
+            }
+        }
+        co_await g.unregister(b);
+    });
+    sys.run();
+    EXPECT_TRUE(ok);
+    // Everything that was filled eventually left the cache.
+    EXPECT_EQ(morph.missLines.size(), morph.evictLines.size());
+    sys.mem().checkInvariants();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MorphProperty,
+                         ::testing::Values(101, 202, 303, 404, 505, 606));
+
+// ---------------------------------------------------------------------
+// NVM crash consistency
+// ---------------------------------------------------------------------
+
+class NvmCrashProperty : public ::testing::TestWithParam<std::uint64_t>
+{
+};
+
+TEST_P(NvmCrashProperty, CommittedTransactionsSurviveCrashes)
+{
+    // Run the staging+flush transaction loop and "crash" at a random
+    // point. With battery-backed caches (eADR) the persistence domain is
+    // home memory + journal + the staged cache contents; every
+    // transaction with a commit record must be fully recoverable.
+    System sys(tinySystem());
+    Arena arena;
+    const std::uint64_t tx_bytes = 2048;
+    const unsigned num_tx = 8;
+    const Addr home = arena.alloc(num_tx * tx_bytes);
+    const Addr journal = arena.alloc(1 << 20);
+    const Addr commitRec = arena.alloc(lineBytes);
+
+    NvmTxMorph morph(home, journal, 1024);
+    auto payload = [](unsigned tx, std::uint64_t w) {
+        return (std::uint64_t(tx) << 32) ^ (w * 31) ^ 0x77;
+    };
+
+    sys.addThread(0, [&](Guest &g) -> Task<> {
+        const MorphBinding *b = co_await g.registerPhantom(
+            morph, MorphLevel::Private, tx_bytes);
+        morph.bind(b);
+        for (unsigned tx = 0; tx < num_tx; ++tx) {
+            morph.setCommitted(false);
+            morph.setHomeBase(home + tx * tx_bytes);
+            morph.resetJournal();
+            for (std::uint64_t w = 0; w < tx_bytes / 8; ++w)
+                co_await g.store(b->base + w * 8, payload(tx, w));
+            morph.setCommitted(true);
+            co_await g.flushData(b);
+            // Replay journaled lines before declaring commit.
+            for (std::uint64_t j = 0; j < morph.journalEntries(); ++j) {
+                const Addr entry = journal + j * (lineBytes + 8);
+                const Addr off =
+                    sys.mem().realStore().read64(entry);
+                std::vector<std::pair<Addr, std::uint64_t>> hw;
+                for (unsigned k = 0; k < wordsPerLine; ++k) {
+                    const std::uint64_t w =
+                        sys.mem().realStore().read64(entry + 8 + k * 8);
+                    if (w != NvmTxMorph::invalidWord) {
+                        hw.emplace_back(
+                            home + tx * tx_bytes + off + k * 8, w);
+                    }
+                }
+                co_await g.streamStoreMulti(hw);
+            }
+            co_await g.store(commitRec, tx + 1);
+        }
+    });
+
+    // Crash at a pseudo-random point in the run.
+    const Tick cut = 20000 + (GetParam() * 77773) % 400000;
+    sys.runFor(cut);
+
+    // Recovery: committed transactions must be intact. (The staged
+    // cache contents are persistent under eADR, so data still cached is
+    // visible through the functional store.)
+    const std::uint64_t committed =
+        sys.mem().realStore().read64(commitRec);
+    ASSERT_LE(committed, num_tx);
+    for (std::uint64_t tx = 0; tx < committed; ++tx) {
+        for (std::uint64_t w = 0; w < tx_bytes / 8; ++w) {
+            ASSERT_EQ(sys.mem().realStore().read64(home + tx * tx_bytes +
+                                                   w * 8),
+                      payload(static_cast<unsigned>(tx), w))
+                << "tx " << tx << " word " << w << " cut " << cut;
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Cuts, NvmCrashProperty,
+                         ::testing::Range<std::uint64_t>(1, 11));
+
+// ---------------------------------------------------------------------
+// trrîp reserve-rule invariant under random churn
+// ---------------------------------------------------------------------
+
+class TrripProperty : public ::testing::TestWithParam<std::uint64_t>
+{
+};
+
+TEST_P(TrripProperty, MorphReserveInvariantHolds)
+{
+    CacheArray cache(64 * lineBytes, 8, ReplPolicy::Trrip); // 8 sets
+    Rng rng(GetParam());
+    for (int i = 0; i < 5000; ++i) {
+        const Addr line = rng.below(1024) * lineBytes;
+        if (cache.lookup(line)) {
+            cache.touch(*cache.lookup(line), rng.chance(0.3));
+            continue;
+        }
+        const bool morph = rng.chance(0.7);
+        CacheWay *v = cache.findVictim(line, morph);
+        ASSERT_NE(v, nullptr);
+        if (v->valid)
+            v->invalidate();
+        cache.fill(*v, line, morph, morph ? 1 : 0, rng.chance(0.3));
+
+        // Invariant: every set keeps >= 1 safe (invalid or non-morph)
+        // way, so an eviction without callbacks is always possible.
+        for (unsigned s = 0; s < cache.numSets(); ++s) {
+            bool safe = false;
+            for (const CacheWay &w : cache.set(s)) {
+                if (!w.valid || !w.morph)
+                    safe = true;
+            }
+            ASSERT_TRUE(safe) << "set " << s << " iteration " << i;
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TrripProperty,
+                         ::testing::Values(3, 14, 15, 92, 65, 35));

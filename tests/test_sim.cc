@@ -1,0 +1,271 @@
+/**
+ * @file
+ * Unit tests for the simulation kernel: event queue ordering, coroutine
+ * tasks, synchronization primitives, RNG distributions.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/event_queue.hh"
+#include "sim/interval_map.hh"
+#include "sim/random.hh"
+#include "sim/stats.hh"
+#include "sim/task.hh"
+#include "sim/trace.hh"
+
+using namespace tako;
+
+TEST(EventQueue, RunsInTimeOrder)
+{
+    EventQueue eq;
+    std::vector<int> order;
+    eq.schedule(30, [&]() { order.push_back(3); });
+    eq.schedule(10, [&]() { order.push_back(1); });
+    eq.schedule(20, [&]() { order.push_back(2); });
+    eq.run();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+    EXPECT_EQ(eq.now(), 30u);
+}
+
+TEST(EventQueue, SameTickFifoAndPriority)
+{
+    EventQueue eq;
+    std::vector<int> order;
+    eq.schedule(5, [&]() { order.push_back(1); });
+    eq.schedule(5, [&]() { order.push_back(2); });
+    eq.schedule(5, [&]() { order.push_back(0); }, EventPriority::High);
+    eq.run();
+    EXPECT_EQ(order, (std::vector<int>{0, 1, 2}));
+}
+
+TEST(EventQueue, NestedScheduling)
+{
+    EventQueue eq;
+    int fired = 0;
+    eq.schedule(1, [&]() {
+        ++fired;
+        eq.schedule(1, [&]() { ++fired; });
+    });
+    eq.run();
+    EXPECT_EQ(fired, 2);
+    EXPECT_EQ(eq.now(), 2u);
+}
+
+TEST(EventQueue, RunUntilStopsAtLimit)
+{
+    EventQueue eq;
+    int fired = 0;
+    eq.schedule(10, [&]() { ++fired; });
+    eq.schedule(20, [&]() { ++fired; });
+    eq.runUntil(15);
+    EXPECT_EQ(fired, 1);
+    EXPECT_EQ(eq.pending(), 1u);
+}
+
+namespace
+{
+
+Task<>
+delayTwice(EventQueue &eq, Tick d, int &count)
+{
+    co_await Delay{eq, d};
+    ++count;
+    co_await Delay{eq, d};
+    ++count;
+}
+
+Task<int>
+addAsync(EventQueue &eq, int a, int b)
+{
+    co_await Delay{eq, 5};
+    co_return a + b;
+}
+
+Task<>
+caller(EventQueue &eq, int &result)
+{
+    result = co_await addAsync(eq, 2, 3);
+}
+
+} // namespace
+
+TEST(Task, DelaysAdvanceTime)
+{
+    EventQueue eq;
+    int count = 0;
+    spawn(delayTwice(eq, 10, count));
+    EXPECT_EQ(count, 0); // lazy until first event
+    eq.run();
+    EXPECT_EQ(count, 2);
+    EXPECT_EQ(eq.now(), 20u);
+}
+
+TEST(Task, ValueTaskReturnsThroughAwait)
+{
+    EventQueue eq;
+    int result = 0;
+    spawn(caller(eq, result));
+    eq.run();
+    EXPECT_EQ(result, 5);
+}
+
+TEST(Task, SpawnOnDoneFires)
+{
+    EventQueue eq;
+    int count = 0;
+    bool done = false;
+    spawn(delayTwice(eq, 1, count), [&]() { done = true; });
+    eq.run();
+    EXPECT_TRUE(done);
+    EXPECT_EQ(count, 2);
+}
+
+namespace
+{
+
+Task<>
+acquireHold(EventQueue &eq, Semaphore &sem, Tick hold, int &active,
+            int &max_active)
+{
+    co_await sem.acquire();
+    ++active;
+    max_active = std::max(max_active, active);
+    co_await Delay{eq, hold};
+    --active;
+    sem.release();
+}
+
+} // namespace
+
+TEST(Semaphore, BoundsConcurrency)
+{
+    EventQueue eq;
+    Semaphore sem(eq, 2);
+    int active = 0, max_active = 0;
+    for (int i = 0; i < 8; ++i)
+        spawn(acquireHold(eq, sem, 10, active, max_active));
+    eq.run();
+    EXPECT_EQ(active, 0);
+    EXPECT_EQ(max_active, 2);
+    EXPECT_EQ(eq.now(), 40u);
+}
+
+namespace
+{
+
+Task<>
+joinUser(EventQueue &eq, bool &flag)
+{
+    Join join(eq);
+    for (int i = 0; i < 4; ++i) {
+        join.add();
+        eq.schedule(10 + i, [&join]() { join.done(); });
+    }
+    co_await join.wait();
+    flag = true;
+}
+
+} // namespace
+
+TEST(Join, WaitsForAll)
+{
+    EventQueue eq;
+    bool flag = false;
+    spawn(joinUser(eq, flag));
+    eq.run();
+    EXPECT_TRUE(flag);
+    EXPECT_EQ(eq.now(), 13u);
+}
+
+TEST(Rng, DeterministicAndUniform)
+{
+    Rng a(42), b(42);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+
+    Rng r(7);
+    std::vector<int> buckets(10, 0);
+    const int n = 100000;
+    for (int i = 0; i < n; ++i)
+        ++buckets[r.below(10)];
+    for (int v : buckets) {
+        EXPECT_GT(v, n / 10 * 0.9);
+        EXPECT_LT(v, n / 10 * 1.1);
+    }
+}
+
+TEST(Zipfian, SkewsTowardHotItems)
+{
+    Rng r(3);
+    ZipfianGenerator zipf(1024, 0.99);
+    std::uint64_t hot = 0;
+    const int n = 50000;
+    for (int i = 0; i < n; ++i) {
+        if (zipf(r) < 16)
+            ++hot;
+    }
+    // With theta=0.99 the top 16 of 1024 items draw a large fraction.
+    EXPECT_GT(hot, n / 4u);
+    // But not everything.
+    EXPECT_LT(hot, n * 9u / 10u);
+}
+
+TEST(IntervalMap, InsertFindEraseAndOverlap)
+{
+    IntervalMap<int> map;
+    EXPECT_TRUE(map.insert(100, 50, 1));
+    EXPECT_TRUE(map.insert(200, 10, 2));
+    EXPECT_FALSE(map.insert(140, 20, 3)); // overlaps [100,150)
+    EXPECT_FALSE(map.insert(90, 11, 4));  // overlaps start
+    EXPECT_TRUE(map.insert(150, 50, 5));  // adjacent ok
+
+    ASSERT_NE(map.find(100), nullptr);
+    EXPECT_EQ(map.find(100)->value, 1);
+    EXPECT_EQ(map.find(149)->value, 1);
+    EXPECT_EQ(map.find(150)->value, 5);
+    EXPECT_EQ(map.find(99), nullptr);
+    EXPECT_EQ(map.find(210), nullptr);
+
+    EXPECT_TRUE(map.erase(100));
+    EXPECT_EQ(map.find(120), nullptr);
+    EXPECT_FALSE(map.erase(100));
+}
+
+TEST(Stats, CountersAndPatterns)
+{
+    StatsRegistry stats;
+    stats.counter("a.hits") += 3;
+    stats.counter("b.hits") += 4;
+    stats.counter("a.misses")++;
+    EXPECT_DOUBLE_EQ(stats.get("a.hits"), 3);
+    EXPECT_DOUBLE_EQ(stats.sumMatching("*.hits"), 7);
+    EXPECT_DOUBLE_EQ(stats.sumMatching("a.*"), 4);
+    stats.reset();
+    EXPECT_DOUBLE_EQ(stats.get("a.hits"), 0);
+}
+
+TEST(Stats, HistogramMoments)
+{
+    StatsRegistry stats;
+    auto &h = stats.histogram("lat", 8, 10);
+    h.sample(5);
+    h.sample(15);
+    h.sample(1000); // overflow bucket
+    EXPECT_EQ(h.count(), 3u);
+    EXPECT_EQ(h.max(), 1000u);
+    EXPECT_DOUBLE_EQ(h.mean(), (5 + 15 + 1000) / 3.0);
+    EXPECT_EQ(h.buckets()[0], 1u);
+    EXPECT_EQ(h.buckets()[1], 1u);
+    EXPECT_EQ(h.buckets().back(), 1u);
+}
+
+TEST(Trace, MaskParsesOncePerProcess)
+{
+    // TAKO_TRACE is unset in the test environment: nothing enabled.
+    EXPECT_FALSE(trace::enabled(trace::Flag::Cache));
+    EXPECT_FALSE(trace::enabled(trace::Flag::Engine));
+    // emit() is safe to call regardless (goes to stderr).
+    trace::emit(trace::Flag::Cache, 5, "test %d", 1);
+}

@@ -1,0 +1,177 @@
+/**
+ * @file
+ * Unit tests for Morph registration (Sec. 4.1-4.2): phantom allocation,
+ * range exclusivity, flush-on-(un)register semantics, and the
+ * phantom-address-space rules.
+ */
+
+#include <gtest/gtest.h>
+
+#include "system/system.hh"
+#include "tako/registry.hh"
+
+using namespace tako;
+
+namespace
+{
+
+SystemConfig
+smallConfig()
+{
+    SystemConfig cfg = SystemConfig::forCores(4);
+    cfg.mem.l1Size = 1024;
+    cfg.mem.l2Size = 4 * 1024;
+    cfg.mem.l3BankSize = 16 * 1024;
+    return cfg;
+}
+
+class NopMorph : public Morph
+{
+  public:
+    NopMorph()
+        : Morph(MorphTraits{.name = "nop",
+                            .hasMiss = true,
+                            .missKernel = {2, 1}})
+    {
+    }
+
+    Task<>
+    onMiss(EngineCtx &ctx) override
+    {
+        co_await ctx.compute(2, 1);
+    }
+};
+
+} // namespace
+
+TEST(Registry, PhantomRangesAreDisjointAndPageAligned)
+{
+    System sys(smallConfig());
+    NopMorph m1, m2;
+    const MorphBinding *b1 = nullptr;
+    const MorphBinding *b2 = nullptr;
+    sys.addThread(0, [&](Guest &g) -> Task<> {
+        b1 = co_await g.registerPhantom(m1, MorphLevel::Private, 1000);
+        b2 = co_await g.registerPhantom(m2, MorphLevel::Shared, 1 << 22);
+    });
+    sys.run();
+    ASSERT_NE(b1, nullptr);
+    ASSERT_NE(b2, nullptr);
+    EXPECT_GE(b1->base, MorphRegistry::phantomBase);
+    EXPECT_EQ(b1->base % (2 * 1024 * 1024), 0u);
+    EXPECT_FALSE(rangesOverlap(b1->base, b1->length, b2->base,
+                               b2->length));
+    EXPECT_EQ(sys.registry().numRegistered(), 2u);
+    EXPECT_TRUE(sys.registry().isPhantomAddr(b1->base));
+    EXPECT_FALSE(sys.registry().isPhantomAddr(0x1000));
+}
+
+TEST(Registry, ResolveFindsCoveringBinding)
+{
+    System sys(smallConfig());
+    NopMorph m;
+    const MorphBinding *b = nullptr;
+    sys.addThread(0, [&](Guest &g) -> Task<> {
+        b = co_await g.registerPhantom(m, MorphLevel::Private, 4096);
+    });
+    sys.run();
+    EXPECT_EQ(sys.registry().resolve(b->base), b);
+    EXPECT_EQ(sys.registry().resolve(b->base + b->length - 1), b);
+    EXPECT_EQ(sys.registry().resolve(b->base + b->length), nullptr);
+    EXPECT_EQ(sys.registry().resolve(0x5000), nullptr);
+}
+
+TEST(Registry, RealRegistrationFlushesCachedLines)
+{
+    System sys(smallConfig());
+    NopMorph guard; // miss-only, but flush semantics are what we test
+    const Addr data = 0x40000;
+    bool cached_before = false, cached_after = false;
+    sys.addThread(0, [&](Guest &g) -> Task<> {
+        co_await g.store(data, 7);
+        cached_before = sys.mem().cachedAnywhere(data);
+        const MorphBinding *b = co_await g.registerReal(
+            guard, MorphLevel::Shared, data, lineBytes);
+        cached_after = sys.mem().cachedAnywhere(data);
+        (void)b;
+    });
+    sys.run();
+    EXPECT_TRUE(cached_before);
+    EXPECT_FALSE(cached_after);
+    // Data survived the flush (writeback happened).
+    EXPECT_EQ(sys.mem().realStore().read64(data), 7u);
+}
+
+TEST(Registry, MorphBitsTagFilledLines)
+{
+    System sys(smallConfig());
+    NopMorph m;
+    sys.addThread(0, [&](Guest &g) -> Task<> {
+        const MorphBinding *b = co_await g.registerPhantom(
+            m, MorphLevel::Private, 1 << 20);
+        co_await g.load(b->base);
+        EXPECT_TRUE(sys.mem().cachedInL2(0, b->base));
+    });
+    sys.run();
+    sys.mem().checkInvariants();
+}
+
+TEST(Registry, OverlappingRealRegistrationDies)
+{
+    ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+    auto run = []() {
+        System sys(smallConfig());
+        NopMorph m1, m2;
+        sys.addThread(0, [&](Guest &g) -> Task<> {
+            co_await g.registerReal(m1, MorphLevel::Shared, 0x10000,
+                                    4096);
+            co_await g.registerReal(m2, MorphLevel::Shared, 0x10800,
+                                    4096);
+        });
+        sys.run();
+    };
+    EXPECT_DEATH(run(), "overlaps");
+}
+
+TEST(Registry, AccessAfterUnregisterDies)
+{
+    ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+    auto run = []() {
+        System sys(smallConfig());
+        NopMorph m;
+        sys.addThread(0, [&](Guest &g) -> Task<> {
+            const MorphBinding *b = co_await g.registerPhantom(
+                m, MorphLevel::Private, 4096);
+            const Addr stale = b->base;
+            co_await g.unregister(b);
+            co_await g.load(stale);
+        });
+        sys.run();
+    };
+    EXPECT_DEATH(run(), "unregistered phantom");
+}
+
+TEST(Registry, ManyConcurrentMorphs)
+{
+    System sys(smallConfig());
+    std::vector<std::unique_ptr<NopMorph>> morphs;
+    for (int i = 0; i < 8; ++i)
+        morphs.push_back(std::make_unique<NopMorph>());
+    std::uint64_t touched = 0;
+    sys.addThread(0, [&](Guest &g) -> Task<> {
+        std::vector<const MorphBinding *> bindings;
+        for (auto &m : morphs) {
+            bindings.push_back(co_await g.registerPhantom(
+                *m, MorphLevel::Private, 1 << 16));
+        }
+        for (auto *b : bindings) {
+            co_await g.load(b->base);
+            ++touched;
+        }
+        for (auto *b : bindings)
+            co_await g.unregister(b);
+    });
+    sys.run();
+    EXPECT_EQ(touched, 8u);
+    EXPECT_EQ(sys.registry().numRegistered(), 0u);
+}

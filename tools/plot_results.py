@@ -1,0 +1,66 @@
+#!/usr/bin/env python3
+"""Render bench_output.txt tables as quick matplotlib charts (optional).
+
+Usage: tools/plot_results.py bench_output.txt [outdir]
+
+Parses the "=== Fig. N ===" sections produced by the bench binaries and
+writes one PNG per figure with the variants' speedups. Requires
+matplotlib; degrades to printing the parsed tables without it.
+"""
+import re
+import sys
+
+
+def parse(path):
+    sections = {}
+    current, rows = None, []
+    for line in open(path):
+        m = re.match(r"=== (.*) ===", line)
+        if m:
+            if current:
+                sections[current] = rows
+            current, rows = m.group(1), []
+        elif current and re.match(r"\S", line) and not line.startswith(
+                ("paper:", "here :", "variant", "txBytes", "entries",
+                 "engine ", "peLatency", "core ", "config")):
+            rows.append(line.split())
+    if current:
+        sections[current] = rows
+    return sections
+
+
+def main():
+    path = sys.argv[1] if len(sys.argv) > 1 else "bench_output.txt"
+    outdir = sys.argv[2] if len(sys.argv) > 2 else "."
+    sections = parse(path)
+    try:
+        import matplotlib
+        matplotlib.use("Agg")
+        import matplotlib.pyplot as plt
+    except ImportError:
+        for name, rows in sections.items():
+            print(f"{name}: {len(rows)} rows")
+        print("matplotlib not available; printed summaries only")
+        return
+    for i, (name, rows) in enumerate(sections.items()):
+        labels = [r[0] for r in rows if len(r) >= 2]
+        try:
+            values = [float(r[1]) for r in rows if len(r) >= 2]
+        except ValueError:
+            continue
+        if not values:
+            continue
+        fig, ax = plt.subplots(figsize=(6, 3))
+        ax.bar(labels, values)
+        ax.set_title(name)
+        ax.set_ylabel("cycles / value")
+        plt.xticks(rotation=30, ha="right")
+        plt.tight_layout()
+        safe = re.sub(r"\W+", "_", name)[:50]
+        fig.savefig(f"{outdir}/{i:02d}_{safe}.png", dpi=120)
+        plt.close(fig)
+    print(f"wrote {len(sections)} charts to {outdir}")
+
+
+if __name__ == "__main__":
+    main()
