@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_trrip.dir/abl_trrip.cc.o"
+  "CMakeFiles/abl_trrip.dir/abl_trrip.cc.o.d"
+  "abl_trrip"
+  "abl_trrip.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_trrip.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig06_decompression.cc" "bench/CMakeFiles/fig06_decompression.dir/fig06_decompression.cc.o" "gcc" "bench/CMakeFiles/fig06_decompression.dir/fig06_decompression.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/workloads/CMakeFiles/tako_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/morphs/CMakeFiles/tako_morphs.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/tako_workloads_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/system/CMakeFiles/tako_system.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/tako_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/tako/CMakeFiles/tako_engine.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/tako_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/noc/CMakeFiles/tako_noc.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/tako_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig06_decompression.dir/fig06_decompression.cc.o"
+  "CMakeFiles/fig06_decompression.dir/fig06_decompression.cc.o.d"
+  "fig06_decompression"
+  "fig06_decompression.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig06_decompression.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

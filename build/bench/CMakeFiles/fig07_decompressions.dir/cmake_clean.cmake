@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig07_decompressions.dir/fig07_decompressions.cc.o"
+  "CMakeFiles/fig07_decompressions.dir/fig07_decompressions.cc.o.d"
+  "fig07_decompressions"
+  "fig07_decompressions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_decompressions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

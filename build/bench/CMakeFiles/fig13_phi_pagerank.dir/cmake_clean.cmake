@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_phi_pagerank.dir/fig13_phi_pagerank.cc.o"
+  "CMakeFiles/fig13_phi_pagerank.dir/fig13_phi_pagerank.cc.o.d"
+  "fig13_phi_pagerank"
+  "fig13_phi_pagerank.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_phi_pagerank.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

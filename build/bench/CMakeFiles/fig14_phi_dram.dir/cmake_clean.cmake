@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig14_phi_dram.dir/fig14_phi_dram.cc.o"
+  "CMakeFiles/fig14_phi_dram.dir/fig14_phi_dram.cc.o.d"
+  "fig14_phi_dram"
+  "fig14_phi_dram.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_phi_dram.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig16_hats.dir/fig16_hats.cc.o"
+  "CMakeFiles/fig16_hats.dir/fig16_hats.cc.o.d"
+  "fig16_hats"
+  "fig16_hats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig16_hats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

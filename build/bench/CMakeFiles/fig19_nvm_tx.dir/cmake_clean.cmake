@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig19_nvm_tx.dir/fig19_nvm_tx.cc.o"
+  "CMakeFiles/fig19_nvm_tx.dir/fig19_nvm_tx.cc.o.d"
+  "fig19_nvm_tx"
+  "fig19_nvm_tx.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig19_nvm_tx.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

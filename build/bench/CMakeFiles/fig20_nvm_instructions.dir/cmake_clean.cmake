@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig20_nvm_instructions.dir/fig20_nvm_instructions.cc.o"
+  "CMakeFiles/fig20_nvm_instructions.dir/fig20_nvm_instructions.cc.o.d"
+  "fig20_nvm_instructions"
+  "fig20_nvm_instructions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig20_nvm_instructions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

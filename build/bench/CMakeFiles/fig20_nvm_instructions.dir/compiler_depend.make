@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig20_nvm_instructions.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig21_sidechannel.dir/fig21_sidechannel.cc.o"
+  "CMakeFiles/fig21_sidechannel.dir/fig21_sidechannel.cc.o.d"
+  "fig21_sidechannel"
+  "fig21_sidechannel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig21_sidechannel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig22_fabric_size.dir/fig22_fabric_size.cc.o"
+  "CMakeFiles/fig22_fabric_size.dir/fig22_fabric_size.cc.o.d"
+  "fig22_fabric_size"
+  "fig22_fabric_size.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig22_fabric_size.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

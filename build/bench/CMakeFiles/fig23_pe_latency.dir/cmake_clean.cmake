@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig23_pe_latency.dir/fig23_pe_latency.cc.o"
+  "CMakeFiles/fig23_pe_latency.dir/fig23_pe_latency.cc.o.d"
+  "fig23_pe_latency"
+  "fig23_pe_latency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig23_pe_latency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig24_core_uarch.dir/fig24_core_uarch.cc.o"
+  "CMakeFiles/fig24_core_uarch.dir/fig24_core_uarch.cc.o.d"
+  "fig24_core_uarch"
+  "fig24_core_uarch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig24_core_uarch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig25_scalability.dir/fig25_scalability.cc.o"
+  "CMakeFiles/fig25_scalability.dir/fig25_scalability.cc.o.d"
+  "fig25_scalability"
+  "fig25_scalability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig25_scalability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

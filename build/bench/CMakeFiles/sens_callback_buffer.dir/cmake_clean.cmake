@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sens_callback_buffer.dir/sens_callback_buffer.cc.o"
+  "CMakeFiles/sens_callback_buffer.dir/sens_callback_buffer.cc.o.d"
+  "sens_callback_buffer"
+  "sens_callback_buffer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sens_callback_buffer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

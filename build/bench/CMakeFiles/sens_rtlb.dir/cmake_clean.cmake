@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sens_rtlb.dir/sens_rtlb.cc.o"
+  "CMakeFiles/sens_rtlb.dir/sens_rtlb.cc.o.d"
+  "sens_rtlb"
+  "sens_rtlb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sens_rtlb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/memoization.dir/memoization.cc.o"
+  "CMakeFiles/memoization.dir/memoization.cc.o.d"
+  "memoization"
+  "memoization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/memoization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nvm_transactions.dir/nvm_transactions.cc.o"
+  "CMakeFiles/nvm_transactions.dir/nvm_transactions.cc.o.d"
+  "nvm_transactions"
+  "nvm_transactions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nvm_transactions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

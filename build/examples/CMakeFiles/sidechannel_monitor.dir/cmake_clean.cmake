@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sidechannel_monitor.dir/sidechannel_monitor.cc.o"
+  "CMakeFiles/sidechannel_monitor.dir/sidechannel_monitor.cc.o.d"
+  "sidechannel_monitor"
+  "sidechannel_monitor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sidechannel_monitor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

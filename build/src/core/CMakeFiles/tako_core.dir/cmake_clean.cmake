@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tako_core.dir/core.cc.o"
+  "CMakeFiles/tako_core.dir/core.cc.o.d"
+  "libtako_core.a"
+  "libtako_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tako_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tako_mem.dir/memory_system.cc.o"
+  "CMakeFiles/tako_mem.dir/memory_system.cc.o.d"
+  "libtako_mem.a"
+  "libtako_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tako_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

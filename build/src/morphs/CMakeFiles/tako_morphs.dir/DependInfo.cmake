@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/morphs/decompress_morph.cc" "src/morphs/CMakeFiles/tako_morphs.dir/decompress_morph.cc.o" "gcc" "src/morphs/CMakeFiles/tako_morphs.dir/decompress_morph.cc.o.d"
+  "/root/repo/src/morphs/hats_morph.cc" "src/morphs/CMakeFiles/tako_morphs.dir/hats_morph.cc.o" "gcc" "src/morphs/CMakeFiles/tako_morphs.dir/hats_morph.cc.o.d"
+  "/root/repo/src/morphs/phi_morph.cc" "src/morphs/CMakeFiles/tako_morphs.dir/phi_morph.cc.o" "gcc" "src/morphs/CMakeFiles/tako_morphs.dir/phi_morph.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tako/CMakeFiles/tako_engine.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/tako_workloads_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/system/CMakeFiles/tako_system.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/tako_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/tako_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/noc/CMakeFiles/tako_noc.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/tako_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tako_morphs.dir/decompress_morph.cc.o"
+  "CMakeFiles/tako_morphs.dir/decompress_morph.cc.o.d"
+  "CMakeFiles/tako_morphs.dir/hats_morph.cc.o"
+  "CMakeFiles/tako_morphs.dir/hats_morph.cc.o.d"
+  "CMakeFiles/tako_morphs.dir/phi_morph.cc.o"
+  "CMakeFiles/tako_morphs.dir/phi_morph.cc.o.d"
+  "libtako_morphs.a"
+  "libtako_morphs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tako_morphs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

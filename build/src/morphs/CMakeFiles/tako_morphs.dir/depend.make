@@ -1,0 +1,2 @@
+# Empty dependencies file for tako_morphs.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tako_noc.dir/mesh.cc.o"
+  "CMakeFiles/tako_noc.dir/mesh.cc.o.d"
+  "libtako_noc.a"
+  "libtako_noc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tako_noc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tako_sim.dir/logging.cc.o"
+  "CMakeFiles/tako_sim.dir/logging.cc.o.d"
+  "CMakeFiles/tako_sim.dir/random.cc.o"
+  "CMakeFiles/tako_sim.dir/random.cc.o.d"
+  "CMakeFiles/tako_sim.dir/stats.cc.o"
+  "CMakeFiles/tako_sim.dir/stats.cc.o.d"
+  "CMakeFiles/tako_sim.dir/trace.cc.o"
+  "CMakeFiles/tako_sim.dir/trace.cc.o.d"
+  "libtako_sim.a"
+  "libtako_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tako_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

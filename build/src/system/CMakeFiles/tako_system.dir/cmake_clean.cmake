@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tako_system.dir/system.cc.o"
+  "CMakeFiles/tako_system.dir/system.cc.o.d"
+  "libtako_system.a"
+  "libtako_system.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tako_system.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tako_engine.dir/engine.cc.o"
+  "CMakeFiles/tako_engine.dir/engine.cc.o.d"
+  "CMakeFiles/tako_engine.dir/registry.cc.o"
+  "CMakeFiles/tako_engine.dir/registry.cc.o.d"
+  "libtako_engine.a"
+  "libtako_engine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tako_engine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libtako_engine.a"
+)

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tako_workloads.dir/aos_soa.cc.o"
+  "CMakeFiles/tako_workloads.dir/aos_soa.cc.o.d"
+  "CMakeFiles/tako_workloads.dir/decompress.cc.o"
+  "CMakeFiles/tako_workloads.dir/decompress.cc.o.d"
+  "CMakeFiles/tako_workloads.dir/nvm_tx.cc.o"
+  "CMakeFiles/tako_workloads.dir/nvm_tx.cc.o.d"
+  "CMakeFiles/tako_workloads.dir/pagerank_pull.cc.o"
+  "CMakeFiles/tako_workloads.dir/pagerank_pull.cc.o.d"
+  "CMakeFiles/tako_workloads.dir/pagerank_push.cc.o"
+  "CMakeFiles/tako_workloads.dir/pagerank_push.cc.o.d"
+  "CMakeFiles/tako_workloads.dir/prime_probe.cc.o"
+  "CMakeFiles/tako_workloads.dir/prime_probe.cc.o.d"
+  "libtako_workloads.a"
+  "libtako_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tako_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

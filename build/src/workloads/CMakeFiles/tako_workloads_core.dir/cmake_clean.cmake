@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tako_workloads_core.dir/graph.cc.o"
+  "CMakeFiles/tako_workloads_core.dir/graph.cc.o.d"
+  "libtako_workloads_core.a"
+  "libtako_workloads_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tako_workloads_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

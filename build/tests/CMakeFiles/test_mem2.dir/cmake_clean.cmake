@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mem2.dir/test_mem2.cc.o"
+  "CMakeFiles/test_mem2.dir/test_mem2.cc.o.d"
+  "test_mem2"
+  "test_mem2.pdb"
+  "test_mem2[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mem2.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

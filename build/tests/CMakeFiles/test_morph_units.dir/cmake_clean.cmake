@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_morph_units.dir/test_morph_units.cc.o"
+  "CMakeFiles/test_morph_units.dir/test_morph_units.cc.o.d"
+  "test_morph_units"
+  "test_morph_units.pdb"
+  "test_morph_units[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_morph_units.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

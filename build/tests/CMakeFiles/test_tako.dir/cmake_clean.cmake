@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_tako.dir/test_tako.cc.o"
+  "CMakeFiles/test_tako.dir/test_tako.cc.o.d"
+  "test_tako"
+  "test_tako.pdb"
+  "test_tako[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_tako.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for test_tako.
+# This may be replaced when dependencies are built.

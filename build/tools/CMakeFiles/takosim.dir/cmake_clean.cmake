@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/takosim.dir/takosim.cc.o"
+  "CMakeFiles/takosim.dir/takosim.cc.o.d"
+  "takosim"
+  "takosim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/takosim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
