@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "sim/trace.hh"
+#include "sim/tracesink.hh"
 
 namespace tako
 {
@@ -15,20 +16,50 @@ MemorySystem::MemorySystem(const MemParams &params, EventQueue &eq,
       stats_(stats),
       energy_(energy),
       noc_(noc),
-      l1Hits_(stats.counter("l1.hits")),
-      l1Misses_(stats.counter("l1.misses")),
-      l2Hits_(stats.counter("l2.hits")),
-      l2Misses_(stats.counter("l2.misses")),
-      l3Hits_(stats.counter("l3.hits")),
-      l3Misses_(stats.counter("l3.misses")),
-      dramReads_(stats.counter("dram.reads")),
-      dramWrites_(stats.counter("dram.writes")),
-      invalidations_(stats.counter("coherence.invalidations")),
-      downgrades_(stats.counter("coherence.downgrades")),
-      l2Evictions_(stats.counter("l2.evictions")),
-      l3Evictions_(stats.counter("l3.evictions")),
+      l1Hits_(stats.counter("l1.hits", "accesses",
+                            "demand hits in a core/engine L1d")),
+      l1Misses_(stats.counter("l1.misses", "accesses",
+                              "demand misses in a core/engine L1d")),
+      l2Hits_(stats.counter("l2.hits", "accesses",
+                            "hits in a private L2")),
+      l2Misses_(stats.counter("l2.misses", "accesses",
+                              "misses in a private L2")),
+      l3Hits_(stats.counter("l3.hits", "accesses",
+                            "hits in the shared L3")),
+      l3Misses_(stats.counter("l3.misses", "accesses",
+                              "misses in the shared L3")),
+      dramReads_(stats.counter("dram.reads", "accesses",
+                               "64B reads at the memory controllers")),
+      dramWrites_(stats.counter("dram.writes", "accesses",
+                                "64B writebacks at the controllers")),
+      invalidations_(stats.counter("coherence.invalidations", "events",
+                                   "directory-inflicted invalidations")),
+      downgrades_(stats.counter("coherence.downgrades", "events",
+                                "exclusive-owner downgrades to Shared")),
+      l2Evictions_(stats.counter("l2.evictions", "lines",
+                                 "capacity/conflict evictions from L2")),
+      l3Evictions_(stats.counter("l3.evictions", "lines",
+                                 "capacity/conflict evictions from L3")),
       rmoOps_(stats.counter("rmo.ops")),
-      prefetchesIssued_(stats.counter("prefetch.issued"))
+      prefetchesIssued_(stats.counter("prefetch.issued")),
+      hBdCache_(stats.histogram(
+          "mem.breakdown.cache", 64, 8, "cycles",
+          "per-access cycles in cache tag/data arrays (L1/L2/L3)")),
+      hBdNoc_(stats.histogram(
+          "mem.breakdown.noc", 64, 8, "cycles",
+          "per-access cycles on the mesh, incl. coherence round trips")),
+      hBdLock_(stats.histogram(
+          "mem.breakdown.lock_wait", 64, 8, "cycles",
+          "per-access cycles waiting on line locks, MSHRs, victim ways")),
+      hBdDram_(stats.histogram(
+          "mem.breakdown.dram", 64, 8, "cycles",
+          "per-access cycles in memory-controller queue + access")),
+      hBdCbWait_(stats.histogram(
+          "mem.breakdown.callback_wait", 64, 8, "cycles",
+          "per-access cycles blocked on a tako onMiss callback")),
+      hBdTotal_(stats.histogram(
+          "mem.breakdown.total", 64, 8, "cycles",
+          "end-to-end access latency (sum of breakdown components)"))
 {
     panic_if(params_.tiles != noc_.numTiles(),
              "tile count (%u) != mesh size (%u)", params_.tiles,
@@ -106,6 +137,7 @@ MemorySystem::access(AccessReq req)
     }
 
     ++inflight_;
+    const Tick t_start = eq_.now();
     TileState &t = *tiles_[req.tile];
     CacheArray &l1 = req.fromEngine ? t.engL1 : t.l1;
     // Engine accesses carry trrîp's low-priority tag (Sec. 5.2):
@@ -114,7 +146,8 @@ MemorySystem::access(AccessReq req)
     // additionally demote to eviction-first after the fill.
     const bool engine_repl = req.fromEngine;
 
-    co_await Delay{eq_, req.fromEngine ? params_.engL1Lat : params_.l1Lat};
+    const Tick l1_lat = req.fromEngine ? params_.engL1Lat : params_.l1Lat;
+    co_await Delay{eq_, l1_lat};
     if (req.fromEngine)
         energy_.engineL1Access();
     else
@@ -136,6 +169,15 @@ MemorySystem::access(AccessReq req)
         ++l1Hits_;
         l1.touch(*l1.lookup(line), engine_repl);
         const std::uint64_t v = doFunctional(req);
+        // Hit-path breakdowns are fully determined, so build them on the
+        // spot only when someone is looking: keeping a LatBreakdown local
+        // alive across the co_awaits above spills it into the coroutine
+        // frame and costs ~4% on this fast path.
+        if (observing()) {
+            LatBreakdown bd;
+            bd.cache = l1_lat;
+            finishAccess(req, t_start, bd);
+        }
         --inflight_;
         co_return v;
     }
@@ -143,18 +185,33 @@ MemorySystem::access(AccessReq req)
 
     // Serialize same-line transactions within the tile; this also merges
     // concurrent misses to the same line (MSHR-style).
+    Tick t0 = eq_.now();
     co_await t.tileLocks.acquire(line);
+    const Tick tile_lock_wait = eq_.now() - t0;
 
     if (!req.prefetch && l1_hit_ok()) {
         // A merged request filled the line while we waited.
         l1.touch(*l1.lookup(line), engine_repl);
         t.tileLocks.release(line);
         const std::uint64_t v = doFunctional(req);
+        if (observing()) {
+            LatBreakdown bd;
+            bd.cache = l1_lat;
+            bd.lockWait = tile_lock_wait;
+            finishAccess(req, t_start, bd);
+        }
         --inflight_;
         co_return v;
     }
 
+    // From here on the access is a real L2 lookup (and possibly a miss
+    // walk); that is slow enough that unconditional attribution is noise.
+    LatBreakdown bd;
+    bd.cache = l1_lat;
+    bd.lockWait = tile_lock_wait;
+
     co_await Delay{eq_, params_.l2TagLat};
+    bd.cache += params_.l2TagLat;
     energy_.l2Access();
 
     CacheWay *w2 = t.l2.lookup(line);
@@ -183,6 +240,7 @@ MemorySystem::access(AccessReq req)
     if (l2_ok) {
         ++l2Hits_;
         co_await Delay{eq_, params_.l2DataLat};
+        bd.cache += params_.l2DataLat;
         t.l2.touch(*w2, engine_repl);
         if (req.useOnce)
             t.l2.demote(*w2);
@@ -193,22 +251,26 @@ MemorySystem::access(AccessReq req)
     } else {
         ++l2Misses_;
         Semaphore &mshrs = req.fromEngine ? t.engineMshrs : t.coreMshrs;
+        t0 = eq_.now();
         co_await mshrs.acquire();
+        bd.lockWait += eq_.now() - t0;
         if (!w2 && mb && mb->level == MorphLevel::Private && mb->phantom) {
             // Private phantom miss: allocate at L2, zero the line, and
             // let onMiss generate the data (Table 1 semantics).
             co_await insertL2(req.tile, line, Coh::M, mb, engine_repl,
-                              req.useOnce);
+                              req.useOnce, &bd);
             phantomStore_.zeroLine(line);
             if (mb->hasMiss && sink_) {
                 Completion<bool> done(eq_);
                 sink_->triggerMiss(req.tile, line, *mb,
                                    [&done]() { done.complete(true); });
+                t0 = eq_.now();
                 co_await done;
+                bd.callbackWait += eq_.now() - t0;
             }
         } else {
             co_await fetchIntoL2(req.tile, line, need_m, engine_repl,
-                                 mb, req.noFetch, req.useOnce);
+                                 mb, req.noFetch, req.useOnce, bd);
         }
         mshrs.release();
     }
@@ -222,14 +284,54 @@ MemorySystem::access(AccessReq req)
 
     t.tileLocks.release(line);
     const std::uint64_t v = req.prefetch ? 0 : doFunctional(req);
+    if (observing())
+        finishAccess(req, t_start, bd);
     --inflight_;
     co_return v;
+}
+
+void
+MemorySystem::finishAccess(const AccessReq &req, Tick start,
+                           const LatBreakdown &bd)
+{
+    if (params_.latBreakdown && !req.prefetch) {
+        hBdCache_.sample(bd.cache);
+        hBdNoc_.sample(bd.noc);
+        hBdLock_.sample(bd.lockWait);
+        hBdDram_.sample(bd.dram);
+        hBdCbWait_.sample(bd.callbackWait);
+        hBdTotal_.sample(eq_.now() - start);
+    }
+    if (trace::spanEnabled(trace::Flag::Mem)) {
+        trace::ChromeTraceWriter &w = *trace::spanSink();
+        w.ensureTrack(0, "memory", req.tile,
+                      strprintf("tile%d", req.tile));
+        const char *name = "load";
+        if (req.prefetch)
+            name = "prefetch";
+        else if (req.cmd == MemCmd::Store)
+            name = "store";
+        else if (req.cmd != MemCmd::Load)
+            name = "atomic";
+        w.completeEvent(
+            "mem", name, 0, req.tile, start, eq_.now() - start,
+            strprintf("{\"addr\":\"%#llx\",\"engine\":%s,"
+                      "\"cache\":%llu,\"noc\":%llu,\"lock_wait\":%llu,"
+                      "\"dram\":%llu,\"callback_wait\":%llu}",
+                      (unsigned long long)req.addr,
+                      req.fromEngine ? "true" : "false",
+                      (unsigned long long)bd.cache,
+                      (unsigned long long)bd.noc,
+                      (unsigned long long)bd.lockWait,
+                      (unsigned long long)bd.dram,
+                      (unsigned long long)bd.callbackWait));
+    }
 }
 
 Task<>
 MemorySystem::fetchIntoL2(int tile, Addr line, bool want_m, bool engine,
                           const MorphBinding *mb, bool no_fetch,
-                          bool use_once)
+                          bool use_once, LatBreakdown &bd)
 {
     TileState &t = *tiles_[tile];
     const int bank = bankOf(line);
@@ -240,15 +342,20 @@ MemorySystem::fetchIntoL2(int tile, Addr line, bool want_m, bool engine,
              "private phantom line %#llx reached the L3 path",
              (unsigned long long)line);
 
+    Tick t0 = eq_.now();
     co_await nocHop(tile, bank, 8);
+    bd.noc += eq_.now() - t0;
+    t0 = eq_.now();
     co_await b.bankLocks.acquire(line);
+    bd.lockWait += eq_.now() - t0;
     co_await Delay{eq_, params_.l3TagLat};
+    bd.cache += params_.l3TagLat;
     energy_.l3Access();
 
     CacheWay *w3 = b.l3.lookup(line);
     if (!w3) {
         ++l3Misses_;
-        w3 = co_await allocL3Way(bank, line, mb, engine);
+        w3 = co_await allocL3Way(bank, line, mb, engine, &bd);
         if (use_once)
             b.l3.demote(*w3);
 
@@ -258,24 +365,29 @@ MemorySystem::fetchIntoL2(int tile, Addr line, bool want_m, bool engine,
                 Completion<bool> done(eq_);
                 sink_->triggerMiss(bank, line, *mb,
                                    [&done]() { done.complete(true); });
+                t0 = eq_.now();
                 co_await done;
+                bd.callbackWait += eq_.now() - t0;
             }
         } else if (shared_morph && mb->hasMiss && sink_) {
             // Real shared morph: onMiss overlaps the memory fetch
             // (Sec. 4.3: "onMiss begins executing in parallel with
-            // reading addr").
+            // reading addr"); the overlapped wait is attributed to
+            // the callback component.
             Join join(eq_);
             join.add(2);
             spawn(dramFetch(bank, line), [&join]() { join.done(); });
             sink_->triggerMiss(bank, line, *mb,
                                [&join]() { join.done(); });
+            t0 = eq_.now();
             co_await join.wait();
+            bd.callbackWait += eq_.now() - t0;
         } else if (no_fetch && want_m && !mb) {
             // Streaming store: write-combining allocation, no memory
             // read. The line becomes dirty and writes back as usual.
             w3->dirty = true;
         } else {
-            co_await dramFetch(bank, line);
+            co_await dramFetch(bank, line, &bd);
         }
     } else {
         ++l3Hits_;
@@ -324,6 +436,9 @@ MemorySystem::fetchIntoL2(int tile, Addr line, bool want_m, bool engine,
             w3->owner = -1;
         }
         co_await Delay{eq_, extra + params_.l3DataLat};
+        // Remote invalidation/downgrade round trips are NoC-dominated.
+        bd.noc += extra;
+        bd.cache += params_.l3DataLat;
         b.l3.touch(*w3, engine);
     }
 
@@ -352,28 +467,47 @@ MemorySystem::fetchIntoL2(int tile, Addr line, bool want_m, bool engine,
         if (use_once)
             t.l2.demote(*w2);
     } else {
-        co_await insertL2(tile, line, grant, mb, engine, use_once);
+        co_await insertL2(tile, line, grant, mb, engine, use_once, &bd);
     }
 
     b.bankLocks.release(line);
+    t0 = eq_.now();
     co_await nocHop(bank, tile, 72);
+    bd.noc += eq_.now() - t0;
 }
 
 Task<>
-MemorySystem::dramFetch(int bank_tile, Addr line)
+MemorySystem::dramFetch(int bank_tile, Addr line, LatBreakdown *bd)
 {
     const unsigned c = ctrlOf(line);
+    Tick t0 = eq_.now();
     co_await nocHop(bank_tile, ctrlTile(c), 8);
+    if (bd)
+        bd->noc += eq_.now() - t0;
     const Tick lat = ctrls_[c].access(eq_.now());
     TRACE(Dram, eq_.now(), "read %#llx via ctrl %u",
           (unsigned long long)line, c);
+    if (trace::spanEnabled(trace::Flag::Dram)) {
+        trace::ChromeTraceWriter &w = *trace::spanSink();
+        w.ensureTrack(2, "dram", static_cast<int>(c),
+                      strprintf("ctrl%u", c));
+        w.completeEvent("dram", "read", 2, static_cast<int>(c), eq_.now(),
+                        lat,
+                        strprintf("{\"addr\":\"%#llx\"}",
+                                  (unsigned long long)line));
+    }
     ++dramReads_;
     stats_.counter("dram.reads." + phase_)++;
     energy_.dramAccess();
     if (dramTracer_)
         dramTracer_(line, false);
     co_await Delay{eq_, lat};
+    if (bd)
+        bd->dram += lat;
+    t0 = eq_.now();
     co_await nocHop(ctrlTile(c), bank_tile, 72);
+    if (bd)
+        bd->noc += eq_.now() - t0;
 }
 
 Task<>
@@ -382,6 +516,15 @@ MemorySystem::dramWritebackTask(int bank_tile, Addr line)
     const unsigned c = ctrlOf(line);
     co_await nocHop(bank_tile, ctrlTile(c), 72);
     const Tick lat = ctrls_[c].access(eq_.now());
+    if (trace::spanEnabled(trace::Flag::Dram)) {
+        trace::ChromeTraceWriter &w = *trace::spanSink();
+        w.ensureTrack(2, "dram", static_cast<int>(c),
+                      strprintf("ctrl%u", c));
+        w.completeEvent("dram", "write", 2, static_cast<int>(c),
+                        eq_.now(), lat,
+                        strprintf("{\"addr\":\"%#llx\"}",
+                                  (unsigned long long)line));
+    }
     ++dramWrites_;
     stats_.counter("dram.writes." + phase_)++;
     energy_.dramAccess();
@@ -412,7 +555,7 @@ MemorySystem::writebackToL3Task(int tile, Addr line)
 Task<CacheWay *>
 MemorySystem::insertL2(int tile, Addr line, Coh state,
                        const MorphBinding *mb, bool engine_fill,
-                       bool use_once)
+                       bool use_once, LatBreakdown *bd)
 {
     TileState &t = *tiles_[tile];
     const bool morph_here = mb && mb->level == MorphLevel::Private;
@@ -438,6 +581,8 @@ MemorySystem::insertL2(int tile, Addr line, Coh state,
         if (victim)
             break;
         co_await Delay{eq_, 4};
+        if (bd)
+            bd->lockWait += 4;
     }
     if (victim->valid)
         evictL2Way(tile, *victim);
@@ -451,7 +596,7 @@ MemorySystem::insertL2(int tile, Addr line, Coh state,
 
 Task<CacheWay *>
 MemorySystem::allocL3Way(int bank_tile, Addr line, const MorphBinding *mb,
-                         bool engine_fill)
+                         bool engine_fill, LatBreakdown *bd)
 {
     TileState &b = *tiles_[bank_tile];
     CacheWay *victim = nullptr;
@@ -463,6 +608,8 @@ MemorySystem::allocL3Way(int bank_tile, Addr line, const MorphBinding *mb,
         if (victim)
             break;
         co_await Delay{eq_, 4};
+        if (bd)
+            bd->lockWait += 4;
     }
     if (victim->valid)
         evictL3Way(bank_tile, *victim);

@@ -43,6 +43,7 @@
 #include "sim/event_queue.hh"
 #include "sim/stats.hh"
 #include "sim/task.hh"
+#include "sim/tracesink.hh"
 
 namespace tako
 {
@@ -81,6 +82,15 @@ struct MemParams
 
     bool prefetchEnable = true;
     unsigned prefetchDegree = 8;
+
+    /**
+     * Sample per-transaction latency breakdowns into mem.breakdown.*
+     * histograms. Off by default: six histogram updates per demand
+     * access are measurable on the L1-hit fast path, so — like
+     * TAKO_TRACE and the time-series sampler — you pay only when you
+     * ask. takosim and the observability tests turn it on.
+     */
+    bool latBreakdown = false;
 };
 
 enum class MemCmd
@@ -117,6 +127,27 @@ struct AccessReq
      * may not access data with a Morph at the same or a higher level.
      */
     int callbackLevel = -1;
+};
+
+/**
+ * Per-transaction latency attribution. Every co_await on an access's
+ * critical path is charged to exactly one component, so the components
+ * always sum to the transaction's end-to-end latency. Aggregated into
+ * the mem.breakdown.* histograms.
+ */
+struct LatBreakdown
+{
+    Tick cache = 0;        ///< tag/data array latencies (L1/L2/L3)
+    Tick noc = 0;          ///< mesh traversals incl. coherence round trips
+    Tick lockWait = 0;     ///< line locks, MSHRs, victim-way stalls
+    Tick dram = 0;         ///< memory-controller queue + access
+    Tick callbackWait = 0; ///< blocked on a täkō onMiss callback
+
+    Tick
+    sum() const
+    {
+        return cache + noc + lockWait + dram + callbackWait;
+    }
 };
 
 class MemorySystem
@@ -292,10 +323,11 @@ class MemorySystem
      */
     Task<> fetchIntoL2(int tile, Addr line, bool want_m, bool engine,
                        const MorphBinding *mb, bool no_fetch,
-                       bool use_once);
+                       bool use_once, LatBreakdown &bd);
 
     /** DRAM read on the critical path (charges NoC + controller). */
-    Task<> dramFetch(int bank_tile, Addr line);
+    Task<> dramFetch(int bank_tile, Addr line,
+                     LatBreakdown *bd = nullptr);
 
     /** Detached DRAM write (writebacks). */
     void dramWriteback(int bank_tile, Addr line);
@@ -313,11 +345,13 @@ class MemorySystem
      */
     Task<CacheWay *> insertL2(int tile, Addr line, Coh state,
                               const MorphBinding *mb, bool engine_fill,
-                              bool use_once = false);
+                              bool use_once = false,
+                              LatBreakdown *bd = nullptr);
 
     /** Allocate an L3 way for @p line (same retry discipline). */
     Task<CacheWay *> allocL3Way(int bank_tile, Addr line,
-                                const MorphBinding *mb, bool engine_fill);
+                                const MorphBinding *mb, bool engine_fill,
+                                LatBreakdown *bd = nullptr);
 
     /** Insert into an L1, evicting as needed. */
     void insertL1(int tile, bool engine, Addr line, bool cold = false);
@@ -346,6 +380,26 @@ class MemorySystem
 
     /** Apply the functional effect of a committed access. */
     std::uint64_t doFunctional(const AccessReq &req);
+
+    /**
+     * Per-access epilogue: fold @p bd into the mem.breakdown.*
+     * histograms (demand accesses only) and emit the transaction span
+     * when a trace sink is installed.
+     */
+    void finishAccess(const AccessReq &req, Tick start,
+                      const LatBreakdown &bd);
+
+    /**
+     * True when some consumer wants per-access observability: either
+     * breakdown histograms (MemParams::latBreakdown) or memory-
+     * transaction spans (a trace sink with Flag::Mem enabled). The
+     * L1-hit fast path skips all attribution work when this is false.
+     */
+    bool observing() const
+    {
+        return params_.latBreakdown ||
+               trace::spanEnabled(trace::Flag::Mem);
+    }
 
     /** Stream-prefetcher bookkeeping; spawns prefetch transactions. */
     void maybePrefetch(int tile, Addr miss_line);
@@ -389,6 +443,14 @@ class MemorySystem
     Counter &l3Evictions_;
     Counter &rmoOps_;
     Counter &prefetchesIssued_;
+
+    // Per-transaction latency breakdown (demand accesses; cycles each).
+    Histogram &hBdCache_;
+    Histogram &hBdNoc_;
+    Histogram &hBdLock_;
+    Histogram &hBdDram_;
+    Histogram &hBdCbWait_;
+    Histogram &hBdTotal_;
 };
 
 } // namespace tako

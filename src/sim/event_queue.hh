@@ -78,6 +78,8 @@ class EventQueue
         // Copy out before pop: the callback may schedule new events.
         Entry e = std::move(const_cast<Entry &>(events_.top()));
         events_.pop();
+        if (e.when >= hookWatermark_) [[unlikely]]
+            fireAdvanceHook(e.when);
         now_ = e.when;
         e.fn();
         return true;
@@ -92,15 +94,44 @@ class EventQueue
 
     /**
      * Run until the queue drains or simulated time would exceed @p limit.
-     * Events at exactly @p limit still run.
+     * Events at exactly @p limit still run. Time always advances to
+     * @p limit: the full interval was simulated even when events remain
+     * pending past it (the next one is strictly later than @p limit).
      */
     void
     runUntil(Tick limit)
     {
         while (!events_.empty() && events_.top().when <= limit)
             step();
-        if (now_ < limit && events_.empty())
+        if (now_ < limit) {
+            if (limit >= hookWatermark_) [[unlikely]]
+                fireAdvanceHook(limit);
             now_ = limit;
+        }
+    }
+
+    /**
+     * Observer invoked when simulated time is about to advance to or past
+     * @p watermark, with the tick being advanced to (events at that tick
+     * have not yet run). The hook returns the next tick it wants to see;
+     * the queue stays silent until time crosses it. Used by the stats
+     * sampler to snapshot counters at fixed intervals without injecting
+     * events that would keep the queue from draining. Costs one integer
+     * compare per event when unset (or between watermarks) — never a
+     * std::function touch.
+     */
+    void
+    setAdvanceHook(std::function<Tick(Tick)> hook, Tick watermark)
+    {
+        advanceHook_ = std::move(hook);
+        hookWatermark_ = advanceHook_ ? watermark : kNoWatermark;
+    }
+
+    void
+    clearAdvanceHook()
+    {
+        advanceHook_ = nullptr;
+        hookWatermark_ = kNoWatermark;
     }
 
     /**
@@ -116,6 +147,19 @@ class EventQueue
     }
 
   private:
+    static constexpr Tick kNoWatermark = ~Tick{0};
+
+    /**
+     * Out-of-line on purpose: keeps the call (which clobbers caller-saved
+     * registers) off step()'s hot path, so the watermark miss costs one
+     * predictable compare.
+     */
+    [[gnu::noinline, gnu::cold]] void
+    fireAdvanceHook(Tick to)
+    {
+        hookWatermark_ = advanceHook_(to);
+    }
+
     struct Entry
     {
         Tick when;
@@ -138,6 +182,9 @@ class EventQueue
         events_;
     Tick now_ = 0;
     std::uint64_t nextSeq_ = 0;
+    /** Next tick the advance hook wants; kNoWatermark = hook off. */
+    Tick hookWatermark_ = kNoWatermark;
+    std::function<Tick(Tick)> advanceHook_;
 };
 
 } // namespace tako

@@ -1,5 +1,7 @@
 #include "sim/stats.hh"
 
+#include <cmath>
+#include <cstdio>
 #include <iomanip>
 
 namespace tako
@@ -26,6 +28,63 @@ matches(const std::string &name, const std::string &pattern)
 
 } // namespace
 
+namespace json
+{
+
+void
+writeString(std::ostream &os, const std::string &s)
+{
+    os << '"';
+    for (char c : s) {
+        switch (c) {
+          case '"':
+            os << "\\\"";
+            break;
+          case '\\':
+            os << "\\\\";
+            break;
+          case '\n':
+            os << "\\n";
+            break;
+          case '\r':
+            os << "\\r";
+            break;
+          case '\t':
+            os << "\\t";
+            break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x",
+                              static_cast<unsigned>(c) & 0xff);
+                os << buf;
+            } else {
+                os << c;
+            }
+        }
+    }
+    os << '"';
+}
+
+void
+writeNumber(std::ostream &os, double v)
+{
+    if (!std::isfinite(v)) {
+        // JSON has no NaN/Inf; null keeps the document parseable.
+        os << "null";
+        return;
+    }
+    if (v == std::floor(v) && std::abs(v) < 1e15) {
+        os << static_cast<long long>(v);
+        return;
+    }
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    os << buf;
+}
+
+} // namespace json
+
 double
 StatsRegistry::sumMatching(const std::string &pattern) const
 {
@@ -35,6 +94,28 @@ StatsRegistry::sumMatching(const std::string &pattern) const
             sum += kv.second.value();
     }
     return sum;
+}
+
+std::vector<std::string>
+StatsRegistry::counterNamesMatching(const std::string &pattern) const
+{
+    std::vector<std::string> names;
+    for (const auto &kv : counters_) {
+        if (matches(kv.first, pattern))
+            names.push_back(kv.first);
+    }
+    return names;
+}
+
+void
+StatsRegistry::recordSample(Tick tick)
+{
+    timeseries_.ticks.push_back(tick);
+    std::vector<double> row;
+    row.reserve(timeseries_.names.size());
+    for (const std::string &name : timeseries_.names)
+        row.push_back(get(name));
+    timeseries_.samples.push_back(std::move(row));
 }
 
 void
@@ -53,6 +134,80 @@ StatsRegistry::dump(std::ostream &os) const
            << "\n";
         os << std::setw(48) << (kv.first + ".max") << " " << h.max() << "\n";
     }
+}
+
+void
+StatsRegistry::dumpJson(std::ostream &os) const
+{
+    auto write_meta = [&](const std::string &name) {
+        if (const StatMeta *m = meta(name)) {
+            if (!m->unit.empty()) {
+                os << ", \"unit\": ";
+                json::writeString(os, m->unit);
+            }
+            if (!m->desc.empty()) {
+                os << ", \"desc\": ";
+                json::writeString(os, m->desc);
+            }
+        }
+    };
+
+    os << "{\n  \"counters\": {";
+    bool first = true;
+    for (const auto &kv : counters_) {
+        os << (first ? "\n" : ",\n") << "    ";
+        first = false;
+        json::writeString(os, kv.first);
+        os << ": {\"value\": ";
+        json::writeNumber(os, kv.second.value());
+        write_meta(kv.first);
+        os << "}";
+    }
+    os << "\n  },\n  \"histograms\": {";
+
+    first = true;
+    for (const auto &kv : histograms_) {
+        const Histogram &h = kv.second;
+        os << (first ? "\n" : ",\n") << "    ";
+        first = false;
+        json::writeString(os, kv.first);
+        os << ": {\"count\": " << h.count() << ", \"sum\": ";
+        json::writeNumber(os, h.sum());
+        os << ", \"mean\": ";
+        json::writeNumber(os, h.mean());
+        os << ", \"max\": " << h.max()
+           << ", \"bucket_width\": " << h.bucketWidth() << ", \"buckets\": [";
+        for (std::size_t i = 0; i < h.buckets().size(); ++i)
+            os << (i ? ", " : "") << h.buckets()[i];
+        os << "]";
+        write_meta(kv.first);
+        os << "}";
+    }
+    os << "\n  }";
+
+    if (timeseries_.enabled()) {
+        os << ",\n  \"timeseries\": {\n    \"interval\": "
+           << timeseries_.interval << ",\n    \"names\": [";
+        for (std::size_t i = 0; i < timeseries_.names.size(); ++i) {
+            os << (i ? ", " : "");
+            json::writeString(os, timeseries_.names[i]);
+        }
+        os << "],\n    \"ticks\": [";
+        for (std::size_t i = 0; i < timeseries_.ticks.size(); ++i)
+            os << (i ? ", " : "") << timeseries_.ticks[i];
+        os << "],\n    \"samples\": [";
+        for (std::size_t i = 0; i < timeseries_.samples.size(); ++i) {
+            os << (i ? ",\n      " : "\n      ") << "[";
+            const auto &row = timeseries_.samples[i];
+            for (std::size_t j = 0; j < row.size(); ++j) {
+                os << (j ? ", " : "");
+                json::writeNumber(os, row[j]);
+            }
+            os << "]";
+        }
+        os << "\n    ]\n  }";
+    }
+    os << "\n}\n";
 }
 
 } // namespace tako

@@ -30,18 +30,25 @@ name(Flag f)
         return "dram";
       case Flag::Rmo:
         return "rmo";
+      case Flag::Mem:
+        return "mem";
+      default:
+        // Flag::NumFlags is a count, not a bit, so it cannot appear as a
+        // case label (its value aliases a real flag's mask).
+        break;
     }
     return "?";
 }
 
+} // namespace
+
 std::uint32_t
-parseMask()
+parseSpec(const char *spec_cstr)
 {
-    const char *env = std::getenv("TAKO_TRACE");
-    if (!env || !*env)
+    if (!spec_cstr || !*spec_cstr)
         return 0;
     std::uint32_t mask = 0;
-    std::string spec(env);
+    std::string spec(spec_cstr);
     std::size_t pos = 0;
     while (pos < spec.size()) {
         const std::size_t comma = spec.find(',', pos);
@@ -49,10 +56,12 @@ parseMask()
             pos, comma == std::string::npos ? std::string::npos
                                             : comma - pos);
         if (tok == "all") {
-            mask = ~0u;
+            mask = allFlagsMask();
         } else {
             bool known = false;
-            for (std::uint32_t bit = 1; bit <= (1u << 6); bit <<= 1) {
+            for (std::uint32_t i = 0;
+                 i < static_cast<std::uint32_t>(Flag::NumFlags); ++i) {
+                const std::uint32_t bit = 1u << i;
                 if (tok == name(static_cast<Flag>(bit))) {
                     mask |= bit;
                     known = true;
@@ -71,12 +80,10 @@ parseMask()
     return mask;
 }
 
-} // namespace
-
 std::uint32_t
 enabledMask()
 {
-    static const std::uint32_t mask = parseMask();
+    static const std::uint32_t mask = parseSpec(std::getenv("TAKO_TRACE"));
     return mask;
 }
 

@@ -10,6 +10,11 @@
  * Each line carries the simulated tick and the category. Tracing is
  * compiled in (the enabled() check is one branch on a cached bitmask)
  * so any binary can be traced without rebuilding.
+ *
+ * The same categories also gate the structured span sink (tracesink.hh):
+ * when a ChromeTraceWriter is installed, transaction/callback/DRAM spans
+ * are recorded as Chrome trace events loadable in Perfetto. With no sink
+ * installed, span emission is a single branch on a null pointer.
  */
 
 #ifndef TAKO_SIM_TRACE_HH
@@ -32,7 +37,23 @@ enum class Flag : std::uint32_t
     Noc = 1u << 4,       ///< message traversals
     Dram = 1u << 5,      ///< memory-controller accesses
     Rmo = 1u << 6,       ///< remote memory operations
+    Mem = 1u << 7,       ///< end-to-end memory transactions (spans)
+
+    /** Count of defined flags; must be last. parseSpec() and "all"
+     *  derive the set of valid bits from this sentinel, so adding a
+     *  flag above (and a name in trace.cc) is all it takes. */
+    NumFlags = 8,
 };
+
+/** Mask with every defined flag set ("all"). */
+constexpr std::uint32_t
+allFlagsMask()
+{
+    return (1u << static_cast<std::uint32_t>(Flag::NumFlags)) - 1;
+}
+
+/** Parse a comma-separated category spec ("cache,engine" / "all"). */
+std::uint32_t parseSpec(const char *spec);
 
 /** Bitmask of enabled flags, parsed once from TAKO_TRACE. */
 std::uint32_t enabledMask();

@@ -1,0 +1,105 @@
+#include "sim/tracesink.hh"
+
+#include <sstream>
+
+#include "sim/stats.hh" // json::writeString
+
+namespace tako::trace
+{
+
+namespace detail
+{
+ChromeTraceWriter *g_spanSink = nullptr;
+std::uint32_t g_spanMask = 0;
+} // namespace detail
+
+void
+setSpanSink(ChromeTraceWriter *sink, std::uint32_t mask)
+{
+    detail::g_spanSink = sink;
+    detail::g_spanMask = sink ? (mask & allFlagsMask()) : 0;
+}
+
+ChromeTraceWriter::ChromeTraceWriter(std::ostream &os) : os_(os)
+{
+    os_ << "[";
+}
+
+ChromeTraceWriter::~ChromeTraceWriter()
+{
+    if (detail::g_spanSink == this)
+        setSpanSink(nullptr);
+    close();
+}
+
+void
+ChromeTraceWriter::close()
+{
+    if (closed_)
+        return;
+    closed_ = true;
+    os_ << "\n]\n";
+    os_.flush();
+}
+
+void
+ChromeTraceWriter::event(const char *ph, const char *cat, const char *name,
+                         int pid, int tid, Tick ts, Tick dur, bool has_dur,
+                         const std::string &args_json)
+{
+    panic_if(closed_, "trace event after close()");
+    os_ << (first_ ? "\n" : ",\n");
+    first_ = false;
+    os_ << "{\"ph\":\"" << ph << "\",\"pid\":" << pid
+        << ",\"tid\":" << tid << ",\"ts\":" << ts;
+    if (has_dur)
+        os_ << ",\"dur\":" << dur;
+    if (cat)
+        os_ << ",\"cat\":\"" << cat << "\"";
+    os_ << ",\"name\":";
+    json::writeString(os_, name);
+    if (!args_json.empty())
+        os_ << ",\"args\":" << args_json;
+    os_ << "}";
+    ++events_;
+}
+
+void
+ChromeTraceWriter::completeEvent(const char *cat, const char *name,
+                                 int pid, int tid, Tick ts, Tick dur,
+                                 const std::string &args_json)
+{
+    event("X", cat, name, pid, tid, ts, dur, true, args_json);
+}
+
+void
+ChromeTraceWriter::instantEvent(const char *cat, const char *name, int pid,
+                                int tid, Tick ts,
+                                const std::string &args_json)
+{
+    event("i", cat, name, pid, tid, ts, 0, false, args_json);
+}
+
+void
+ChromeTraceWriter::ensureTrack(int pid, const char *process, int tid,
+                               const std::string &thread)
+{
+    if (processes_.insert(pid).second) {
+        event("M", nullptr, "process_name", pid, 0, 0, 0, false,
+              std::string("{\"name\":\"") + process + "\"}");
+    }
+    const std::uint64_t key =
+        (static_cast<std::uint64_t>(static_cast<std::uint32_t>(pid))
+         << 32) |
+        static_cast<std::uint32_t>(tid);
+    if (tracks_.insert(key).second) {
+        std::ostringstream args;
+        args << "{\"name\":";
+        json::writeString(args, thread);
+        args << "}";
+        event("M", nullptr, "thread_name", pid, tid, 0, 0, false,
+              args.str());
+    }
+}
+
+} // namespace tako::trace

@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Structured event-trace sink: Chrome trace-event format (JSON), one
+ * event per line, directly loadable in Perfetto / chrome://tracing.
+ *
+ * Spans (memory transactions, callback dispatch/retire, DRAM bursts) are
+ * recorded as "complete" (ph:"X") events with the simulated tick as the
+ * timestamp; ticks render as microseconds in the viewer. Tracks are
+ * organized as pid/tid pairs: pid 0 = per-tile memory transactions,
+ * pid 1 = per-tile engines, pid 2 = memory controllers.
+ *
+ * A writer is installed process-wide with setSpanSink(); emission sites
+ * gate on spanEnabled(flag), which is a single branch on a cached mask
+ * (zero when no sink is installed), mirroring the TAKO_TRACE printf
+ * path's disabled-mode cost.
+ */
+
+#ifndef TAKO_SIM_TRACESINK_HH
+#define TAKO_SIM_TRACESINK_HH
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <unordered_set>
+
+#include "sim/trace.hh"
+#include "sim/types.hh"
+
+namespace tako::trace
+{
+
+class ChromeTraceWriter
+{
+  public:
+    /** Starts the JSON array; @p os must outlive the writer. */
+    explicit ChromeTraceWriter(std::ostream &os);
+
+    /** Closes the array (idempotent; also runs at destruction). */
+    ~ChromeTraceWriter();
+
+    ChromeTraceWriter(const ChromeTraceWriter &) = delete;
+    ChromeTraceWriter &operator=(const ChromeTraceWriter &) = delete;
+
+    /**
+     * One complete-span event: [ts, ts+dur) on track (pid, tid).
+     * @p args_json, if nonempty, must be a serialized JSON object.
+     */
+    void completeEvent(const char *cat, const char *name, int pid,
+                       int tid, Tick ts, Tick dur,
+                       const std::string &args_json = "");
+
+    /** One instant event at @p ts on track (pid, tid). */
+    void instantEvent(const char *cat, const char *name, int pid, int tid,
+                      Tick ts, const std::string &args_json = "");
+
+    /**
+     * Name a track the first time it is seen (emits thread_name /
+     * process_name metadata events); later calls are no-ops.
+     */
+    void ensureTrack(int pid, const char *process, int tid,
+                     const std::string &thread);
+
+    void close();
+
+    std::uint64_t eventsWritten() const { return events_; }
+
+  private:
+    void event(const char *ph, const char *cat, const char *name, int pid,
+               int tid, Tick ts, Tick dur, bool has_dur,
+               const std::string &args_json);
+
+    std::ostream &os_;
+    bool closed_ = false;
+    bool first_ = true;
+    std::uint64_t events_ = 0;
+    std::unordered_set<std::uint64_t> tracks_;
+    std::unordered_set<int> processes_;
+};
+
+namespace detail
+{
+extern ChromeTraceWriter *g_spanSink;
+extern std::uint32_t g_spanMask;
+} // namespace detail
+
+/**
+ * Install @p sink as the process-wide span sink for the categories in
+ * @p mask (default: every category). Pass nullptr to uninstall. The
+ * caller keeps ownership and must uninstall before destroying the sink.
+ */
+void setSpanSink(ChromeTraceWriter *sink,
+                 std::uint32_t mask = allFlagsMask());
+
+inline ChromeTraceWriter *spanSink() { return detail::g_spanSink; }
+
+/** One-branch gate: true iff a sink is installed and @p f is enabled. */
+inline bool
+spanEnabled(Flag f)
+{
+    return (detail::g_spanMask & static_cast<std::uint32_t>(f)) != 0;
+}
+
+} // namespace tako::trace
+
+#endif // TAKO_SIM_TRACESINK_HH

@@ -48,6 +48,13 @@ System::System(const SystemConfig &config) : config_(config), rng_(config.seed)
     engines_->setInterruptHandler([this](int core, Addr line) {
         cores_[core]->postInterrupt(line);
     });
+
+    // Last: every component above has registered its counters, so an
+    // empty pattern list ("sample everything") sees all of them.
+    if (config_.sampleInterval > 0) {
+        sampler_ = std::make_unique<StatsSampler>(
+            eq_, stats_, config_.sampleInterval, config_.samplePatterns);
+    }
 }
 
 void

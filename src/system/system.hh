@@ -18,6 +18,7 @@
 #include "noc/mesh.hh"
 #include "sim/event_queue.hh"
 #include "sim/random.hh"
+#include "sim/sampler.hh"
 #include "sim/stats.hh"
 #include "tako/engine.hh"
 #include "tako/registry.hh"
@@ -33,6 +34,12 @@ struct SystemConfig
     MeshParams mesh;
     EnergyParams energy;
     std::uint64_t seed = 1;
+
+    /** Periodic counter sampling: snapshot every @c sampleInterval
+     *  cycles into StatsRegistry::timeSeries() (0 disables). Patterns
+     *  select which counters (wildcards allowed; empty = all). */
+    Tick sampleInterval = 0;
+    std::vector<std::string> samplePatterns;
 
     /** Table 3 configuration scaled to @p cores (8 -> 4x2, 16 -> 4x4,
      *  36 -> 6x6; memory bandwidth scales with cores, Sec. 9). */
@@ -89,6 +96,7 @@ class System
     std::unique_ptr<MorphRegistry> registry_;
     std::unique_ptr<EngineCluster> engines_;
     std::vector<std::unique_ptr<Core>> cores_;
+    std::unique_ptr<StatsSampler> sampler_;
     std::vector<std::pair<int, std::function<Task<>(Guest &)>>> pending_;
 };
 

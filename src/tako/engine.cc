@@ -2,7 +2,9 @@
 
 #include <algorithm>
 
+#include "sim/logging.hh"
 #include "sim/trace.hh"
+#include "sim/tracesink.hh"
 
 namespace tako
 {
@@ -235,7 +237,22 @@ Engine::Engine(int tile, const EngineParams &params, MemorySystem &mem,
       rtlbMisses_(stats.counter("engine.rtlb.misses")),
       bitstreamLoads_(stats.counter("engine.bitstream.loads")),
       missLatency_(stats.histogram("engine.missLatency", 32, 16)),
-      bufferWait_(stats.histogram("engine.bufferWait", 16, 8))
+      bufferWait_(stats.histogram("engine.bufferWait", 16, 8)),
+      hBdAddrWait_(stats.histogram(
+          "engine.breakdown.addr_wait", 32, 8, "cycles",
+          "cycles a callback waits for same-address ordering")),
+      hBdDispatch_(stats.histogram(
+          "engine.breakdown.dispatch", 32, 8, "cycles",
+          "scheduler + fabric-slot cycles before the body starts")),
+      hBdXlate_(stats.histogram(
+          "engine.breakdown.xlate", 32, 8, "cycles",
+          "rTLB lookup + bitstream load cycles")),
+      hBdBody_(stats.histogram(
+          "engine.breakdown.body", 32, 16, "cycles",
+          "cycles spent executing the morph callback body")),
+      hBdTotal_(stats.histogram(
+          "engine.breakdown.total", 32, 16, "cycles",
+          "end-to-end callback latency, trigger to retire"))
 {
 }
 
@@ -382,26 +399,35 @@ Engine::runCallback(Request req)
     }
 
     // Callbacks on the same address execute in arrival order.
+    Tick t0 = eq_.now();
     co_await addrOrder_.acquire(req.line);
+    const Tick addr_wait = eq_.now() - t0;
 
     co_await Delay{eq_, params_.schedulerLat};
+    Tick dispatch = params_.schedulerLat;
 
     const Tick xlate = rtlbLookup(req.line) + bitstreamLookup(*req.binding);
     if (xlate > 0)
         co_await Delay{eq_, xlate};
 
-    if (!priority_miss)
+    if (!priority_miss) {
+        t0 = eq_.now();
         co_await fabricSlots_.acquire();
+        dispatch += eq_.now() - t0;
+    }
 
     EngineCtx ctx(*this, *req.binding, req.kind, req.line, req.data,
                   req.dirty);
     Morph &morph = *req.binding->morph;
+    const char *kind_name =
+        req.kind == CallbackKind::Miss
+            ? "onMiss"
+            : (req.kind == CallbackKind::Writeback ? "onWriteback"
+                                                   : "onEviction");
     TRACE(Engine, eq_.now(), "tile %d runs %s(%#llx) for '%s'", tile_,
-          req.kind == CallbackKind::Miss
-              ? "onMiss"
-              : (req.kind == CallbackKind::Writeback ? "onWriteback"
-                                                     : "onEviction"),
-          (unsigned long long)req.line, morph.traits().name.c_str());
+          kind_name, (unsigned long long)req.line,
+          morph.traits().name.c_str());
+    const Tick body_start = eq_.now();
     switch (req.kind) {
       case CallbackKind::Miss:
         ++cbMiss_;
@@ -417,12 +443,33 @@ Engine::runCallback(Request req)
         co_await morph.onWriteback(ctx);
         break;
     }
+    const Tick body = eq_.now() - body_start;
 
     if (!priority_miss) {
         fabricSlots_.release();
         bufferSlots_.release();
     }
     addrOrder_.release(req.line);
+    hBdAddrWait_.sample(addr_wait);
+    hBdDispatch_.sample(dispatch);
+    hBdXlate_.sample(xlate);
+    hBdBody_.sample(body);
+    hBdTotal_.sample(eq_.now() - enqueued);
+    if (trace::spanEnabled(trace::Flag::Engine)) {
+        trace::ChromeTraceWriter &w = *trace::spanSink();
+        w.ensureTrack(1, "engines", tile_, strprintf("tile%d", tile_));
+        w.completeEvent(
+            "engine", kind_name, 1, tile_, enqueued, eq_.now() - enqueued,
+            strprintf("{\"addr\":\"%#llx\",\"morph\":\"%s\","
+                      "\"addr_wait\":%llu,\"dispatch\":%llu,"
+                      "\"xlate\":%llu,\"body\":%llu}",
+                      (unsigned long long)req.line,
+                      morph.traits().name.c_str(),
+                      (unsigned long long)addr_wait,
+                      (unsigned long long)dispatch,
+                      (unsigned long long)xlate,
+                      (unsigned long long)body));
+    }
     TRACE(Engine, eq_.now(), "tile %d retires callback on %#llx", tile_,
           (unsigned long long)req.line);
     req.done();

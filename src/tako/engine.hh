@@ -242,6 +242,11 @@ class Engine
     Counter &bitstreamLoads_;
     Histogram &missLatency_;
     Histogram &bufferWait_;
+    Histogram &hBdAddrWait_;
+    Histogram &hBdDispatch_;
+    Histogram &hBdXlate_;
+    Histogram &hBdBody_;
+    Histogram &hBdTotal_;
 };
 
 /**

@@ -8,6 +8,7 @@
 #define TAKO_WORKLOADS_COMMON_HH
 
 #include <map>
+#include <memory>
 #include <string>
 
 #include "system/system.hh"
@@ -114,6 +115,11 @@ struct RunMetrics
     /** Case-study-specific outputs (decompressions, mispredicts, ...). */
     std::map<std::string, double> extra;
 
+    /** Full stats snapshot from the run's System (counters, histograms,
+     *  time series) for JSON export; shared because RunMetrics is
+     *  copied around freely by the figure drivers. */
+    std::shared_ptr<StatsRegistry> stats;
+
     double
     speedupOver(const RunMetrics &base) const
     {
@@ -142,6 +148,7 @@ collectMetrics(System &sys, std::string label, Tick cycles)
         static_cast<std::uint64_t>(sys.stats().get("engine.instrs"));
     m.dramReads = sys.mem().dramReads();
     m.dramWrites = sys.mem().dramWrites();
+    m.stats = std::make_shared<StatsRegistry>(sys.stats());
     return m;
 }
 

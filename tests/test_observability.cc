@@ -1,0 +1,566 @@
+/**
+ * @file
+ * Tests for the observability layer: JSON stats export, the periodic
+ * time-series sampler, per-transaction latency breakdowns, the Chrome
+ * trace-event sink, and the event-queue/trace/stats fixes that came with
+ * them (runUntil time advance, histogram parameter checking, trace-mask
+ * parsing derived from Flag::NumFlags).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <cstring>
+#include <sstream>
+
+#include "sim/sampler.hh"
+#include "sim/tracesink.hh"
+#include "system/system.hh"
+#include "workloads/common.hh"
+
+using namespace tako;
+
+namespace
+{
+
+// -------------------------------------------------------------------
+// Minimal recursive-descent JSON parser: validates syntax only. Enough
+// to prove dumpJson() / the trace writer emit well-formed documents.
+// -------------------------------------------------------------------
+
+class JsonChecker
+{
+  public:
+    explicit JsonChecker(const std::string &text) : s_(text) {}
+
+    bool
+    valid()
+    {
+        skipWs();
+        if (!value())
+            return false;
+        skipWs();
+        return pos_ == s_.size();
+    }
+
+  private:
+    bool
+    value()
+    {
+        if (pos_ >= s_.size())
+            return false;
+        switch (s_[pos_]) {
+          case '{':
+            return object();
+          case '[':
+            return array();
+          case '"':
+            return string();
+          case 't':
+            return literal("true");
+          case 'f':
+            return literal("false");
+          case 'n':
+            return literal("null");
+          default:
+            return number();
+        }
+    }
+
+    bool
+    object()
+    {
+        ++pos_; // '{'
+        skipWs();
+        if (peek() == '}') {
+            ++pos_;
+            return true;
+        }
+        for (;;) {
+            skipWs();
+            if (!string())
+                return false;
+            skipWs();
+            if (peek() != ':')
+                return false;
+            ++pos_;
+            skipWs();
+            if (!value())
+                return false;
+            skipWs();
+            if (peek() == ',') {
+                ++pos_;
+                continue;
+            }
+            if (peek() == '}') {
+                ++pos_;
+                return true;
+            }
+            return false;
+        }
+    }
+
+    bool
+    array()
+    {
+        ++pos_; // '['
+        skipWs();
+        if (peek() == ']') {
+            ++pos_;
+            return true;
+        }
+        for (;;) {
+            skipWs();
+            if (!value())
+                return false;
+            skipWs();
+            if (peek() == ',') {
+                ++pos_;
+                continue;
+            }
+            if (peek() == ']') {
+                ++pos_;
+                return true;
+            }
+            return false;
+        }
+    }
+
+    bool
+    string()
+    {
+        if (peek() != '"')
+            return false;
+        ++pos_;
+        while (pos_ < s_.size()) {
+            const char c = s_[pos_];
+            if (c == '"') {
+                ++pos_;
+                return true;
+            }
+            if (static_cast<unsigned char>(c) < 0x20)
+                return false; // control chars must be escaped
+            if (c == '\\') {
+                ++pos_;
+                if (pos_ >= s_.size())
+                    return false;
+                const char e = s_[pos_];
+                if (e == 'u') {
+                    for (int i = 0; i < 4; ++i) {
+                        ++pos_;
+                        if (pos_ >= s_.size() ||
+                            !std::isxdigit(
+                                static_cast<unsigned char>(s_[pos_])))
+                            return false;
+                    }
+                } else if (!std::strchr("\"\\/bfnrt", e)) {
+                    return false;
+                }
+            }
+            ++pos_;
+        }
+        return false;
+    }
+
+    bool
+    number()
+    {
+        const std::size_t start = pos_;
+        if (peek() == '-')
+            ++pos_;
+        while (pos_ < s_.size() &&
+               (std::isdigit(static_cast<unsigned char>(s_[pos_])) ||
+                s_[pos_] == '.' || s_[pos_] == 'e' || s_[pos_] == 'E' ||
+                s_[pos_] == '+' || s_[pos_] == '-'))
+            ++pos_;
+        return pos_ > start;
+    }
+
+    bool
+    literal(const char *lit)
+    {
+        const std::size_t n = std::strlen(lit);
+        if (s_.compare(pos_, n, lit) != 0)
+            return false;
+        pos_ += n;
+        return true;
+    }
+
+    char peek() const { return pos_ < s_.size() ? s_[pos_] : '\0'; }
+
+    void
+    skipWs()
+    {
+        while (pos_ < s_.size() &&
+               std::isspace(static_cast<unsigned char>(s_[pos_])))
+            ++pos_;
+    }
+
+    const std::string &s_;
+    std::size_t pos_ = 0;
+};
+
+SystemConfig
+smallConfig()
+{
+    SystemConfig cfg = SystemConfig::forCores(4);
+    cfg.mem.l1Size = 1024;
+    cfg.mem.l2Size = 4 * 1024;
+    cfg.mem.l3BankSize = 16 * 1024;
+    cfg.mem.prefetchEnable = false;
+    cfg.mem.latBreakdown = true;
+    return cfg;
+}
+
+} // namespace
+
+// -------------------------------------------------------------------
+// EventQueue::runUntil regression: time must advance to the limit even
+// when events remain pending beyond it.
+// -------------------------------------------------------------------
+
+TEST(EventQueue, RunUntilAdvancesPastPendingEvents)
+{
+    EventQueue eq;
+    bool ran = false;
+    eq.schedule(10, [&]() { ran = true; });
+    eq.runUntil(5);
+    EXPECT_EQ(eq.now(), 5u);
+    EXPECT_FALSE(ran);
+    EXPECT_EQ(eq.pending(), 1u);
+    eq.runUntil(10);
+    EXPECT_EQ(eq.now(), 10u);
+    EXPECT_TRUE(ran);
+}
+
+TEST(EventQueue, RunUntilAdvancesWhenEmpty)
+{
+    EventQueue eq;
+    eq.runUntil(100);
+    EXPECT_EQ(eq.now(), 100u);
+}
+
+// -------------------------------------------------------------------
+// StatsRegistry: histogram parameter checking and JSON export.
+// -------------------------------------------------------------------
+
+TEST(Stats, HistogramParamMismatchPanics)
+{
+    StatsRegistry stats;
+    stats.histogram("lat", 16, 8);
+    stats.histogram("lat", 16, 8); // same geometry: fine
+    EXPECT_DEATH(stats.histogram("lat", 32, 8), "mismatched");
+    EXPECT_DEATH(stats.histogram("lat", 16, 4), "mismatched");
+}
+
+TEST(Stats, DumpJsonParsesAndCarriesMetadata)
+{
+    StatsRegistry stats;
+    stats.counter("l1.hits", "accesses", "demand hits") += 7;
+    stats.counter("plain")++;
+    Histogram &h = stats.histogram("lat", 4, 8, "cycles", "latency");
+    h.sample(3);
+    h.sample(100); // overflow bucket
+
+    std::ostringstream os;
+    stats.dumpJson(os);
+    const std::string doc = os.str();
+
+    EXPECT_TRUE(JsonChecker(doc).valid()) << doc;
+    EXPECT_NE(doc.find("\"l1.hits\""), std::string::npos);
+    EXPECT_NE(doc.find("\"unit\": \"accesses\""), std::string::npos);
+    EXPECT_NE(doc.find("\"desc\": \"latency\""), std::string::npos);
+    // No sampler installed: no time-series section.
+    EXPECT_EQ(doc.find("\"timeseries\""), std::string::npos);
+}
+
+TEST(Stats, DumpJsonEscapesAwkwardNames)
+{
+    StatsRegistry stats;
+    stats.counter("we\"ird\\name\ttab")++;
+    std::ostringstream os;
+    stats.dumpJson(os);
+    EXPECT_TRUE(JsonChecker(os.str()).valid()) << os.str();
+}
+
+// -------------------------------------------------------------------
+// Trace-mask parsing: bounds derived from Flag::NumFlags.
+// -------------------------------------------------------------------
+
+TEST(Trace, ParseSpecCoversAllDefinedFlags)
+{
+    EXPECT_EQ(trace::parseSpec("all"), trace::allFlagsMask());
+    EXPECT_EQ(trace::parseSpec("cache"),
+              static_cast<std::uint32_t>(trace::Flag::Cache));
+    // "mem" sits above the old hardcoded 1u << 6 bound.
+    EXPECT_EQ(trace::parseSpec("mem"),
+              static_cast<std::uint32_t>(trace::Flag::Mem));
+    EXPECT_EQ(trace::parseSpec("cache,dram"),
+              static_cast<std::uint32_t>(trace::Flag::Cache) |
+                  static_cast<std::uint32_t>(trace::Flag::Dram));
+    EXPECT_EQ(trace::parseSpec("bogus"), 0u);
+    EXPECT_EQ(trace::parseSpec(nullptr), 0u);
+    // Every defined bit resolves to a real name (no "?" holes below
+    // NumFlags).
+    EXPECT_EQ(trace::allFlagsMask(),
+              (1u << static_cast<std::uint32_t>(trace::Flag::NumFlags)) -
+                  1);
+}
+
+// -------------------------------------------------------------------
+// Sampler: deterministic snapshot count and values.
+// -------------------------------------------------------------------
+
+TEST(Sampler, SnapshotsAtIntervalBoundaries)
+{
+    EventQueue eq;
+    StatsRegistry stats;
+    Counter &c = stats.counter("c");
+    StatsSampler sampler(eq, stats, 10);
+    eq.schedule(7, [&]() { c += 1; });
+    eq.schedule(25, [&]() { c += 2; });
+    eq.schedule(35, [&]() {});
+    eq.run();
+
+    const StatsTimeSeries &ts = stats.timeSeries();
+    ASSERT_EQ(ts.numSamples(), 3u);
+    EXPECT_EQ(ts.ticks, (std::vector<Tick>{10, 20, 30}));
+    // A sample at tick T sees everything that ran strictly before T.
+    EXPECT_EQ(ts.samples[0][0], 1.0);
+    EXPECT_EQ(ts.samples[1][0], 1.0);
+    EXPECT_EQ(ts.samples[2][0], 3.0);
+}
+
+TEST(Sampler, RunUntilSamplesIdleTime)
+{
+    EventQueue eq;
+    StatsRegistry stats;
+    stats.counter("c");
+    StatsSampler sampler(eq, stats, 10);
+    eq.runUntil(50);
+    EXPECT_EQ(stats.timeSeries().numSamples(), 5u);
+}
+
+TEST(Sampler, PatternSelectsCounters)
+{
+    EventQueue eq;
+    StatsRegistry stats;
+    stats.counter("l1.hits");
+    stats.counter("l1.misses");
+    stats.counter("dram.reads");
+    StatsSampler sampler(eq, stats, 10, {"l1.*"});
+    ASSERT_EQ(stats.timeSeries().names.size(), 2u);
+    EXPECT_EQ(stats.timeSeries().names[0], "l1.hits");
+    EXPECT_EQ(stats.timeSeries().names[1], "l1.misses");
+}
+
+// -------------------------------------------------------------------
+// Latency breakdowns: components account for the whole transaction.
+// -------------------------------------------------------------------
+
+TEST(Breakdown, ComponentsSumToEndToEndLatency)
+{
+    System sys(smallConfig());
+    sys.addThread(0, [&](Guest &g) -> Task<> {
+        // A spread of lines: L1 hits, L2 misses, L3 misses -> DRAM.
+        for (int rep = 0; rep < 2; ++rep) {
+            for (Addr a = 0x40000; a < 0x48000; a += 256)
+                co_await g.store(a, a);
+            for (Addr a = 0x40000; a < 0x48000; a += 256)
+                co_await g.load(a);
+        }
+    });
+    sys.run();
+
+    StatsRegistry &st = sys.stats();
+    const Histogram &total = st.histogram("mem.breakdown.total");
+    const double parts = st.histogram("mem.breakdown.cache").sum() +
+                         st.histogram("mem.breakdown.noc").sum() +
+                         st.histogram("mem.breakdown.lock_wait").sum() +
+                         st.histogram("mem.breakdown.dram").sum() +
+                         st.histogram("mem.breakdown.callback_wait").sum();
+    ASSERT_GT(total.count(), 0u);
+    EXPECT_GT(st.histogram("mem.breakdown.dram").sum(), 0.0);
+    // Every co_await on the access path is charged to exactly one
+    // component, so the parts must account for the total exactly.
+    EXPECT_DOUBLE_EQ(parts, total.sum());
+}
+
+namespace
+{
+
+class FillMorph : public Morph
+{
+  public:
+    FillMorph()
+        : Morph(MorphTraits{.name = "fill",
+                            .hasMiss = true,
+                            .missKernel = {4, 2}})
+    {
+    }
+
+    Task<>
+    onMiss(EngineCtx &ctx) override
+    {
+        co_await ctx.compute(4, 2);
+        for (unsigned i = 0; i < wordsPerLine; ++i)
+            ctx.setLineWord(i, 42 + i);
+    }
+};
+
+} // namespace
+
+TEST(Breakdown, EngineComponentsRecorded)
+{
+    System sys(smallConfig());
+    FillMorph morph;
+    std::uint64_t got = 0;
+    sys.addThread(0, [&](Guest &g) -> Task<> {
+        const MorphBinding *b = co_await g.registerPhantom(
+            morph, MorphLevel::Private, 1 << 20);
+        got = co_await g.load(b->base);
+    });
+    sys.run();
+
+    EXPECT_EQ(got, 42u);
+    StatsRegistry &st = sys.stats();
+    const Histogram &total = st.histogram("engine.breakdown.total");
+    ASSERT_GT(total.count(), 0u);
+    // dispatch includes the fixed scheduler latency, so it is nonzero
+    // whenever a callback ran at all.
+    EXPECT_GT(st.histogram("engine.breakdown.dispatch").sum(), 0.0);
+    // The miss transaction waited on the callback.
+    EXPECT_GT(st.histogram("mem.breakdown.callback_wait").sum(), 0.0);
+}
+
+// -------------------------------------------------------------------
+// Chrome trace sink.
+// -------------------------------------------------------------------
+
+TEST(TraceSink, WriterEmitsValidJson)
+{
+    std::ostringstream os;
+    {
+        trace::ChromeTraceWriter w(os);
+        w.ensureTrack(0, "memory", 3, "tile3");
+        w.completeEvent("mem", "load", 0, 3, 100, 42,
+                        "{\"addr\":\"0x1000\"}");
+        w.instantEvent("mem", "marker", 0, 3, 150);
+        EXPECT_EQ(w.eventsWritten(), 4u); // 2 metadata + 2 payload
+        w.close();
+    }
+    const std::string doc = os.str();
+    EXPECT_TRUE(JsonChecker(doc).valid()) << doc;
+    EXPECT_NE(doc.find("\"ph\":\"X\""), std::string::npos);
+    EXPECT_NE(doc.find("\"process_name\""), std::string::npos);
+    EXPECT_NE(doc.find("\"thread_name\""), std::string::npos);
+    // One event per line between the brackets, so the file can also be
+    // consumed line-at-a-time.
+    std::istringstream lines(doc);
+    std::string line;
+    std::getline(lines, line);
+    EXPECT_EQ(line, "[");
+    unsigned payload = 0;
+    while (std::getline(lines, line)) {
+        if (line == "]" || line.empty())
+            continue;
+        std::string obj = line;
+        if (!obj.empty() && obj.back() == ',')
+            obj.pop_back();
+        if (obj.front() == ',')
+            obj.erase(0, 1);
+        EXPECT_TRUE(JsonChecker(obj).valid()) << obj;
+        ++payload;
+    }
+    EXPECT_EQ(payload, 4u);
+}
+
+TEST(TraceSink, SpanGatingIsMaskBased)
+{
+    EXPECT_FALSE(trace::spanEnabled(trace::Flag::Mem));
+    std::ostringstream os;
+    trace::ChromeTraceWriter w(os);
+    trace::setSpanSink(&w,
+                       static_cast<std::uint32_t>(trace::Flag::Cache));
+    EXPECT_TRUE(trace::spanEnabled(trace::Flag::Cache));
+    EXPECT_FALSE(trace::spanEnabled(trace::Flag::Dram));
+    trace::setSpanSink(nullptr);
+    EXPECT_FALSE(trace::spanEnabled(trace::Flag::Cache));
+}
+
+TEST(TraceSink, SystemRunProducesSpans)
+{
+    std::ostringstream os;
+    {
+        trace::ChromeTraceWriter w(os);
+        trace::setSpanSink(&w);
+        System sys(smallConfig());
+        sys.addThread(0, [&](Guest &g) -> Task<> {
+            for (Addr a = 0x40000; a < 0x41000; a += 64)
+                co_await g.load(a);
+        });
+        sys.run();
+        trace::setSpanSink(nullptr);
+        EXPECT_GT(w.eventsWritten(), 0u);
+        w.close();
+    }
+    EXPECT_TRUE(JsonChecker(os.str()).valid());
+    // Memory spans and DRAM bursts both appear.
+    EXPECT_NE(os.str().find("\"name\":\"load\""), std::string::npos);
+    EXPECT_NE(os.str().find("\"name\":\"read\""), std::string::npos);
+}
+
+// -------------------------------------------------------------------
+// RunMetrics carries a stats snapshot for the JSON exporters.
+// -------------------------------------------------------------------
+
+TEST(RunMetrics, CarriesStatsSnapshot)
+{
+    System sys(smallConfig());
+    sys.addThread(0, [&](Guest &g) -> Task<> {
+        for (Addr a = 0x40000; a < 0x41000; a += 64)
+            co_await g.load(a);
+    });
+    const Tick cycles = sys.run();
+    RunMetrics m = collectMetrics(sys, "test", cycles);
+    ASSERT_TRUE(m.stats);
+    EXPECT_GT(m.stats->get("l1.misses"), 0.0);
+    // The snapshot is independent of the live registry.
+    sys.stats().counter("l1.misses") += 1000;
+    EXPECT_EQ(m.stats->get("l1.misses"), sys.stats().get("l1.misses") - 1000);
+
+    std::ostringstream os;
+    m.stats->dumpJson(os);
+    EXPECT_TRUE(JsonChecker(os.str()).valid());
+}
+
+// -------------------------------------------------------------------
+// Sampler wired through SystemConfig.
+// -------------------------------------------------------------------
+
+TEST(SystemSampling, ConfigDrivenTimeSeries)
+{
+    SystemConfig cfg = smallConfig();
+    cfg.sampleInterval = 100;
+    cfg.samplePatterns = {"l1.*", "dram.*"};
+    System sys(cfg);
+    sys.addThread(0, [&](Guest &g) -> Task<> {
+        for (Addr a = 0x40000; a < 0x44000; a += 64)
+            co_await g.load(a);
+    });
+    const Tick cycles = sys.run();
+
+    const StatsTimeSeries &ts = sys.stats().timeSeries();
+    ASSERT_TRUE(ts.enabled());
+    EXPECT_EQ(ts.numSamples(), static_cast<std::size_t>(cycles / 100));
+    ASSERT_FALSE(ts.names.empty());
+    for (const std::string &n : ts.names)
+        EXPECT_TRUE(n.rfind("l1.", 0) == 0 || n.rfind("dram.", 0) == 0)
+            << n;
+    // Sampled counters are monotone over the run.
+    const std::size_t cols = ts.names.size();
+    for (std::size_t j = 0; j < cols; ++j) {
+        for (std::size_t i = 1; i < ts.numSamples(); ++i)
+            EXPECT_GE(ts.samples[i][j], ts.samples[i - 1][j]);
+    }
+}

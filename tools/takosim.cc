@@ -16,10 +16,13 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <iostream>
 #include <map>
+#include <memory>
 #include <string>
 
+#include "sim/tracesink.hh"
 #include "workloads/aos_soa.hh"
 #include "workloads/decompress.hh"
 #include "workloads/nvm_tx.hh"
@@ -42,6 +45,11 @@ struct Options
     std::uint64_t txBytes = 16 * 1024;
     std::uint64_t seed = 1;
     bool dumpStats = false;
+    std::string statsJson;
+    std::string traceOut;
+    std::string traceMask = "all";
+    Tick sampleEvery = 0;
+    std::vector<std::string> samplePatterns;
 };
 
 [[noreturn]] void
@@ -53,8 +61,22 @@ usage()
         "aossoa]\n"
         "               [--variant=baseline|...|tako|ideal] [--cores=N]\n"
         "               [--l1=BYTES] [--l2=BYTES] [--l3bank=BYTES]\n"
-        "               [--vertices=N] [--txbytes=N] [--seed=N] "
-        "[--stats]\n");
+        "               [--vertices=N] [--txbytes=N] [--seed=N]\n"
+        "               [--stats] [--stats-json=FILE]\n"
+        "               [--trace-out=FILE] [--trace-mask=CAT[,CAT...]]\n"
+        "               [--sample-every=N] [--sample=PAT[,PAT...]]\n"
+        "\n"
+        "  --stats            dump every counter and histogram as text\n"
+        "  --stats-json=FILE  write counters, histograms, and the sampled\n"
+        "                     time series as JSON ('-' for stdout)\n"
+        "  --trace-out=FILE   write a Chrome trace-event JSON file\n"
+        "                     (loadable in Perfetto / chrome://tracing)\n"
+        "  --trace-mask=SPEC  span categories for --trace-out; same names\n"
+        "                     as TAKO_TRACE (default: all)\n"
+        "  --sample-every=N   snapshot counters every N cycles into the\n"
+        "                     time series exported by --stats-json\n"
+        "  --sample=PATS      comma-separated counter name patterns to\n"
+        "                     sample ('*' wildcards; default: all)\n");
     std::exit(2);
 }
 
@@ -94,26 +116,48 @@ parse(int argc, char **argv)
             o.seed = parseNum(val);
         else if (key == "--stats")
             o.dumpStats = true;
-        else
+        else if (key == "--stats-json")
+            o.statsJson = val;
+        else if (key == "--trace-out")
+            o.traceOut = val;
+        else if (key == "--trace-mask")
+            o.traceMask = val;
+        else if (key == "--sample-every")
+            o.sampleEvery = parseNum(val);
+        else if (key == "--sample") {
+            std::size_t pos = 0;
+            while (pos <= val.size()) {
+                const std::size_t comma = val.find(',', pos);
+                const std::string pat = val.substr(
+                    pos, comma == std::string::npos ? std::string::npos
+                                                    : comma - pos);
+                if (!pat.empty())
+                    o.samplePatterns.push_back(pat);
+                if (comma == std::string::npos)
+                    break;
+                pos = comma + 1;
+            }
+        } else
             usage();
     }
     return o;
 }
 
 void
-report(const RunMetrics &m)
+report(const RunMetrics &m, std::FILE *out)
 {
-    std::printf("variant      : %s\n", m.label.c_str());
-    std::printf("cycles       : %llu\n", (unsigned long long)m.cycles);
-    std::printf("energy (pJ)  : %.0f\n", m.energy);
-    std::printf("dram accesses: %llu\n",
-                (unsigned long long)m.dramAccesses());
-    std::printf("core instrs  : %llu\n",
-                (unsigned long long)m.coreInstrs);
-    std::printf("engine instrs: %llu\n",
-                (unsigned long long)m.engineInstrs);
+    std::fprintf(out, "variant      : %s\n", m.label.c_str());
+    std::fprintf(out, "cycles       : %llu\n",
+                 (unsigned long long)m.cycles);
+    std::fprintf(out, "energy (pJ)  : %.0f\n", m.energy);
+    std::fprintf(out, "dram accesses: %llu\n",
+                 (unsigned long long)m.dramAccesses());
+    std::fprintf(out, "core instrs  : %llu\n",
+                 (unsigned long long)m.coreInstrs);
+    std::fprintf(out, "engine instrs: %llu\n",
+                 (unsigned long long)m.engineInstrs);
     for (const auto &[k, v] : m.extra)
-        std::printf("%-13s: %.3f\n", k.c_str(), v);
+        std::fprintf(out, "%-13s: %.3f\n", k.c_str(), v);
 }
 
 } // namespace
@@ -132,6 +176,41 @@ main(int argc, char **argv)
         sys.mem.l2Size = o.l2;
     if (o.l3bank)
         sys.mem.l3BankSize = o.l3bank;
+    sys.sampleInterval = o.sampleEvery;
+    sys.samplePatterns = o.samplePatterns;
+    // takosim exists to inspect runs; always collect the mem.breakdown.*
+    // latency attribution (benches leave it off to keep the hot path
+    // lean — see MemParams::latBreakdown).
+    sys.mem.latBreakdown = true;
+
+    // Open output files up front so a bad path fails before the run,
+    // not after minutes of simulation.
+    std::ofstream statsJsonFile;
+    if (!o.statsJson.empty() && o.statsJson != "-") {
+        statsJsonFile.open(o.statsJson);
+        if (!statsJsonFile) {
+            std::fprintf(stderr, "takosim: cannot open '%s'\n",
+                         o.statsJson.c_str());
+            return 1;
+        }
+    }
+
+    // The span sink must be live before the workload constructs and runs
+    // its System; it is closed (terminating the JSON array) after the run.
+    std::ofstream traceFile;
+    std::unique_ptr<trace::ChromeTraceWriter> traceWriter;
+    if (!o.traceOut.empty()) {
+        traceFile.open(o.traceOut);
+        if (!traceFile) {
+            std::fprintf(stderr, "takosim: cannot open '%s'\n",
+                         o.traceOut.c_str());
+            return 1;
+        }
+        traceWriter =
+            std::make_unique<trace::ChromeTraceWriter>(traceFile);
+        trace::setSpanSink(traceWriter.get(),
+                           trace::parseSpec(o.traceMask.c_str()));
+    }
 
     RunMetrics m;
     if (o.workload == "decompress") {
@@ -197,12 +276,27 @@ main(int argc, char **argv)
         usage();
     }
 
-    report(m);
-    if (o.dumpStats) {
-        // Re-run with a dump is unnecessary: metrics carry the headline
-        // numbers; for full counters use the workload tests/benches.
-        std::printf("\n(extra counters are included above; per-component "
-                    "stats live in StatsRegistry dumps of the benches)\n");
+    if (traceWriter) {
+        trace::setSpanSink(nullptr);
+        traceWriter->close();
+        std::fprintf(stderr, "takosim: wrote %llu trace events to %s\n",
+                     (unsigned long long)traceWriter->eventsWritten(),
+                     o.traceOut.c_str());
+    }
+
+    // Keep stdout machine-readable when the JSON goes there.
+    report(m, o.statsJson == "-" ? stderr : stdout);
+    if (o.dumpStats && m.stats) {
+        std::ostream &os =
+            o.statsJson == "-" ? std::cerr : std::cout;
+        os << "\n";
+        m.stats->dump(os);
+    }
+    if (!o.statsJson.empty() && m.stats) {
+        if (o.statsJson == "-")
+            m.stats->dumpJson(std::cout);
+        else
+            m.stats->dumpJson(statsJsonFile);
     }
     return 0;
 }
