@@ -12,9 +12,10 @@
 using namespace tako;
 
 int
-main()
+main(int argc, char **argv)
 {
     setVerbose(false);
+    bench::Reporter rep(argc, argv, "abl_trrip");
     AosSoaConfig cfg;
     cfg.numElems = bench::quickMode() ? (8 << 10) : (64 << 10);
     cfg.hotBytes = 16 * 1024;
@@ -26,11 +27,11 @@ main()
     sys.mem.l2Size = 32 * 1024;
     sys.mem.l3BankSize = 8 * 1024;
 
-    bench::printTitle("Ablation: trrîp low-priority insertion (AoS->SoA)");
+    rep.title("Ablation: trrîp low-priority insertion (AoS->SoA)");
     RunMetrics trrip = runAosSoa(true, cfg, sys);
     RunMetrics srrip = runAosSoa(false, cfg, sys);
     std::vector<RunMetrics> rows{srrip, trrip};
-    bench::printMetricsTable(rows, {"l2missRate"});
+    rep.table(rows, {"l2missRate"});
     std::printf("\npaper: > 4x from low-priority insertion\n");
     std::printf("here : %.2fx\n", trrip.speedupOver(srrip));
     return 0;

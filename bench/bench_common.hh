@@ -1,20 +1,27 @@
 /**
  * @file
- * Shared output helpers for the figure/table benches. Every bench prints
- * the same rows/series the paper reports: speedup over the named
- * baseline, normalized energy, and the figure-specific metric.
+ * Shared harness for the figure/table benches. Every bench routes its
+ * paper-rows (speedup over the named baseline, normalized energy, the
+ * figure-specific metric) through a Reporter, which emits the familiar
+ * text tables on stdout and, when asked, a structured JSON row file
+ * that takobench aggregates into BENCH_<suite>.json.
  *
- * Environment:
- *   TAKO_QUICK=1  shrink inputs for smoke runs (CI); default sizes are
- *                 chosen to finish in about a minute per bench.
+ * Command line (parsed by the Reporter constructor):
+ *   --quick        shrink inputs for smoke runs; equivalent to (and
+ *                  kept in sync with) the TAKO_QUICK=1 environment
+ *                  variable, so child-of-takobench and hand-run
+ *                  invocations behave identically
+ *   --json=FILE    write {bench, quick, metrics, rows} JSON to FILE
+ *                  ('-' for stdout)
  */
 
 #ifndef TAKO_BENCH_BENCH_COMMON_HH
 #define TAKO_BENCH_BENCH_COMMON_HH
 
 #include <cstdio>
-#include <cstdlib>
+#include <map>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "workloads/common.hh"
@@ -22,12 +29,12 @@
 namespace tako::bench
 {
 
-inline bool
-quickMode()
-{
-    const char *q = std::getenv("TAKO_QUICK");
-    return q && q[0] == '1';
-}
+/**
+ * True when inputs should be smoke-sized. The TAKO_QUICK environment
+ * variable is parsed once (not per call); a --quick flag seen by any
+ * Reporter also turns this on for the whole process.
+ */
+bool quickMode();
 
 /**
  * Table 3 system with caches scaled down 8x for the graph benches, so
@@ -60,45 +67,63 @@ hatsSystem()
     return cfg;
 }
 
-inline void
-printTitle(const std::string &title)
-{
-    std::printf("\n=== %s ===\n", title.c_str());
-}
-
 /**
- * Print one row per variant: cycles, speedup vs. rows[base], energy
- * normalized to rows[base], DRAM accesses, instructions, plus any extra
- * metrics named in @p extras.
+ * Per-bench output channel: text tables on stdout (unchanged from the
+ * pre-takobench format) plus an optional structured JSON file.
+ *
+ * Metrics are flat "label.key" doubles ("tako.speedup",
+ * "ideal.cycles", ...); golden entries in experiment specs reference
+ * them by these names. The JSON file is written on destruction.
  */
-inline void
-printMetricsTable(const std::vector<RunMetrics> &rows,
-                  const std::vector<std::string> &extras = {},
-                  std::size_t base = 0)
+class Reporter
 {
-    std::printf("%-16s %14s %8s %8s %12s %12s %12s", "variant", "cycles",
-                "speedup", "energy", "dram", "coreInstr", "engInstr");
-    for (const auto &e : extras)
-        std::printf(" %14s", e.c_str());
-    std::printf("\n");
-    for (const auto &m : rows) {
-        std::printf("%-16s %14llu %8.2f %8.2f %12llu %12llu %12llu",
-                    m.label.c_str(), (unsigned long long)m.cycles,
-                    m.speedupOver(rows[base]), m.energyVs(rows[base]),
-                    (unsigned long long)m.dramAccesses(),
-                    (unsigned long long)m.coreInstrs,
-                    (unsigned long long)m.engineInstrs);
-        for (const auto &e : extras) {
-            auto it = m.extra.find(e);
-            std::printf(" %14.3f", it == m.extra.end() ? 0.0 : it->second);
-        }
-        std::printf("\n");
-        if (auto it = m.extra.find("correct");
-            it != m.extra.end() && it->second != 1.0) {
-            std::printf("  !! %s: RESULT MISMATCH\n", m.label.c_str());
-        }
-    }
-}
+  public:
+    /** Parses --quick / --json / --help; exits 2 on unknown flags. */
+    Reporter(int argc, char **argv, std::string benchName);
+    ~Reporter();
+
+    Reporter(const Reporter &) = delete;
+    Reporter &operator=(const Reporter &) = delete;
+
+    /** Begin a section: prints "=== title ===" like the old benches. */
+    void title(const std::string &title);
+
+    /**
+     * Print one row per variant — cycles, speedup vs. rows[base],
+     * energy normalized to rows[base], DRAM accesses, instructions,
+     * plus any extra metrics named in @p extras — and record every
+     * row's full metric set (including extras not displayed).
+     */
+    void table(const std::vector<RunMetrics> &rows,
+               const std::vector<std::string> &extras = {},
+               std::size_t base = 0);
+
+    /**
+     * Record one row of a bench-specific table (the caller prints its
+     * own text). Values become metrics "<label>.<key>".
+     */
+    void row(const std::string &label,
+             const std::vector<std::pair<std::string, double>> &values);
+
+    /** Record one standalone headline metric. */
+    void metric(const std::string &key, double value);
+
+  private:
+    void writeJson() const;
+
+    std::string bench_;
+    std::string jsonPath_;
+    std::map<std::string, double> metrics_;
+    /** (section, label, values) per recorded row, in emission order. */
+    struct Row
+    {
+        std::string section;
+        std::string label;
+        std::vector<std::pair<std::string, double>> values;
+    };
+    std::vector<Row> rows_;
+    std::string section_;
+};
 
 } // namespace tako::bench
 

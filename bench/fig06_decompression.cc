@@ -14,9 +14,10 @@
 using namespace tako;
 
 int
-main()
+main(int argc, char **argv)
 {
     setVerbose(false);
+    bench::Reporter rep(argc, argv, "fig06_decompression");
     DecompressConfig cfg;
     if (bench::quickMode()) {
         cfg.numValues = 2048;
@@ -31,13 +32,14 @@ main()
         rows.push_back(runDecompress(v, cfg, sys));
     }
 
-    bench::printTitle(
+    rep.title(
         "Fig. 6: in-cache decompression (speedup/energy vs. baseline)");
-    bench::printMetricsTable(rows, {"decompressions"});
+    rep.table(rows, {"decompressions"});
 
     const double tako_vs_base = rows[3].speedupOver(rows[0]);
     const double tako_vs_ideal =
         static_cast<double>(rows[3].cycles) / rows[4].cycles - 1.0;
+    rep.metric("tako_vs_ideal_pct", 100.0 * tako_vs_ideal);
     std::printf("\npaper: tako 2.2x vs baseline, within 1.1%% of ideal; "
                 "NDC below baseline\n");
     std::printf("here : tako %.2fx vs baseline, %.1f%% from ideal, "

@@ -12,9 +12,10 @@
 using namespace tako;
 
 int
-main()
+main(int argc, char **argv)
 {
     setVerbose(false);
+    bench::Reporter rep(argc, argv, "fig07_decompressions");
     DecompressConfig cfg;
     if (bench::quickMode()) {
         cfg.numValues = 2048;
@@ -22,17 +23,20 @@ main()
     }
     SystemConfig sys = SystemConfig::forCores(16);
 
-    bench::printTitle("Fig. 7: number of decompressions");
+    rep.title("Fig. 7: number of decompressions");
     std::printf("%-16s %16s %16s\n", "variant", "decompressions",
                 "per-access");
     for (auto v : {DecompressVariant::Baseline,
                    DecompressVariant::Precompute, DecompressVariant::Ndc,
                    DecompressVariant::Tako}) {
         RunMetrics m = runDecompress(v, cfg, sys);
+        const double per_access =
+            m.extra["decompressions"] /
+            static_cast<double>(cfg.numIndices);
         std::printf("%-16s %16.0f %16.3f\n", m.label.c_str(),
-                    m.extra["decompressions"],
-                    m.extra["decompressions"] /
-                        static_cast<double>(cfg.numIndices));
+                    m.extra["decompressions"], per_access);
+        rep.row(m.label, {{"decompressions", m.extra["decompressions"]},
+                          {"per_access", per_access}});
     }
     std::printf("\npaper: tako well below baseline (memoization); "
                 "precompute = all %llu values\n",

@@ -12,9 +12,10 @@
 using namespace tako;
 
 int
-main()
+main(int argc, char **argv)
 {
     setVerbose(false);
+    bench::Reporter rep(argc, argv, "fig13_phi_pagerank");
     PagerankPushConfig cfg;
     cfg.graph.numVertices = bench::quickMode() ? (1 << 13) : (1 << 16);
     cfg.graph.avgDegree = 10;
@@ -29,8 +30,8 @@ main()
         rows.push_back(runPagerankPush(v, cfg, sys));
     }
 
-    bench::printTitle("Fig. 13: PHI PageRank push (16 threads)");
-    bench::printMetricsTable(rows, {"inPlaceLines", "binnedUpdates"});
+    rep.title("Fig. 13: PHI PageRank push (16 threads)");
+    rep.table(rows, {"inPlaceLines", "binnedUpdates"});
 
     std::printf("\npaper: UB 3.2x, tako 4.2x, energy -27%% / -36%%\n");
     std::printf("here : UB %.2fx, tako %.2fx, energy %+.0f%% / %+.0f%%\n",

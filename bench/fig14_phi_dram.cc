@@ -12,9 +12,10 @@
 using namespace tako;
 
 int
-main()
+main(int argc, char **argv)
 {
     setVerbose(false);
+    bench::Reporter rep(argc, argv, "fig14_phi_dram");
     PagerankPushConfig cfg;
     cfg.graph.numVertices = bench::quickMode() ? (1 << 13) : (1 << 16);
     cfg.graph.avgDegree = 10;
@@ -23,7 +24,7 @@ main()
     cfg.regionVertices = 256;
     SystemConfig sys = bench::scaledGraphSystem(16);
 
-    bench::printTitle("Fig. 14: DRAM accesses per phase (PHI PageRank)");
+    rep.title("Fig. 14: DRAM accesses per phase (PHI PageRank)");
     std::printf("%-16s %12s %12s %12s %12s %10s\n", "variant", "edge",
                 "bin", "vertex", "total", "vs base");
     double base_total = 0;
@@ -34,10 +35,16 @@ main()
                              m.extra["dram.vertex"];
         if (base_total == 0)
             base_total = total;
+        const double vs_base_pct = 100.0 * (total / base_total - 1.0);
         std::printf("%-16s %12.0f %12.0f %12.0f %12.0f %9.0f%%\n",
                     m.label.c_str(), m.extra["dram.edge"],
                     m.extra["dram.bin"], m.extra["dram.vertex"], total,
-                    100.0 * (total / base_total - 1.0));
+                    vs_base_pct);
+        rep.row(m.label, {{"dram.edge", m.extra["dram.edge"]},
+                          {"dram.bin", m.extra["dram.bin"]},
+                          {"dram.vertex", m.extra["dram.vertex"]},
+                          {"dram.total", total},
+                          {"vs_base_pct", vs_base_pct}});
     }
     std::printf("\npaper: UB -43%%, tako -60%% total DRAM accesses\n");
     return 0;

@@ -12,9 +12,10 @@
 using namespace tako;
 
 int
-main()
+main(int argc, char **argv)
 {
     setVerbose(false);
+    bench::Reporter rep(argc, argv, "fig16_hats");
     PagerankPullConfig cfg;
     cfg.graph.numVertices = bench::quickMode() ? (1 << 12) : (1 << 16);
     cfg.graph.avgDegree = 20;
@@ -28,8 +29,8 @@ main()
         rows.push_back(runPagerankPull(v, cfg, sys));
     }
 
-    bench::printTitle("Fig. 16: HATS graph traversal (1 thread)");
-    bench::printMetricsTable(rows, {"edgesLogged"});
+    rep.title("Fig. 16: HATS graph traversal (1 thread)");
+    rep.table(rows, {"edgesLogged"});
 
     std::printf("\npaper: sw-bdfs ~1.0x, tako 1.43x, ideal 1.46x; "
                 "energy -17%% (tako)\n");

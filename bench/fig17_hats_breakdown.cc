@@ -13,9 +13,10 @@
 using namespace tako;
 
 int
-main()
+main(int argc, char **argv)
 {
     setVerbose(false);
+    bench::Reporter rep(argc, argv, "fig17_hats_breakdown");
     PagerankPullConfig cfg;
     cfg.graph.numVertices = bench::quickMode() ? (1 << 12) : (1 << 15);
     cfg.graph.avgDegree = 20;
@@ -23,7 +24,7 @@ main()
     cfg.graph.intraProb = 0.95;
     SystemConfig sys = bench::hatsSystem();
 
-    bench::printTitle("Fig. 17: HATS breakdown");
+    rep.title("Fig. 17: HATS breakdown");
     std::printf("%-16s %12s %12s %16s %16s\n", "variant", "dram.edge",
                 "dram.vertex", "mispredict/edge", "mean load lat");
     for (auto v : {PullVariant::VertexOrdered, PullVariant::SoftwareBdfs,
@@ -33,6 +34,11 @@ main()
                     m.label.c_str(), m.extra["dram.edge"],
                     m.extra["dram.vertex"], m.extra["mispredictsPerEdge"],
                     m.extra["meanLoadLatency"]);
+        rep.row(m.label,
+                {{"dram.edge", m.extra["dram.edge"]},
+                 {"dram.vertex", m.extra["dram.vertex"]},
+                 {"mispredicts_per_edge", m.extra["mispredictsPerEdge"]},
+                 {"mean_load_latency", m.extra["meanLoadLatency"]}});
     }
     std::printf("\npaper: BDFS/tako cut edge-phase DRAM accesses; "
                 "sw-bdfs high mispredicts; tako lowest load latency\n");

@@ -13,12 +13,13 @@
 using namespace tako;
 
 int
-main()
+main(int argc, char **argv)
 {
     setVerbose(false);
+    bench::Reporter rep(argc, argv, "fig19_nvm_tx");
     SystemConfig sys = SystemConfig::forCores(16);
 
-    bench::printTitle("Fig. 19: NVM transactions (speedup vs. journaling)");
+    rep.title("Fig. 19: NVM transactions (speedup vs. journaling)");
     std::printf("%-10s %14s %14s %8s %8s %14s\n", "txBytes", "journaling",
                 "tako", "speedup", "energy", "journaledLines");
 
@@ -43,6 +44,16 @@ main()
         if (base.extra["correct"] != 1.0 || tako.extra["correct"] != 1.0)
             std::printf("  !! RESULT MISMATCH at tx=%llu\n",
                         (unsigned long long)tx);
+        rep.row("tx" + std::to_string(tx),
+                {{"journaling_cycles", static_cast<double>(base.cycles)},
+                 {"tako_cycles", static_cast<double>(tako.cycles)},
+                 {"speedup", tako.speedupOver(base)},
+                 {"energy", tako.energyVs(base)},
+                 {"journaled_lines", tako.extra["journaledLines"]},
+                 {"correct", base.extra["correct"] == 1.0 &&
+                                     tako.extra["correct"] == 1.0
+                                 ? 1.0
+                                 : 0.0}});
     }
     std::printf("\npaper: up to 2.1x while tx fits L2 (128KB); "
                 "fallback to journaling beyond\n");

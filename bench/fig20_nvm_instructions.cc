@@ -11,15 +11,16 @@
 using namespace tako;
 
 int
-main()
+main(int argc, char **argv)
 {
     setVerbose(false);
+    bench::Reporter rep(argc, argv, "fig20_nvm_instructions");
     SystemConfig sys = SystemConfig::forCores(16);
     NvmTxConfig cfg;
     cfg.txBytes = 16 * 1024;
     cfg.numTx = bench::quickMode() ? 4 : 16;
 
-    bench::printTitle("Fig. 20: instructions per 8B written (16KB tx)");
+    rep.title("Fig. 20: instructions per 8B written (16KB tx)");
     std::printf("%-12s %12s %12s %12s\n", "variant", "core/8B",
                 "engine/8B", "total/8B");
     RunMetrics base = runNvmTx(NvmVariant::Journaling, cfg, sys);
@@ -30,14 +31,26 @@ main()
                     m->extra.at("totalInstrsPer8B") -
                         m->extra.at("coreInstrsPer8B"),
                     m->extra.at("totalInstrsPer8B"));
+        rep.row(m->label,
+                {{"core_instrs_per_8b", m->extra.at("coreInstrsPer8B")},
+                 {"engine_instrs_per_8b",
+                  m->extra.at("totalInstrsPer8B") -
+                      m->extra.at("coreInstrsPer8B")},
+                 {"total_instrs_per_8b",
+                  m->extra.at("totalInstrsPer8B")}});
     }
+    const double core_delta_pct =
+        100.0 * (tako.extra["coreInstrsPer8B"] /
+                     base.extra["coreInstrsPer8B"] -
+                 1.0);
+    const double total_delta_pct =
+        100.0 * (tako.extra["totalInstrsPer8B"] /
+                     base.extra["totalInstrsPer8B"] -
+                 1.0);
+    rep.metric("core_instr_delta_pct", core_delta_pct);
+    rep.metric("total_instr_delta_pct", total_delta_pct);
     std::printf("\npaper: tako ~-50%% core instrs, ~-36%% total\n");
     std::printf("here : tako %+.0f%% core instrs, %+.0f%% total\n",
-                100.0 * (tako.extra["coreInstrsPer8B"] /
-                             base.extra["coreInstrsPer8B"] -
-                         1.0),
-                100.0 * (tako.extra["totalInstrsPer8B"] /
-                             base.extra["totalInstrsPer8B"] -
-                         1.0));
+                core_delta_pct, total_delta_pct);
     return 0;
 }

@@ -12,14 +12,15 @@
 using namespace tako;
 
 int
-main()
+main(int argc, char **argv)
 {
     setVerbose(false);
+    bench::Reporter rep(argc, argv, "fig21_sidechannel");
     PrimeProbeConfig cfg;
     cfg.rounds = bench::quickMode() ? 16 : 64;
     SystemConfig sys = SystemConfig::forCores(16);
 
-    bench::printTitle("Fig. 21: prime+probe on AES tables at the L3");
+    rep.title("Fig. 21: prime+probe on AES tables at the L3");
     std::printf("%-10s %8s %10s %10s %12s %12s %10s\n", "variant",
                 "rounds", "leaked", "bits", "accuracy", "detected",
                 "trace len");
@@ -30,6 +31,14 @@ main()
                     r.leakedRounds, r.trueLeaks,
                     r.metrics.extra["attackAccuracy"],
                     r.detected ? "yes" : "no", r.evictionTrace.size());
+        rep.row(with_tako ? "tako" : "baseline",
+                {{"rounds", static_cast<double>(r.roundsRun)},
+                 {"leaked_rounds", static_cast<double>(r.leakedRounds)},
+                 {"bits_recovered", static_cast<double>(r.trueLeaks)},
+                 {"attack_accuracy", r.metrics.extra["attackAccuracy"]},
+                 {"detected", r.detected ? 1.0 : 0.0},
+                 {"trace_len",
+                  static_cast<double>(r.evictionTrace.size())}});
         if (with_tako && !r.evictionTrace.empty()) {
             std::printf("  eviction trace (first 5): ");
             for (std::size_t i = 0;

@@ -12,16 +12,17 @@
 using namespace tako;
 
 int
-main()
+main(int argc, char **argv)
 {
     setVerbose(false);
+    bench::Reporter rep(argc, argv, "fig22_fabric_size");
     PagerankPullConfig cfg;
     cfg.graph.numVertices = bench::quickMode() ? (1 << 12) : (1 << 14);
     cfg.graph.avgDegree = 20;
     cfg.graph.communitySize = 128;
     cfg.graph.intraProb = 0.95;
 
-    bench::printTitle("Fig. 22: HATS vs. engine fabric");
+    rep.title("Fig. 22: HATS vs. engine fabric");
     std::printf("%-12s %14s %10s\n", "engine", "cycles", "vs 5x5");
 
     auto run_with = [&](EngineKind kind, unsigned dim) {
@@ -40,19 +41,30 @@ main()
     std::printf("%-12s %14llu %9.2fx\n", "in-order",
                 (unsigned long long)inorder.cycles,
                 ref.speedupOver(inorder));
+    rep.row("inorder",
+            {{"cycles", static_cast<double>(inorder.cycles)},
+             {"vs_5x5", ref.speedupOver(inorder)}});
     for (unsigned dim : {2u, 3u, 4u, 5u, 6u}) {
         RunMetrics m =
             dim == 5 ? ref : run_with(EngineKind::Dataflow, dim);
         std::printf("%ux%-10u %14llu %9.2fx\n", dim, dim,
                     (unsigned long long)m.cycles, ref.speedupOver(m));
+        rep.row(std::to_string(dim) + "x" + std::to_string(dim),
+                {{"cycles", static_cast<double>(m.cycles)},
+                 {"vs_5x5", ref.speedupOver(m)}});
     }
     RunMetrics ideal = run_with(EngineKind::Ideal, 0);
     std::printf("%-12s %14llu %9.2fx\n", "ideal",
                 (unsigned long long)ideal.cycles, ref.speedupOver(ideal));
+    rep.row("ideal", {{"cycles", static_cast<double>(ideal.cycles)},
+                      {"vs_5x5", ref.speedupOver(ideal)}});
 
+    const double ref_vs_ideal_pct =
+        100.0 *
+        (static_cast<double>(ref.cycles) / ideal.cycles - 1.0);
+    rep.metric("5x5_vs_ideal_pct", ref_vs_ideal_pct);
     std::printf("\npaper: in-order far behind; 5x5 within 1.8%% of "
                 "ideal\nhere : 5x5 is %.1f%% from ideal\n",
-                100.0 * (static_cast<double>(ref.cycles) / ideal.cycles -
-                         1.0));
+                ref_vs_ideal_pct);
     return 0;
 }

@@ -12,9 +12,10 @@
 using namespace tako;
 
 int
-main()
+main(int argc, char **argv)
 {
     setVerbose(false);
+    bench::Reporter rep(argc, argv, "fig23_pe_latency");
     PagerankPullConfig cfg;
     cfg.graph.numVertices = bench::quickMode() ? (1 << 12) : (1 << 14);
     cfg.graph.avgDegree = 20;
@@ -25,7 +26,7 @@ main()
     RunMetrics baseline =
         runPagerankPull(PullVariant::VertexOrdered, cfg, base_sys);
 
-    bench::printTitle("Fig. 23: HATS vs. PE latency (5x5 fabric)");
+    rep.title("Fig. 23: HATS vs. PE latency (5x5 fabric)");
     std::printf("%-12s %14s %10s\n", "peLatency", "cycles",
                 "speedup vs vertex-ordered");
     for (Tick lat : {1, 2, 4, 8}) {
@@ -34,6 +35,9 @@ main()
         RunMetrics m = runPagerankPull(PullVariant::Hats, cfg, sys);
         std::printf("%-12llu %14llu %9.2fx\n", (unsigned long long)lat,
                     (unsigned long long)m.cycles, m.speedupOver(baseline));
+        rep.row("pe" + std::to_string(lat),
+                {{"cycles", static_cast<double>(m.cycles)},
+                 {"speedup", m.speedupOver(baseline)}});
     }
     std::printf("\npaper: speedup 1.43x at 1 cycle, ~1.30x at 8 cycles\n");
     return 0;

@@ -11,9 +11,10 @@
 using namespace tako;
 
 int
-main()
+main(int argc, char **argv)
 {
     setVerbose(false);
+    bench::Reporter rep(argc, argv, "fig24_core_uarch");
     PagerankPushConfig cfg;
     cfg.graph.numVertices = bench::quickMode() ? (1 << 13) : (1 << 14);
     cfg.graph.avgDegree = 10;
@@ -33,7 +34,7 @@ main()
         {"big(5w)", 5, 24},
     };
 
-    bench::printTitle("Fig. 24: PHI speedup across core uarches");
+    rep.title("Fig. 24: PHI speedup across core uarches");
     std::printf("%-14s %14s %14s %10s\n", "core", "baseline", "tako",
                 "speedup");
     for (const Uarch &u : uarches) {
@@ -46,6 +47,10 @@ main()
                     (unsigned long long)base.cycles,
                     (unsigned long long)phi.cycles,
                     phi.speedupOver(base));
+        rep.row(u.name,
+                {{"baseline_cycles", static_cast<double>(base.cycles)},
+                 {"tako_cycles", static_cast<double>(phi.cycles)},
+                 {"speedup", phi.speedupOver(base)}});
     }
     std::printf("\npaper: speedup roughly constant across uarches\n");
     return 0;

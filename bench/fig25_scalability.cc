@@ -15,7 +15,8 @@ namespace
 {
 
 void
-runRow(const char *label, unsigned cores, std::uint64_t vertices)
+runRow(bench::Reporter &rep, const char *label, unsigned cores,
+       std::uint64_t vertices)
 {
     PagerankPushConfig cfg;
     cfg.graph.numVertices = vertices;
@@ -28,29 +29,33 @@ runRow(const char *label, unsigned cores, std::uint64_t vertices)
     RunMetrics ub =
         runPagerankPush(PushVariant::UpdateBatching, cfg, sys);
     RunMetrics phi = runPagerankPush(PushVariant::Phi, cfg, sys);
+    const double vs_ub_pct = 100.0 * (phi.speedupOver(ub) - 1.0);
     std::printf("%-20s %14llu %14llu %13.0f%%\n", label,
                 (unsigned long long)ub.cycles,
-                (unsigned long long)phi.cycles,
-                100.0 * (phi.speedupOver(ub) - 1.0));
+                (unsigned long long)phi.cycles, vs_ub_pct);
+    rep.row(label, {{"ub_cycles", static_cast<double>(ub.cycles)},
+                    {"tako_cycles", static_cast<double>(phi.cycles)},
+                    {"tako_vs_ub_pct", vs_ub_pct}});
 }
 
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
     setVerbose(false);
+    bench::Reporter rep(argc, argv, "fig25_scalability");
     const bool quick = tako::bench::quickMode();
     const std::uint64_t base_v = quick ? (1 << 13) : (1 << 14);
 
-    bench::printTitle("Fig. 25: PHI vs. UB across cores and data sizes");
+    rep.title("Fig. 25: PHI vs. UB across cores and data sizes");
     std::printf("%-20s %14s %14s %14s\n", "config", "UB cycles",
                 "tako cycles", "tako vs UB");
-    runRow("8 cores", 8, base_v);
-    runRow("16 cores", 16, base_v);
-    runRow("36 cores", 36, base_v);
-    runRow("16c, edges/4", 16, base_v / 4);
-    runRow("16c, edges x2", 16, quick ? base_v : base_v * 2);
+    runRow(rep, "8 cores", 8, base_v);
+    runRow(rep, "16 cores", 16, base_v);
+    runRow(rep, "36 cores", 36, base_v);
+    runRow(rep, "16c, edges/4", 16, base_v / 4);
+    runRow(rep, "16c, edges x2", 16, quick ? base_v : base_v * 2);
     std::printf("\npaper: tako ahead of UB by ~34%%/32%%/21%% at "
                 "8/16/36 cores; gap grows with data size\n");
     return 0;

@@ -12,14 +12,15 @@
 using namespace tako;
 
 int
-main()
+main(int argc, char **argv)
 {
     setVerbose(false);
+    bench::Reporter rep(argc, argv, "sens_callback_buffer");
     NvmTxConfig cfg;
     cfg.txBytes = 64 * 1024;
     cfg.numTx = bench::quickMode() ? 4 : 12;
 
-    bench::printTitle("Sensitivity: callback-buffer entries (NVM flush)");
+    rep.title("Sensitivity: callback-buffer entries (NVM flush)");
     std::printf("%-10s %14s %10s\n", "entries", "cycles", "vs 8");
     Tick ref = 0;
     std::vector<std::pair<unsigned, Tick>> results;
@@ -36,6 +37,9 @@ main()
         std::printf("%-10u %14llu %9.2fx\n", entries,
                     (unsigned long long)cycles,
                     static_cast<double>(cycles) / ref);
+        rep.row("cb" + std::to_string(entries),
+                {{"cycles", static_cast<double>(cycles)},
+                 {"vs_8", static_cast<double>(cycles) / ref}});
     }
     std::printf("\npaper: plateau at 4 entries\n");
     return 0;

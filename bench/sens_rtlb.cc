@@ -11,16 +11,17 @@
 using namespace tako;
 
 int
-main()
+main(int argc, char **argv)
 {
     setVerbose(false);
+    bench::Reporter rep(argc, argv, "sens_rtlb");
     PagerankPullConfig cfg;
     cfg.graph.numVertices = bench::quickMode() ? (1 << 12) : (1 << 14);
     cfg.graph.avgDegree = 20;
     cfg.graph.communitySize = 128;
     cfg.graph.intraProb = 0.95;
 
-    bench::printTitle("Sensitivity: engine rTLB (HATS)");
+    rep.title("Sensitivity: engine rTLB (HATS)");
     std::printf("%-10s %-10s %14s %10s\n", "entries", "page", "cycles",
                 "vs ref");
     Tick ref = 0;
@@ -32,10 +33,13 @@ main()
             RunMetrics m = runPagerankPull(PullVariant::Hats, cfg, sys);
             if (ref == 0)
                 ref = m.cycles;
+            const char *page_name = page == 4096 ? "4KB" : "2MB";
             std::printf("%-10u %-10s %14llu %9.3fx\n", entries,
-                        page == 4096 ? "4KB" : "2MB",
-                        (unsigned long long)m.cycles,
+                        page_name, (unsigned long long)m.cycles,
                         static_cast<double>(m.cycles) / ref);
+            rep.row("rtlb" + std::to_string(entries) + "_" + page_name,
+                    {{"cycles", static_cast<double>(m.cycles)},
+                     {"vs_ref", static_cast<double>(m.cycles) / ref}});
         }
     }
     std::printf("\npaper: at most 2.1%% variation\n");

@@ -1,0 +1,392 @@
+#include "expt/json.hh"
+
+#include <cctype>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "sim/stats.hh"
+
+namespace tako::expt
+{
+
+namespace
+{
+
+const Json kNull;
+
+/** Recursive-descent JSON parser tracking the current line for errors. */
+class Parser
+{
+  public:
+    Parser(const std::string &text, std::string *err)
+        : text_(text), err_(err)
+    {
+    }
+
+    Json
+    parseDocument()
+    {
+        Json v = parseValue();
+        if (failed_)
+            return Json();
+        skipWs();
+        if (pos_ != text_.size()) {
+            fail("trailing content after JSON value");
+            return Json();
+        }
+        return v;
+    }
+
+  private:
+    Json
+    parseValue()
+    {
+        skipWs();
+        if (pos_ >= text_.size()) {
+            fail("unexpected end of input");
+            return Json();
+        }
+        switch (text_[pos_]) {
+          case '{':
+            return parseObject();
+          case '[':
+            return parseArray();
+          case '"':
+            return Json(parseString());
+          case 't':
+            return parseLiteral("true", Json(true));
+          case 'f':
+            return parseLiteral("false", Json(false));
+          case 'n':
+            return parseLiteral("null", Json());
+          default:
+            return parseNumber();
+        }
+    }
+
+    Json
+    parseObject()
+    {
+        ++pos_; // '{'
+        Json::Object obj;
+        skipWs();
+        if (peek() == '}') {
+            ++pos_;
+            return Json(std::move(obj));
+        }
+        while (!failed_) {
+            skipWs();
+            if (peek() != '"') {
+                fail("expected '\"' to begin object key");
+                break;
+            }
+            std::string key = parseString();
+            if (failed_)
+                break;
+            if (obj.count(key)) {
+                fail("duplicate key \"" + key + "\"");
+                break;
+            }
+            skipWs();
+            if (peek() != ':') {
+                fail("expected ':' after key \"" + key + "\"");
+                break;
+            }
+            ++pos_;
+            obj.emplace(std::move(key), parseValue());
+            skipWs();
+            if (peek() == ',') {
+                ++pos_;
+                continue;
+            }
+            if (peek() == '}') {
+                ++pos_;
+                return Json(std::move(obj));
+            }
+            fail("expected ',' or '}' in object");
+        }
+        return Json();
+    }
+
+    Json
+    parseArray()
+    {
+        ++pos_; // '['
+        Json::Array arr;
+        skipWs();
+        if (peek() == ']') {
+            ++pos_;
+            return Json(std::move(arr));
+        }
+        while (!failed_) {
+            arr.push_back(parseValue());
+            skipWs();
+            if (peek() == ',') {
+                ++pos_;
+                continue;
+            }
+            if (peek() == ']') {
+                ++pos_;
+                return Json(std::move(arr));
+            }
+            fail("expected ',' or ']' in array");
+        }
+        return Json();
+    }
+
+    std::string
+    parseString()
+    {
+        ++pos_; // '"'
+        std::string out;
+        while (pos_ < text_.size()) {
+            char c = text_[pos_++];
+            if (c == '"')
+                return out;
+            if (c == '\n') {
+                fail("unterminated string");
+                return out;
+            }
+            if (c != '\\') {
+                out += c;
+                continue;
+            }
+            if (pos_ >= text_.size())
+                break;
+            char esc = text_[pos_++];
+            switch (esc) {
+              case '"': out += '"'; break;
+              case '\\': out += '\\'; break;
+              case '/': out += '/'; break;
+              case 'b': out += '\b'; break;
+              case 'f': out += '\f'; break;
+              case 'n': out += '\n'; break;
+              case 'r': out += '\r'; break;
+              case 't': out += '\t'; break;
+              case 'u': {
+                if (pos_ + 4 > text_.size()) {
+                    fail("truncated \\u escape");
+                    return out;
+                }
+                unsigned code = 0;
+                for (int i = 0; i < 4; ++i) {
+                    char h = text_[pos_++];
+                    code <<= 4;
+                    if (h >= '0' && h <= '9')
+                        code |= static_cast<unsigned>(h - '0');
+                    else if (h >= 'a' && h <= 'f')
+                        code |= static_cast<unsigned>(h - 'a' + 10);
+                    else if (h >= 'A' && h <= 'F')
+                        code |= static_cast<unsigned>(h - 'A' + 10);
+                    else {
+                        fail("bad hex digit in \\u escape");
+                        return out;
+                    }
+                }
+                // UTF-8 encode the BMP code point (specs are ASCII in
+                // practice; surrogate pairs are not supported).
+                if (code < 0x80) {
+                    out += static_cast<char>(code);
+                } else if (code < 0x800) {
+                    out += static_cast<char>(0xc0 | (code >> 6));
+                    out += static_cast<char>(0x80 | (code & 0x3f));
+                } else {
+                    out += static_cast<char>(0xe0 | (code >> 12));
+                    out += static_cast<char>(0x80 | ((code >> 6) & 0x3f));
+                    out += static_cast<char>(0x80 | (code & 0x3f));
+                }
+                break;
+              }
+              default:
+                fail(std::string("bad escape '\\") + esc + "'");
+                return out;
+            }
+        }
+        fail("unterminated string");
+        return out;
+    }
+
+    Json
+    parseNumber()
+    {
+        const std::size_t start = pos_;
+        if (peek() == '-')
+            ++pos_;
+        while (pos_ < text_.size() &&
+               (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+                text_[pos_] == '.' || text_[pos_] == 'e' ||
+                text_[pos_] == 'E' || text_[pos_] == '+' ||
+                text_[pos_] == '-'))
+            ++pos_;
+        const std::string tok = text_.substr(start, pos_ - start);
+        char *end = nullptr;
+        const double v = std::strtod(tok.c_str(), &end);
+        if (tok.empty() || end != tok.c_str() + tok.size()) {
+            fail("invalid number '" + (tok.empty()
+                     ? std::string(1, text_[start]) : tok) + "'");
+            return Json();
+        }
+        return Json(v);
+    }
+
+    Json
+    parseLiteral(const char *word, Json value)
+    {
+        const std::size_t len = std::string(word).size();
+        if (text_.compare(pos_, len, word) != 0) {
+            fail(std::string("invalid literal (expected '") + word + "')");
+            return Json();
+        }
+        pos_ += len;
+        return value;
+    }
+
+    char peek() const { return pos_ < text_.size() ? text_[pos_] : '\0'; }
+
+    void
+    skipWs()
+    {
+        while (pos_ < text_.size()) {
+            const char c = text_[pos_];
+            if (c == '\n')
+                ++line_;
+            if (c != ' ' && c != '\t' && c != '\n' && c != '\r')
+                break;
+            ++pos_;
+        }
+    }
+
+    void
+    fail(const std::string &what)
+    {
+        if (failed_)
+            return;
+        failed_ = true;
+        if (err_)
+            *err_ = "line " + std::to_string(line_) + ": " + what;
+    }
+
+    const std::string &text_;
+    std::string *err_;
+    std::size_t pos_ = 0;
+    unsigned line_ = 1;
+    bool failed_ = false;
+};
+
+} // namespace
+
+const Json &
+Json::operator[](const std::string &key) const
+{
+    if (!isObject())
+        return kNull;
+    auto it = obj_.find(key);
+    return it == obj_.end() ? kNull : it->second;
+}
+
+Json &
+Json::set(const std::string &key, Json v)
+{
+    if (type_ == Type::Null)
+        type_ = Type::Object;
+    obj_[key] = std::move(v);
+    return *this;
+}
+
+Json &
+Json::append(Json v)
+{
+    if (type_ == Type::Null)
+        type_ = Type::Array;
+    arr_.push_back(std::move(v));
+    return *this;
+}
+
+Json
+Json::parse(const std::string &text, std::string *err)
+{
+    if (err)
+        err->clear();
+    Parser p(text, err);
+    return p.parseDocument();
+}
+
+Json
+Json::parseFile(const std::string &path, std::string *err)
+{
+    std::ifstream in(path);
+    if (!in) {
+        if (err)
+            *err = path + ": cannot open";
+        return Json();
+    }
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    std::string perr;
+    Json v = parse(buf.str(), &perr);
+    if (!perr.empty() && err)
+        *err = path + ": " + perr;
+    return v;
+}
+
+void
+Json::write(std::ostream &os, int depth) const
+{
+    const std::string pad(static_cast<std::size_t>(depth) * 2, ' ');
+    const std::string pad1(static_cast<std::size_t>(depth + 1) * 2, ' ');
+    switch (type_) {
+      case Type::Null:
+        os << "null";
+        break;
+      case Type::Bool:
+        os << (bool_ ? "true" : "false");
+        break;
+      case Type::Number:
+        json::writeNumber(os, num_);
+        break;
+      case Type::String:
+        json::writeString(os, str_);
+        break;
+      case Type::Array: {
+        if (arr_.empty()) {
+            os << "[]";
+            break;
+        }
+        os << "[";
+        for (std::size_t i = 0; i < arr_.size(); ++i) {
+            os << (i ? ",\n" : "\n") << pad1;
+            arr_[i].write(os, depth + 1);
+        }
+        os << "\n" << pad << "]";
+        break;
+      }
+      case Type::Object: {
+        if (obj_.empty()) {
+            os << "{}";
+            break;
+        }
+        os << "{";
+        bool first = true;
+        for (const auto &[k, v] : obj_) {
+            os << (first ? "\n" : ",\n") << pad1;
+            first = false;
+            json::writeString(os, k);
+            os << ": ";
+            v.write(os, depth + 1);
+        }
+        os << "\n" << pad << "}";
+        break;
+      }
+    }
+}
+
+std::string
+Json::str() const
+{
+    std::ostringstream os;
+    write(os);
+    return os.str();
+}
+
+} // namespace tako::expt

@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Minimal self-contained JSON document model for the experiment
+ * subsystem: parse (specs, per-run child outputs) and write (suite
+ * reports). Deliberately tiny — objects are ordered maps so output is
+ * deterministic, numbers are doubles (the stats layer already commits
+ * to that), and parse errors carry a line number so a typo in a 200-line
+ * spec is findable.
+ *
+ * This is a *reader* counterpart to the write-only helpers in
+ * sim/stats.hh (json::writeString/writeNumber), which it reuses.
+ */
+
+#ifndef TAKO_EXPT_JSON_HH
+#define TAKO_EXPT_JSON_HH
+
+#include <map>
+#include <memory>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace tako::expt
+{
+
+class Json
+{
+  public:
+    enum class Type { Null, Bool, Number, String, Array, Object };
+
+    using Array = std::vector<Json>;
+    using Object = std::map<std::string, Json>;
+
+    Json() = default;
+    Json(bool b) : type_(Type::Bool), bool_(b) {}
+    Json(double n) : type_(Type::Number), num_(n) {}
+    Json(int n) : Json(static_cast<double>(n)) {}
+    Json(std::string s) : type_(Type::String), str_(std::move(s)) {}
+    Json(const char *s) : Json(std::string(s)) {}
+    Json(Array a) : type_(Type::Array), arr_(std::move(a)) {}
+    Json(Object o) : type_(Type::Object), obj_(std::move(o)) {}
+
+    Type type() const { return type_; }
+    bool isNull() const { return type_ == Type::Null; }
+    bool isBool() const { return type_ == Type::Bool; }
+    bool isNumber() const { return type_ == Type::Number; }
+    bool isString() const { return type_ == Type::String; }
+    bool isArray() const { return type_ == Type::Array; }
+    bool isObject() const { return type_ == Type::Object; }
+
+    bool asBool(bool dflt = false) const { return isBool() ? bool_ : dflt; }
+    double asNumber(double dflt = 0) const { return isNumber() ? num_ : dflt; }
+    const std::string &asString() const { return str_; }
+    const Array &asArray() const { return arr_; }
+    const Object &asObject() const { return obj_; }
+
+    bool contains(const std::string &key) const
+    {
+        return isObject() && obj_.count(key) > 0;
+    }
+
+    /** Member lookup; a shared Null if absent or not an object. */
+    const Json &operator[](const std::string &key) const;
+
+    /** Mutable member access (makes this an object if Null). */
+    Json &set(const std::string &key, Json v);
+
+    /** Append to an array (makes this an array if Null). */
+    Json &append(Json v);
+
+    /**
+     * Parse @p text. On failure returns Null and, if @p err is given,
+     * fills it with "line N: what went wrong".
+     */
+    static Json parse(const std::string &text, std::string *err = nullptr);
+
+    /** Parse a whole file; errors are prefixed with the path. */
+    static Json parseFile(const std::string &path,
+                          std::string *err = nullptr);
+
+    /** Pretty-print with 2-space indentation and a trailing newline. */
+    void write(std::ostream &os) const { write(os, 0); os << "\n"; }
+
+    /** Serialize to a string (for tests / byte-identical comparisons). */
+    std::string str() const;
+
+  private:
+    void write(std::ostream &os, int depth) const;
+
+    Type type_ = Type::Null;
+    bool bool_ = false;
+    double num_ = 0;
+    std::string str_;
+    Array arr_;
+    Object obj_;
+};
+
+} // namespace tako::expt
+
+#endif // TAKO_EXPT_JSON_HH

@@ -1,0 +1,196 @@
+#include "expt/report.hh"
+
+#include <cstdio>
+
+namespace tako::expt
+{
+
+unsigned
+SuiteReport::numPassed() const
+{
+    unsigned n = 0;
+    for (const RunReport &r : runs)
+        n += r.pass ? 1 : 0;
+    return n;
+}
+
+std::map<std::string, double>
+extractMetrics(const Json &out)
+{
+    std::map<std::string, double> m;
+    if (out["metrics"].isObject()) {
+        // Bench Reporter format.
+        for (const auto &[k, v] : out["metrics"].asObject()) {
+            if (v.isNumber())
+                m[k] = v.asNumber();
+        }
+        return m;
+    }
+    if (out["counters"].isObject()) {
+        // takosim --stats-json format (PR 1).
+        for (const auto &[k, v] : out["counters"].asObject()) {
+            if (v["value"].isNumber())
+                m[k] = v["value"].asNumber();
+        }
+        for (const auto &[k, v] : out["histograms"].asObject()) {
+            if (v["mean"].isNumber())
+                m[k + ".mean"] = v["mean"].asNumber();
+            if (v["count"].isNumber())
+                m[k + ".count"] = v["count"].asNumber();
+        }
+    }
+    return m;
+}
+
+SuiteReport
+buildReport(const SuiteSpec &spec, const std::vector<RunOutcome> &outcomes,
+            const std::vector<std::string> &outputPaths, unsigned jobs,
+            double wallSec, const std::string &gitRev)
+{
+    SuiteReport rep;
+    rep.suite = spec.suite;
+    rep.gitRev = gitRev;
+    rep.jobs = jobs;
+    rep.wallSec = wallSec;
+
+    for (std::size_t i = 0; i < spec.runs.size(); ++i) {
+        RunReport r;
+        r.spec = &spec.runs[i];
+        r.outcome = outcomes[i];
+
+        if (!r.outcome.ok()) {
+            r.error = std::string("process ") +
+                      runStatusName(r.outcome.status);
+            if (r.outcome.status == RunStatus::Failed)
+                r.error += " (exit " +
+                           std::to_string(r.outcome.exitCode) + ")";
+            else if (r.outcome.status == RunStatus::Crashed)
+                r.error +=
+                    " (signal " + std::to_string(r.outcome.exitCode) + ")";
+        } else {
+            std::string jerr;
+            Json out = Json::parseFile(outputPaths[i], &jerr);
+            if (!jerr.empty()) {
+                r.error = "unreadable child output: " + jerr;
+            } else {
+                r.metrics = extractMetrics(out);
+                r.rows = out["rows"];
+                if (r.metrics.empty())
+                    r.error = "child output has no metrics";
+            }
+        }
+
+        if (r.error.empty()) {
+            r.pass = true;
+            for (const auto &[metric, expect] : r.spec->golden) {
+                MetricCheck c;
+                c.metric = metric;
+                c.expect = expect;
+                auto it = r.metrics.find(metric);
+                if (it == r.metrics.end()) {
+                    c.missing = true;
+                } else {
+                    c.actual = it->second;
+                    c.pass = expect.accepts(c.actual);
+                }
+                if (!c.pass)
+                    r.pass = false;
+                r.checks.push_back(std::move(c));
+            }
+            if (!r.pass)
+                r.error = "golden tolerance exceeded";
+        }
+        rep.runs.push_back(std::move(r));
+    }
+    return rep;
+}
+
+Json
+SuiteReport::toJson() const
+{
+    Json doc;
+    doc.set("schema", "takobench-v1");
+    doc.set("suite", suite);
+    doc.set("git_rev", gitRev);
+    doc.set("jobs", static_cast<double>(jobs));
+    doc.set("wall_sec", wallSec);
+    doc.set("passed", static_cast<double>(numPassed()));
+    doc.set("failed",
+            static_cast<double>(runs.size() - numPassed()));
+
+    Json runsArr;
+    for (const RunReport &r : runs) {
+        Json node;
+        node.set("name", r.spec->name);
+        node.set("target", r.spec->target);
+        node.set("kind",
+                 r.spec->kind == RunKind::Bench ? "bench" : "takosim");
+        node.set("status", runStatusName(r.outcome.status));
+        node.set("pass", r.pass);
+        node.set("attempts", static_cast<double>(r.outcome.attempts));
+        node.set("wall_sec", r.outcome.wallSec);
+        if (!r.error.empty())
+            node.set("error", r.error);
+
+        Json metrics;
+        for (const auto &[k, v] : r.metrics)
+            metrics.set(k, v);
+        if (!r.metrics.empty())
+            node.set("metrics", std::move(metrics));
+        if (r.rows.isArray())
+            node.set("rows", r.rows);
+
+        if (!r.checks.empty()) {
+            Json golden;
+            for (const MetricCheck &c : r.checks) {
+                Json g;
+                g.set("metric", c.metric);
+                g.set("expected", c.expect.value);
+                g.set("rel_tol", c.expect.relTol);
+                g.set("abs_tol", c.expect.absTol);
+                if (c.missing)
+                    g.set("missing", true);
+                else
+                    g.set("actual", c.actual);
+                g.set("pass", c.pass);
+                golden.append(std::move(g));
+            }
+            node.set("golden", std::move(golden));
+        }
+        runsArr.append(std::move(node));
+    }
+    doc.set("runs", std::move(runsArr));
+    return doc;
+}
+
+void
+printSummary(const SuiteReport &rep, std::FILE *out)
+{
+    for (const RunReport &r : rep.runs) {
+        std::fprintf(out, "  %-24s %-8s %6.1fs", r.spec->name.c_str(),
+                     r.pass ? "pass" : "FAIL", r.outcome.wallSec);
+        if (r.outcome.attempts > 1)
+            std::fprintf(out, "  (attempt %u)", r.outcome.attempts);
+        if (!r.pass && !r.error.empty())
+            std::fprintf(out, "  %s", r.error.c_str());
+        std::fprintf(out, "\n");
+        for (const MetricCheck &c : r.checks) {
+            if (c.pass)
+                continue;
+            if (c.missing)
+                std::fprintf(out, "      %s: MISSING (expected %g)\n",
+                             c.metric.c_str(), c.expect.value);
+            else
+                std::fprintf(out,
+                             "      %s: %g outside %g +/- (rel %g, "
+                             "abs %g)\n",
+                             c.metric.c_str(), c.actual, c.expect.value,
+                             c.expect.relTol, c.expect.absTol);
+        }
+    }
+    std::fprintf(out, "suite %s: %u/%zu passed (%.1fs, -j%u)\n",
+                 rep.suite.c_str(), rep.numPassed(), rep.runs.size(),
+                 rep.wallSec, rep.jobs);
+}
+
+} // namespace tako::expt

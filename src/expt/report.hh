@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Suite aggregation: merge every run's machine-readable output (bench
+ * Reporter rows or takosim --stats-json) into one BENCH_<suite>.json
+ * and judge each golden expectation.
+ *
+ * Report schema (stable; consumed by CI and tools/plot_results.py):
+ *
+ *   {
+ *     "schema": "takobench-v1",
+ *     "suite": "quick", "git_rev": "06f017a", "jobs": 8,
+ *     "wall_sec": 41.2, "passed": 17, "failed": 0,
+ *     "runs": [
+ *       {"name": "fig06", "target": "fig06_decompression",
+ *        "status": "ok", "attempts": 1, "wall_sec": 2.1,
+ *        "metrics": {"tako.speedup": 2.53, ...},
+ *        "rows": [...],                       // bench table rows, if any
+ *        "golden": [{"metric": "tako.speedup", "expected": 2.5,
+ *                    "actual": 2.53, "rel_tol": 0.25, "abs_tol": 0,
+ *                    "pass": true}]}
+ *     ]
+ *   }
+ */
+
+#ifndef TAKO_EXPT_REPORT_HH
+#define TAKO_EXPT_REPORT_HH
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "expt/runner.hh"
+#include "expt/spec.hh"
+
+namespace tako::expt
+{
+
+/** Verdict on one golden expectation. */
+struct MetricCheck
+{
+    std::string metric;
+    GoldenMetric expect;
+    double actual = 0;
+    bool missing = false; ///< metric absent from the run's output
+    bool pass = false;
+};
+
+struct RunReport
+{
+    const RunSpec *spec = nullptr;
+    RunOutcome outcome;
+    std::map<std::string, double> metrics;
+    Json rows; ///< bench table rows (Null when the child has none)
+    std::vector<MetricCheck> checks;
+
+    /** Process succeeded, output parsed, and every golden check held. */
+    bool pass = false;
+    std::string error; ///< human-readable cause when !pass
+};
+
+struct SuiteReport
+{
+    std::string suite;
+    std::string gitRev;
+    unsigned jobs = 1;
+    double wallSec = 0;
+    std::vector<RunReport> runs;
+
+    unsigned numPassed() const;
+    bool pass() const { return numPassed() == runs.size(); }
+
+    Json toJson() const;
+};
+
+/**
+ * Flatten one child's JSON output into golden-comparable metrics.
+ * Understands both producers:
+ *  - bench Reporter files: the "metrics" object is taken verbatim;
+ *  - takosim --stats-json files: each counter becomes metric
+ *    "<name>" = value (histograms contribute "<name>.mean"/".count").
+ */
+std::map<std::string, double> extractMetrics(const Json &childOutput);
+
+/**
+ * Join specs, process outcomes, and per-run output files into the suite
+ * report. @p outputPaths[i] is where run i's child was told to write its
+ * JSON (read here; absence or parse failure fails that run).
+ */
+SuiteReport buildReport(const SuiteSpec &spec,
+                        const std::vector<RunOutcome> &outcomes,
+                        const std::vector<std::string> &outputPaths,
+                        unsigned jobs, double wallSec,
+                        const std::string &gitRev);
+
+/** One line per run plus a verdict, for terminal consumption. */
+void printSummary(const SuiteReport &report, std::FILE *out);
+
+} // namespace tako::expt
+
+#endif // TAKO_EXPT_REPORT_HH

@@ -1,0 +1,200 @@
+#include "expt/runner.hh"
+
+#include <cerrno>
+#include <chrono>
+#include <csignal>
+#include <cstdio>
+#include <cstring>
+#include <map>
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+namespace tako::expt
+{
+
+namespace
+{
+
+using Clock = std::chrono::steady_clock;
+
+double
+secondsSince(Clock::time_point t0)
+{
+    return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+/** A child attempt in flight. */
+struct Child
+{
+    pid_t pid = -1;
+    std::size_t index = 0; ///< into cmds / outcomes
+    unsigned attempt = 1;
+    Clock::time_point started;
+    bool killed = false; ///< we delivered SIGKILL (timeout)
+};
+
+bool
+isExecutable(const std::string &path)
+{
+    struct stat st;
+    return ::stat(path.c_str(), &st) == 0 && S_ISREG(st.st_mode) &&
+           ::access(path.c_str(), X_OK) == 0;
+}
+
+/**
+ * fork/exec one attempt. stdout+stderr go to the command's log file
+ * (append: retries accumulate in one log). Returns -1 on spawn failure.
+ */
+pid_t
+spawn(const RunCommand &cmd)
+{
+    const pid_t pid = ::fork();
+    if (pid != 0)
+        return pid;
+
+    // Child. Own process group so a timeout can kill helpers too.
+    ::setpgid(0, 0);
+    if (!cmd.logPath.empty()) {
+        const int fd = ::open(cmd.logPath.c_str(),
+                              O_WRONLY | O_CREAT | O_APPEND, 0644);
+        if (fd >= 0) {
+            ::dup2(fd, STDOUT_FILENO);
+            ::dup2(fd, STDERR_FILENO);
+            if (fd > STDERR_FILENO)
+                ::close(fd);
+        }
+    }
+    std::vector<char *> argv;
+    argv.reserve(cmd.argv.size() + 1);
+    for (const std::string &a : cmd.argv)
+        argv.push_back(const_cast<char *>(a.c_str()));
+    argv.push_back(nullptr);
+    ::execv(argv[0], argv.data());
+    std::fprintf(stderr, "takobench: exec %s: %s\n", argv[0],
+                 std::strerror(errno));
+    ::_exit(127);
+}
+
+} // namespace
+
+const char *
+runStatusName(RunStatus s)
+{
+    switch (s) {
+      case RunStatus::Ok: return "ok";
+      case RunStatus::Failed: return "failed";
+      case RunStatus::Crashed: return "crashed";
+      case RunStatus::TimedOut: return "timeout";
+      case RunStatus::MissingBinary: return "missing-binary";
+    }
+    return "?";
+}
+
+std::vector<RunOutcome>
+runAll(const std::vector<RunCommand> &cmds, unsigned jobs,
+       const std::function<void(const RunOutcome &, unsigned done,
+                                unsigned total)> &progress)
+{
+    if (jobs == 0)
+        jobs = 1;
+
+    std::vector<RunOutcome> outcomes(cmds.size());
+    for (std::size_t i = 0; i < cmds.size(); ++i)
+        outcomes[i].name = cmds[i].name;
+
+    std::map<pid_t, Child> running;
+    std::size_t next = 0; ///< next command index to launch
+    unsigned done = 0;
+
+    auto finish = [&](std::size_t idx, RunStatus status, int code,
+                      unsigned attempt, double wall) {
+        RunOutcome &out = outcomes[idx];
+        out.status = status;
+        out.exitCode = code;
+        out.attempts = attempt;
+        out.wallSec = wall;
+        ++done;
+        if (progress)
+            progress(out, done, static_cast<unsigned>(cmds.size()));
+    };
+
+    auto launch = [&](std::size_t idx, unsigned attempt) {
+        const RunCommand &cmd = cmds[idx];
+        if (cmd.argv.empty() || !isExecutable(cmd.argv[0])) {
+            finish(idx, RunStatus::MissingBinary, 0, attempt, 0);
+            return;
+        }
+        // A fresh attempt must not inherit a half-written metrics file
+        // from a crashed or killed predecessor.
+        if (!cmd.outputJson.empty())
+            ::unlink(cmd.outputJson.c_str());
+        const pid_t pid = spawn(cmd);
+        if (pid < 0) {
+            finish(idx, RunStatus::Crashed, 0, attempt, 0);
+            return;
+        }
+        running[pid] = Child{pid, idx, attempt, Clock::now(), false};
+    };
+
+    while (next < cmds.size() || !running.empty()) {
+        while (next < cmds.size() && running.size() < jobs) {
+            launch(next, 1);
+            ++next;
+        }
+        if (running.empty())
+            continue;
+
+        // Reap anything that finished; kill anything over its timeout.
+        int wstatus = 0;
+        const pid_t pid = ::waitpid(-1, &wstatus, WNOHANG);
+        if (pid > 0 && running.count(pid)) {
+            const Child c = running[pid];
+            running.erase(pid);
+            const RunCommand &cmd = cmds[c.index];
+            const double wall = secondsSince(c.started);
+
+            RunStatus status;
+            int code = 0;
+            if (c.killed) {
+                status = RunStatus::TimedOut;
+            } else if (WIFSIGNALED(wstatus)) {
+                status = RunStatus::Crashed;
+                code = WTERMSIG(wstatus);
+            } else if (WEXITSTATUS(wstatus) != 0) {
+                status = RunStatus::Failed;
+                code = WEXITSTATUS(wstatus);
+            } else {
+                status = RunStatus::Ok;
+            }
+
+            // Crashes and timeouts are retried (transient OOM, runaway
+            // attempt); clean nonzero exits are real answers — a golden
+            // mismatch or bad flag won't change on a second try.
+            const bool retryable = status == RunStatus::Crashed ||
+                                   status == RunStatus::TimedOut;
+            if (retryable && c.attempt <= cmd.retries)
+                launch(c.index, c.attempt + 1);
+            else
+                finish(c.index, status, code, c.attempt, wall);
+            continue; // reap eagerly before sleeping again
+        }
+
+        for (auto &[cpid, c] : running) {
+            if (!c.killed &&
+                secondsSince(c.started) > cmds[c.index].timeoutSec) {
+                c.killed = true;
+                ::kill(-cpid, SIGKILL); // whole process group
+                ::kill(cpid, SIGKILL);  // in case setpgid lost the race
+            }
+        }
+        // 2ms keeps timeout detection sharp without measurable load;
+        // children run for seconds to minutes.
+        ::usleep(2000);
+    }
+    return outcomes;
+}
+
+} // namespace tako::expt

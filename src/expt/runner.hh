@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Multi-process experiment runner: fans a list of child commands out
+ * across a worker pool (fork/exec of the existing bench/takosim
+ * binaries), with per-run wall-clock timeouts, bounded retries on
+ * crash/timeout, and graceful partial-failure reporting.
+ *
+ * Parallelism never touches simulation state — every run is its own
+ * process with its own deterministic event queue — so results are
+ * identical at any -j level; outcomes are returned in submission order
+ * regardless of completion order.
+ */
+
+#ifndef TAKO_EXPT_RUNNER_HH
+#define TAKO_EXPT_RUNNER_HH
+
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace tako::expt
+{
+
+/** One resolved child invocation (spec run -> argv + housekeeping). */
+struct RunCommand
+{
+    std::string name;               ///< run name (progress + reports)
+    std::vector<std::string> argv;  ///< argv[0] = absolute binary path
+    std::string outputJson;         ///< file the child writes its metrics to
+    std::string logPath;            ///< captures child stdout+stderr
+    double timeoutSec = 120;
+    unsigned retries = 1;           ///< extra attempts after crash/timeout
+};
+
+enum class RunStatus
+{
+    Ok,            ///< exit 0 within the timeout
+    Failed,        ///< nonzero exit (assertion, mismatch, bad flag)
+    Crashed,       ///< killed by a signal
+    TimedOut,      ///< exceeded timeoutSec on every attempt
+    MissingBinary, ///< argv[0] does not exist / not executable
+};
+
+const char *runStatusName(RunStatus s);
+
+struct RunOutcome
+{
+    std::string name;
+    RunStatus status = RunStatus::Ok;
+    int exitCode = 0;      ///< exit status, or signal number if Crashed
+    unsigned attempts = 0; ///< total attempts made (1 = first try)
+    double wallSec = 0;    ///< wall time of the final attempt
+
+    bool ok() const { return status == RunStatus::Ok; }
+};
+
+/**
+ * Execute @p cmds with at most @p jobs children in flight. Never
+ * throws; a child that cannot be spawned or keeps failing is reported
+ * in its outcome and the rest of the suite still runs.
+ *
+ * @p progress (optional) is called from the scheduling loop once per
+ * finished run, in completion order, for live output.
+ */
+std::vector<RunOutcome>
+runAll(const std::vector<RunCommand> &cmds, unsigned jobs,
+       const std::function<void(const RunOutcome &, unsigned done,
+                                unsigned total)> &progress = {});
+
+} // namespace tako::expt
+
+#endif // TAKO_EXPT_RUNNER_HH

@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Declarative experiment specs for takobench.
+ *
+ * A spec file (JSON) names a suite of runs. Each run launches either a
+ * figure-bench binary or a takosim workload, with parameter overrides,
+ * and optionally pins expected "golden" metrics with tolerances. The
+ * schema (see EXPERIMENTS.md for the full reference):
+ *
+ *   {
+ *     "suite": "quick",
+ *     "defaults": {"timeout_sec": 120, "retries": 1, "quick": true},
+ *     "runs": [
+ *       {"name": "fig06", "bench": "fig06_decompression",
+ *        "golden": {"tako.speedup": {"value": 2.5, "rel_tol": 0.25}}},
+ *       {"name": "decompress-tako",
+ *        "takosim": {"workload": "decompress", "variant": "tako",
+ *                    "seed": 1},
+ *        "golden": {"engine.instrs": {"value": 60416, "rel_tol": 0.2}}}
+ *     ]
+ *   }
+ *
+ * Parsing is strict: unknown keys, duplicate run names, and malformed
+ * golden entries are errors, so a misspelled field fails loudly instead
+ * of silently running the wrong experiment.
+ */
+
+#ifndef TAKO_EXPT_SPEC_HH
+#define TAKO_EXPT_SPEC_HH
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "expt/json.hh"
+
+namespace tako::expt
+{
+
+/** Expected value for one metric, with tolerance. A metric passes iff
+ *  |actual - value| <= max(abs_tol, rel_tol * |value|). */
+struct GoldenMetric
+{
+    double value = 0;
+    double relTol = 0;
+    double absTol = 0;
+
+    bool
+    accepts(double actual) const
+    {
+        const double slack = std::max(absTol, relTol * std::abs(value));
+        return std::abs(actual - value) <= slack;
+    }
+};
+
+enum class RunKind { Bench, Takosim };
+
+/** One run of the suite: a child process plus its golden expectations. */
+struct RunSpec
+{
+    std::string name;   ///< unique within the suite; names output files
+    RunKind kind = RunKind::Bench;
+    std::string target; ///< bench binary name, or takosim workload
+
+    /** Extra `--key=value` arguments, in spec order (takosim: variant /
+     *  cores / seed / ...; bench: forwarded verbatim). */
+    std::vector<std::pair<std::string, std::string>> args;
+
+    bool quick = false;        ///< pass --quick to the child
+    double timeoutSec = 120;   ///< wall-clock kill timer per attempt
+    unsigned retries = 1;      ///< extra attempts after crash/timeout
+
+    /** Metric name -> expectation. Bench metrics use the Reporter's flat
+     *  keys ("tako.speedup"); takosim metrics use counter names. */
+    std::map<std::string, GoldenMetric> golden;
+};
+
+struct SuiteSpec
+{
+    std::string suite;
+    std::vector<RunSpec> runs;
+
+    /**
+     * Parse and validate @p doc. Returns false and sets @p err on any
+     * schema violation (the suite is then unusable).
+     */
+    static bool parse(const Json &doc, SuiteSpec &out, std::string &err);
+
+    /** Load from @p path; errors are prefixed with the path. */
+    static bool parseFile(const std::string &path, SuiteSpec &out,
+                          std::string &err);
+};
+
+} // namespace tako::expt
+
+#endif // TAKO_EXPT_SPEC_HH

@@ -1,17 +1,22 @@
 #!/usr/bin/env python3
-"""Render bench_output.txt tables as quick matplotlib charts (optional).
+"""Render bench results as quick matplotlib charts (optional).
 
 Usage: tools/plot_results.py bench_output.txt [outdir]
+       tools/plot_results.py BENCH_quick.json [outdir]
 
-Parses the "=== Fig. N ===" sections produced by the bench binaries and
-writes one PNG per figure with the variants' speedups. Requires
-matplotlib; degrades to printing the parsed tables without it.
+Accepts either the legacy text capture of the bench binaries' stdout
+(the "=== Fig. N ===" tables) or a takobench suite report
+(BENCH_<suite>.json, schema "takobench-v1"); the format is sniffed from
+the file contents. Writes one PNG per figure/run with the variants'
+leading metric. Requires matplotlib; degrades to printing the parsed
+tables without it.
 """
+import json
 import re
 import sys
 
 
-def parse(path):
+def parse_text(path):
     sections = {}
     current, rows = None, []
     for line in open(path):
@@ -27,6 +32,48 @@ def parse(path):
     if current:
         sections[current] = rows
     return sections
+
+
+def parse_suite(doc):
+    """takobench-v1 report -> {section: [[label, value], ...]}.
+
+    Each run's recorded rows become one section (grouped bars of the
+    row's first numeric column, preferring speedup/cycles when present).
+    Runs without rows (takosim runs) chart their raw metrics instead.
+    """
+    preferred = ("speedup", "cycles", "total", "mean")
+    sections = {}
+    for run in doc.get("runs", []):
+        rows = run.get("rows") or []
+        out = []
+        for row in rows:
+            numeric = {k: v for k, v in row.items()
+                       if isinstance(v, (int, float))}
+            if not numeric:
+                continue
+            key = next((p for p in preferred if p in numeric),
+                       sorted(numeric)[0])
+            label = row.get("variant") or row.get("label") or "?"
+            out.append([str(label), str(numeric[key])])
+        if not out:
+            metrics = run.get("metrics") or {}
+            out = [[k, str(v)] for k, v in sorted(metrics.items())
+                   if isinstance(v, (int, float))]
+        if out:
+            status = "" if run.get("pass", True) else " [FAIL]"
+            sections[run.get("name", "?") + status] = out
+    return sections
+
+
+def parse(path):
+    text = open(path).read()
+    if text.lstrip().startswith("{"):
+        doc = json.loads(text)
+        if doc.get("schema", "").startswith("takobench"):
+            return parse_suite(doc)
+        raise SystemExit(f"{path}: JSON but not a takobench report "
+                         "(missing \"schema\": \"takobench-v1\")")
+    return parse_text(path)
 
 
 def main():

@@ -52,11 +52,26 @@ struct Options
     std::vector<std::string> samplePatterns;
 };
 
+/** Workload -> valid variants, for --list-workloads and error text. */
+const std::vector<std::pair<const char *, const char *>> &
+workloadTable()
+{
+    static const std::vector<std::pair<const char *, const char *>> t = {
+        {"decompress", "baseline precompute ndc tako ideal"},
+        {"phi", "baseline ub tako ideal"},
+        {"hats", "baseline sw-bdfs tako ideal"},
+        {"nvm", "baseline tako ideal"},
+        {"primeprobe", "baseline tako"},
+        {"aossoa", "srrip tako"},
+    };
+    return t;
+}
+
 [[noreturn]] void
-usage()
+usage(int code)
 {
     std::fprintf(
-        stderr,
+        code ? stderr : stdout,
         "usage: takosim [--workload=decompress|phi|hats|nvm|primeprobe|"
         "aossoa]\n"
         "               [--variant=baseline|...|tako|ideal] [--cores=N]\n"
@@ -76,8 +91,19 @@ usage()
         "  --sample-every=N   snapshot counters every N cycles into the\n"
         "                     time series exported by --stats-json\n"
         "  --sample=PATS      comma-separated counter name patterns to\n"
-        "                     sample ('*' wildcards; default: all)\n");
-    std::exit(2);
+        "                     sample ('*' wildcards; default: all)\n"
+        "  --list-workloads   print workloads and their variants\n"
+        "  --help             this text\n");
+    std::exit(code);
+}
+
+[[noreturn]] void
+listWorkloads(int code = 0)
+{
+    std::FILE *out = code ? stderr : stdout;
+    for (const auto &[name, variants] : workloadTable())
+        std::fprintf(out, "%-12s variants: %s\n", name, variants);
+    std::exit(code);
 }
 
 std::uint64_t
@@ -96,7 +122,11 @@ parse(int argc, char **argv)
         const std::string key = arg.substr(0, eq);
         const std::string val =
             eq == std::string::npos ? "" : arg.substr(eq + 1);
-        if (key == "--workload")
+        if (key == "--help" || key == "-h")
+            usage(0);
+        else if (key == "--list-workloads")
+            listWorkloads();
+        else if (key == "--workload")
             o.workload = val;
         else if (key == "--variant")
             o.variant = val;
@@ -137,10 +167,36 @@ parse(int argc, char **argv)
                     break;
                 pos = comma + 1;
             }
-        } else
-            usage();
+        } else {
+            // A misspelled flag must fail loudly: batch drivers
+            // (takobench) rely on bad argv being an error, not a
+            // silently-default run.
+            std::fprintf(stderr,
+                         "takosim: unknown option '%s' (valid options "
+                         "listed below)\n\n",
+                         arg.c_str());
+            usage(2);
+        }
     }
     return o;
+}
+
+/** Fail with the valid variants for @p workload. */
+[[noreturn]] void
+badVariant(const std::string &workload, const std::string &variant)
+{
+    for (const auto &[name, variants] : workloadTable()) {
+        if (workload == name) {
+            std::fprintf(stderr,
+                         "takosim: unknown variant '%s' for workload "
+                         "'%s' (valid: %s)\n",
+                         variant.c_str(), workload.c_str(), variants);
+            std::exit(2);
+        }
+    }
+    std::fprintf(stderr, "takosim: unknown workload '%s'\n",
+                 workload.c_str());
+    std::exit(2);
 }
 
 void
@@ -223,7 +279,7 @@ main(int argc, char **argv)
             {"tako", DecompressVariant::Tako},
             {"ideal", DecompressVariant::TakoIdeal}};
         if (!v.count(o.variant))
-            usage();
+            badVariant(o.workload, o.variant);
         m = runDecompress(v[o.variant], cfg, sys);
     } else if (o.workload == "phi") {
         PagerankPushConfig cfg;
@@ -237,7 +293,7 @@ main(int argc, char **argv)
             {"tako", PushVariant::Phi},
             {"ideal", PushVariant::PhiIdeal}};
         if (!v.count(o.variant))
-            usage();
+            badVariant(o.workload, o.variant);
         m = runPagerankPush(v[o.variant], cfg, sys);
     } else if (o.workload == "hats") {
         PagerankPullConfig cfg;
@@ -249,7 +305,7 @@ main(int argc, char **argv)
             {"tako", PullVariant::Hats},
             {"ideal", PullVariant::HatsIdeal}};
         if (!v.count(o.variant))
-            usage();
+            badVariant(o.workload, o.variant);
         m = runPagerankPull(v[o.variant], cfg, sys);
     } else if (o.workload == "nvm") {
         NvmTxConfig cfg;
@@ -259,7 +315,7 @@ main(int argc, char **argv)
             {"tako", NvmVariant::Tako},
             {"ideal", NvmVariant::TakoIdeal}};
         if (!v.count(o.variant))
-            usage();
+            badVariant(o.workload, o.variant);
         m = runNvmTx(v[o.variant], cfg, sys);
     } else if (o.workload == "primeprobe") {
         PrimeProbeConfig cfg;
@@ -273,7 +329,9 @@ main(int argc, char **argv)
         cfg.seed = o.seed;
         m = runAosSoa(o.variant != "srrip", cfg, sys);
     } else {
-        usage();
+        std::fprintf(stderr, "takosim: unknown workload '%s'\n\n",
+                     o.workload.c_str());
+        listWorkloads(2);
     }
 
     if (traceWriter) {
