@@ -99,6 +99,15 @@ buildReport(const SuiteSpec &spec, const std::vector<RunOutcome> &outcomes,
             }
             if (!r.pass)
                 r.error = "golden tolerance exceeded";
+            // Extras are observational: record or note as missing, but
+            // never change the verdict.
+            for (const std::string &name : r.spec->extras) {
+                auto it = r.metrics.find(name);
+                if (it == r.metrics.end())
+                    r.extrasMissing.push_back(name);
+                else
+                    r.extras.emplace(name, it->second);
+            }
         }
         rep.runs.push_back(std::move(r));
     }
@@ -157,6 +166,19 @@ SuiteReport::toJson() const
             }
             node.set("golden", std::move(golden));
         }
+
+        if (!r.extras.empty()) {
+            Json extras;
+            for (const auto &[k, v] : r.extras)
+                extras.set(k, v);
+            node.set("extras", std::move(extras));
+        }
+        if (!r.extrasMissing.empty()) {
+            Json missing;
+            for (const std::string &name : r.extrasMissing)
+                missing.append(Json(name));
+            node.set("extras_missing", std::move(missing));
+        }
         runsArr.append(std::move(node));
     }
     doc.set("runs", std::move(runsArr));
@@ -187,6 +209,11 @@ printSummary(const SuiteReport &rep, std::FILE *out)
                              c.metric.c_str(), c.actual, c.expect.value,
                              c.expect.relTol, c.expect.absTol);
         }
+        for (const auto &[k, v] : r.extras)
+            std::fprintf(out, "      %s = %g\n", k.c_str(), v);
+        for (const std::string &name : r.extrasMissing)
+            std::fprintf(out, "      %s: (extra, not emitted)\n",
+                         name.c_str());
     }
     std::fprintf(out, "suite %s: %u/%zu passed (%.1fs, -j%u)\n",
                  rep.suite.c_str(), rep.numPassed(), rep.runs.size(),

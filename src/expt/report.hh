@@ -53,6 +53,11 @@ struct RunReport
     Json rows; ///< bench table rows (Null when the child has none)
     std::vector<MetricCheck> checks;
 
+    /** Non-gating extras (RunSpec::extras) found in the run's metrics;
+     *  names requested but absent land in extrasMissing instead. */
+    std::map<std::string, double> extras;
+    std::vector<std::string> extrasMissing;
+
     /** Process succeeded, output parsed, and every golden check held. */
     bool pass = false;
     std::string error; ///< human-readable cause when !pass

@@ -149,7 +149,7 @@ SuiteSpec::parse(const Json &doc, SuiteSpec &out, std::string &err)
         }
         if (!checkKeys(rnode,
                        {"name", "bench", "takosim", "args", "golden",
-                        "timeout_sec", "retries", "quick"},
+                        "extras", "timeout_sec", "retries", "quick"},
                        where, err))
             return false;
 
@@ -214,6 +214,21 @@ SuiteSpec::parse(const Json &doc, SuiteSpec &out, std::string &err)
         if (!rnode["golden"].isNull() &&
             !parseGolden(rnode["golden"], where, r.golden, err))
             return false;
+        if (!rnode["extras"].isNull()) {
+            if (!rnode["extras"].isArray()) {
+                err = where +
+                      ": \"extras\" must be an array of metric names";
+                return false;
+            }
+            for (const Json &e : rnode["extras"].asArray()) {
+                if (!e.isString() || e.asString().empty()) {
+                    err = where + ": \"extras\" entries must be "
+                                  "non-empty strings";
+                    return false;
+                }
+                r.extras.push_back(e.asString());
+            }
+        }
         out.runs.push_back(std::move(r));
     }
     return true;

@@ -75,6 +75,11 @@ struct RunSpec
     /** Metric name -> expectation. Bench metrics use the Reporter's flat
      *  keys ("tako.speedup"); takosim metrics use counter names. */
     std::map<std::string, GoldenMetric> golden;
+
+    /** Metric names recorded in the report without an expectation —
+     *  non-gating extras (e.g. takoprof's prof.* counters). A missing
+     *  extra is noted in the report but never fails the run. */
+    std::vector<std::string> extras;
 };
 
 struct SuiteSpec

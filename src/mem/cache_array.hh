@@ -316,6 +316,23 @@ class CacheArray
         }
     }
 
+    /**
+     * Per-set access heat (takoprof). Off — and free — until
+     * enableSetHeat() allocates one counter per set; the memory system
+     * calls noteAccess at each profiled lookup.
+     */
+    void enableSetHeat() { setHeat_.assign(sets_, 0); }
+
+    void
+    noteAccess(Addr line_addr)
+    {
+        if (!setHeat_.empty())
+            ++setHeat_[setIndex(line_addr)];
+    }
+
+    /** Empty unless enableSetHeat() was called. */
+    const std::vector<std::uint64_t> &setHeat() const { return setHeat_; }
+
     static constexpr std::uint8_t rrpvMax = 7;
     static constexpr std::uint8_t rrpvLong = 6;
 
@@ -325,6 +342,7 @@ class CacheArray
     ReplPolicy repl_;
     std::uint64_t useClock_ = 0;
     std::vector<CacheWay> ways_storage_;
+    std::vector<std::uint64_t> setHeat_;
 };
 
 } // namespace tako

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "prof/profiler.hh"
 #include "sim/trace.hh"
 #include "sim/tracesink.hh"
 
@@ -91,6 +92,52 @@ MemorySystem::setPhase(const std::string &phase)
     phase_ = phase;
 }
 
+void
+MemorySystem::setProfiler(prof::Profiler *p)
+{
+    prof_ = p;
+    if (!p)
+        return;
+    for (auto &t : tiles_) {
+        t->l1.enableSetHeat();
+        t->engL1.enableSetHeat();
+        t->l2.enableSetHeat();
+        t->l3.enableSetHeat();
+    }
+}
+
+std::vector<std::uint64_t>
+MemorySystem::aggregateSetHeat(int level) const
+{
+    std::vector<std::uint64_t> out;
+    auto accum = [&out](const CacheArray &arr) {
+        const std::vector<std::uint64_t> &h = arr.setHeat();
+        if (h.empty())
+            return;
+        if (out.size() < h.size())
+            out.resize(h.size(), 0);
+        for (std::size_t i = 0; i < h.size(); ++i)
+            out[i] += h[i];
+    };
+    for (const auto &t : tiles_) {
+        switch (level) {
+          case 1:
+            accum(t->l1);
+            accum(t->engL1);
+            break;
+          case 2:
+            accum(t->l2);
+            break;
+          case 3:
+            accum(t->l3);
+            break;
+          default:
+            panic("aggregateSetHeat: bad level %d", level);
+        }
+    }
+    return out;
+}
+
 std::uint64_t
 MemorySystem::dramReads() const
 {
@@ -165,6 +212,15 @@ MemorySystem::access(AccessReq req)
         return w2->coh == Coh::E || w2->coh == Coh::M;
     };
 
+    // takoprof: classify the demand L1 lookup once, at first probe, on
+    // tag presence (a permission upgrade is not a content miss). Merged
+    // hits after the tile lock re-probe but are not re-classified.
+    if (prof_ && !req.prefetch) {
+        l1.noteAccess(line);
+        prof_->l1Access(req.tile, req.fromEngine, line,
+                        l1.lookup(line) != nullptr);
+    }
+
     if (!req.prefetch && l1_hit_ok()) {
         ++l1Hits_;
         l1.touch(*l1.lookup(line), engine_repl);
@@ -215,6 +271,12 @@ MemorySystem::access(AccessReq req)
     energy_.l2Access();
 
     CacheWay *w2 = t.l2.lookup(line);
+
+    if (prof_) {
+        t.l2.noteAccess(line);
+        if (!req.prefetch)
+            prof_->l2Access(req.tile, line, w2 != nullptr);
+    }
 
     // Train the stream prefetcher on demand core accesses (loads,
     // stores, and atomics all advance streams — e.g., HATS consumes its
@@ -353,6 +415,10 @@ MemorySystem::fetchIntoL2(int tile, Addr line, bool want_m, bool engine,
     energy_.l3Access();
 
     CacheWay *w3 = b.l3.lookup(line);
+    if (prof_) {
+        b.l3.noteAccess(line);
+        prof_->l3Access(line, w3 != nullptr);
+    }
     if (!w3) {
         ++l3Misses_;
         w3 = co_await allocL3Way(bank, line, mb, engine, &bd);
@@ -856,6 +922,10 @@ MemorySystem::remoteAtomicAdd(int tile, Addr addr, std::uint64_t delta)
     energy_.l3Access();
 
     CacheWay *w3 = b.l3.lookup(line);
+    if (prof_) {
+        b.l3.noteAccess(line);
+        prof_->l3Access(line, w3 != nullptr);
+    }
     if (!w3) {
         ++l3Misses_;
         w3 = co_await allocL3Way(bank, line, mb, false);

@@ -48,6 +48,11 @@
 namespace tako
 {
 
+namespace prof
+{
+class Profiler;
+} // namespace prof
+
 struct MemParams
 {
     unsigned tiles = 16;
@@ -165,6 +170,21 @@ class MemorySystem
     }
 
     void setCallbackSink(CallbackSink *sink) { sink_ = sink; }
+
+    /**
+     * Install the takoprof profiler (nullptr to detach). Enables per-set
+     * heat tracking in every cache array and feeds each demand lookup
+     * into the miss classifiers. Purely observational: no timing event
+     * depends on it.
+     */
+    void setProfiler(prof::Profiler *p);
+
+    /**
+     * Sum per-set heat across the arrays of @p level (1: core+engine
+     * L1s, 2: private L2s, 3: L3 banks, folded by set index). Empty when
+     * no profiler ever enabled heat tracking.
+     */
+    std::vector<std::uint64_t> aggregateSetHeat(int level) const;
 
     const MemParams &params() const { return params_; }
 
@@ -414,6 +434,7 @@ class MemorySystem
 
     const MorphResolver *resolver_ = nullptr;
     CallbackSink *sink_ = nullptr;
+    prof::Profiler *prof_ = nullptr;
 
     BackingStore realStore_;
     BackingStore phantomStore_;

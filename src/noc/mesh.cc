@@ -70,9 +70,14 @@ Mesh::traverse(Tick now, int src, int dst, unsigned bytes)
             ny += (dy > y) ? 1 : -1;
         }
         const int tile = y * static_cast<int>(params_.dimX) + x;
-        Tick &free = linkFree_[linkIndex(tile, dir)];
+        const std::size_t li = linkIndex(tile, dir);
+        Tick &free = linkFree_[li];
         const Tick start = std::max(head, free);
         free = start + flits;
+        if (!linkBusy_.empty()) {
+            linkBusy_[li] += flits;
+            ++linkMsgs_[li];
+        }
         head = start + params_.routerDelay + params_.linkDelay;
         ++hop_count;
         x = nx;
@@ -88,10 +93,19 @@ Mesh::traverse(Tick now, int src, int dst, unsigned bytes)
 }
 
 void
+Mesh::enableLinkProfiling()
+{
+    linkBusy_.assign(linkFree_.size(), 0);
+    linkMsgs_.assign(linkFree_.size(), 0);
+}
+
+void
 Mesh::reset()
 {
     std::fill(linkFree_.begin(), linkFree_.end(), 0);
     flitHops_ = 0;
+    std::fill(linkBusy_.begin(), linkBusy_.end(), 0);
+    std::fill(linkMsgs_.begin(), linkMsgs_.end(), 0);
 }
 
 } // namespace tako

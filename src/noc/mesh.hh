@@ -38,6 +38,8 @@ class Mesh
          EnergyModel &energy);
 
     unsigned numTiles() const { return params_.dimX * params_.dimY; }
+    unsigned dimX() const { return params_.dimX; }
+    unsigned dimY() const { return params_.dimY; }
 
     /** Manhattan hop count between two tiles. */
     unsigned hops(int src, int dst) const;
@@ -50,6 +52,22 @@ class Mesh
     Tick traverse(Tick now, int src, int dst, unsigned bytes);
 
     std::uint64_t flitHops() const { return flitHops_; }
+
+    /**
+     * Per-directed-link utilization (takoprof): piggybacks on the
+     * linkFree_ reservation each traverse() already performs, counting
+     * flit-cycles and messages per link. Off — and free — until enabled.
+     * Index layout matches linkFree_: tile*4 + dir (E=0 W=1 N=2 S=3).
+     */
+    void enableLinkProfiling();
+    const std::vector<std::uint64_t> &linkBusyCycles() const
+    {
+        return linkBusy_;
+    }
+    const std::vector<std::uint64_t> &linkMessages() const
+    {
+        return linkMsgs_;
+    }
 
     void reset();
 
@@ -67,6 +85,8 @@ class Mesh
     Counter &flitHopsStat_;
     std::vector<Tick> linkFree_;
     std::uint64_t flitHops_ = 0;
+    std::vector<std::uint64_t> linkBusy_; ///< empty unless profiling
+    std::vector<std::uint64_t> linkMsgs_;
 };
 
 } // namespace tako

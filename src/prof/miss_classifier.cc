@@ -1,0 +1,124 @@
+#include "prof/miss_classifier.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+
+namespace tako::prof
+{
+
+namespace
+{
+
+/** Initial Fenwick slot capacity; grows by compaction/doubling. */
+constexpr std::size_t kInitialSlots = 1024;
+
+} // namespace
+
+ReuseStack::ReuseStack() : bit_(kInitialSlots + 1, 0) {}
+
+void
+ReuseStack::bitAdd(std::uint32_t slot, std::int64_t delta)
+{
+    for (std::size_t i = slot; i < bit_.size(); i += i & (~i + 1))
+        bit_[i] += delta;
+}
+
+std::uint64_t
+ReuseStack::bitPrefix(std::uint32_t slot) const
+{
+    std::int64_t sum = 0;
+    for (std::size_t i = slot; i > 0; i -= i & (~i + 1))
+        sum += bit_[i];
+    return static_cast<std::uint64_t>(sum);
+}
+
+void
+ReuseStack::compact(std::size_t capacity)
+{
+    // Reassign live marks to slots 1..marks_, preserving their order, so
+    // prefix counts (and thus distances) are unchanged.
+    std::vector<std::pair<std::uint32_t, Addr>> live;
+    live.reserve(lastSlot_.size());
+    for (const auto &[line, slot] : lastSlot_)
+        live.emplace_back(slot, line);
+    std::sort(live.begin(), live.end());
+
+    bit_.assign(capacity + 1, 0);
+    nextSlot_ = 1;
+    for (const auto &[slot, line] : live) {
+        lastSlot_[line] = nextSlot_;
+        bitAdd(nextSlot_, 1);
+        ++nextSlot_;
+    }
+}
+
+std::uint64_t
+ReuseStack::access(Addr line)
+{
+    std::uint64_t dist = kFirstTouch;
+    auto it = lastSlot_.find(line);
+    if (it != lastSlot_.end()) {
+        // Distinct lines referenced after this line's previous access.
+        dist = marks_ - bitPrefix(it->second);
+        bitAdd(it->second, -1);
+        --marks_;
+        lastSlot_.erase(it);
+    }
+
+    if (nextSlot_ >= bit_.size()) {
+        // Half-empty slot space compacts in place; otherwise double.
+        const std::size_t cap = bit_.size() - 1;
+        compact(marks_ * 2 + 1 > cap ? cap * 2 : cap);
+    }
+
+    const std::uint32_t slot = nextSlot_++;
+    lastSlot_.emplace(line, slot);
+    bitAdd(slot, 1);
+    ++marks_;
+    return dist;
+}
+
+unsigned
+MissClassifier::addStack(std::uint64_t capacity_lines)
+{
+    panic_if(capacity_lines == 0, "shadow stack for '%s' with 0 lines",
+             level_.c_str());
+    stacks_.push_back(Stack{});
+    stacks_.back().capacityLines = capacity_lines;
+    return static_cast<unsigned>(stacks_.size() - 1);
+}
+
+void
+MissClassifier::access(unsigned stack, Addr line, bool hit)
+{
+    panic_if(stack >= stacks_.size(), "bad shadow stack %u for '%s'",
+             stack, level_.c_str());
+    Stack &s = stacks_[stack];
+    const std::uint64_t dist = s.reuse.access(lineNumber(line));
+
+    ++counts_.accesses;
+    if (dist == ReuseStack::kFirstTouch) {
+        ++firstTouches_;
+    } else {
+        unsigned b = 0;
+        while (b + 1 < kReuseBuckets && dist >= (1ull << b))
+            ++b;
+        // b satisfies dist < 2^b (or the tail bucket); dist==0 -> 0.
+        ++reuseHist_[b];
+    }
+
+    if (hit) {
+        ++counts_.hits;
+        return;
+    }
+    ++counts_.misses;
+    if (dist == ReuseStack::kFirstTouch)
+        ++counts_.compulsory;
+    else if (dist >= s.capacityLines)
+        ++counts_.capacity;
+    else
+        ++counts_.conflict;
+}
+
+} // namespace tako::prof

@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Reuse-distance-based miss classification (the takoprof shadow tags).
+ *
+ * Each cache level keeps one or more shadow fully-associative LRU stacks
+ * (one per private array, one for the shared L3). Every demand lookup
+ * feeds its line address and hit/miss outcome in; the stack returns the
+ * reuse distance — the number of *distinct* lines touched since the
+ * previous access to this line — and the classifier buckets misses the
+ * way Gysi et al.'s analytical cache model does:
+ *
+ *   compulsory : first touch, no finite reuse distance;
+ *   capacity   : distance >= the level's total lines, so even a fully
+ *                associative cache of this size would have missed;
+ *   conflict   : distance < total lines — the line fit, but set-index
+ *                collisions (or replacement-policy choices) evicted it.
+ *
+ * Distances come from a Fenwick tree over access slots (O(log n) per
+ * access), not an O(distance) list walk, so profiling streaming
+ * workloads stays cheap. Everything here is passive bookkeeping: no
+ * event-queue interaction, so enabling it cannot change simulated time.
+ */
+
+#ifndef TAKO_PROF_MISS_CLASSIFIER_HH
+#define TAKO_PROF_MISS_CLASSIFIER_HH
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/types.hh"
+
+namespace tako::prof
+{
+
+/**
+ * LRU stack-distance oracle. access() returns the reuse distance of
+ * @p line (0 = immediate re-reference) or kFirstTouch when the line has
+ * never been seen.
+ *
+ * Implementation: each access occupies a monotonically increasing slot;
+ * a Fenwick tree marks the *latest* slot of every live line. The reuse
+ * distance is the count of marked slots after the line's previous slot.
+ * When the slot space fills, live marks are compacted to the front.
+ */
+class ReuseStack
+{
+  public:
+    static constexpr std::uint64_t kFirstTouch = ~0ull;
+
+    ReuseStack();
+
+    /** Record an access; returns the reuse distance (see above). */
+    std::uint64_t access(Addr line);
+
+    /** Number of distinct lines ever observed. */
+    std::uint64_t distinctLines() const { return lastSlot_.size(); }
+
+  private:
+    void bitAdd(std::uint32_t slot, std::int64_t delta);
+    std::uint64_t bitPrefix(std::uint32_t slot) const;
+    void compact(std::size_t capacity);
+
+    std::vector<std::int64_t> bit_; ///< Fenwick tree, 1-based slots
+    std::unordered_map<Addr, std::uint32_t> lastSlot_;
+    std::uint32_t nextSlot_ = 1;
+    std::uint64_t marks_ = 0; ///< live marks (== lastSlot_.size())
+};
+
+/**
+ * Miss classification for one cache level, aggregated over any number of
+ * shadow stacks (per-tile private arrays feed separate stacks; capacity
+ * is judged per stack so asymmetric arrays — core vs engine L1 — work).
+ */
+class MissClassifier
+{
+  public:
+    /** Reuse-distance histogram: bucket 0 holds distance 0, bucket k
+     *  holds [2^(k-1), 2^k); the last bucket absorbs the tail. */
+    static constexpr unsigned kReuseBuckets = 33;
+
+    struct Counts
+    {
+        std::uint64_t accesses = 0;
+        std::uint64_t hits = 0;
+        std::uint64_t misses = 0;
+        std::uint64_t compulsory = 0;
+        std::uint64_t capacity = 0;
+        std::uint64_t conflict = 0;
+    };
+
+    explicit MissClassifier(std::string level) : level_(std::move(level)) {}
+
+    /** Register a shadow stack judging against @p capacity_lines. */
+    unsigned addStack(std::uint64_t capacity_lines);
+
+    /** Feed one lookup outcome through stack @p stack. */
+    void access(unsigned stack, Addr line, bool hit);
+
+    const std::string &level() const { return level_; }
+    const Counts &counts() const { return counts_; }
+    const std::array<std::uint64_t, kReuseBuckets> &reuseHist() const
+    {
+        return reuseHist_;
+    }
+    /** Accesses with no prior reference (excluded from reuseHist). */
+    std::uint64_t firstTouches() const { return firstTouches_; }
+
+  private:
+    struct Stack
+    {
+        ReuseStack reuse;
+        std::uint64_t capacityLines = 0;
+    };
+
+    std::string level_;
+    std::vector<Stack> stacks_;
+    Counts counts_;
+    std::array<std::uint64_t, kReuseBuckets> reuseHist_{};
+    std::uint64_t firstTouches_ = 0;
+};
+
+} // namespace tako::prof
+
+#endif // TAKO_PROF_MISS_CLASSIFIER_HH

@@ -137,7 +137,9 @@ StatsRegistry::dump(std::ostream &os) const
 }
 
 void
-StatsRegistry::dumpJson(std::ostream &os) const
+StatsRegistry::dumpJson(
+    std::ostream &os,
+    const std::vector<std::pair<std::string, std::string>> &header) const
 {
     auto write_meta = [&](const std::string &name) {
         if (const StatMeta *m = meta(name)) {
@@ -152,7 +154,15 @@ StatsRegistry::dumpJson(std::ostream &os) const
         }
     };
 
-    os << "{\n  \"counters\": {";
+    os << "{\n";
+    for (const auto &[key, value] : header) {
+        os << "  ";
+        json::writeString(os, key);
+        os << ": ";
+        json::writeString(os, value);
+        os << ",\n";
+    }
+    os << "  \"counters\": {";
     bool first = true;
     for (const auto &kv : counters_) {
         os << (first ? "\n" : ",\n") << "    ";

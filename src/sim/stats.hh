@@ -221,8 +221,12 @@ class StatsRegistry
     /**
      * Dump every counter, histogram, and the time series (if sampled) as
      * one JSON object, with units/descriptions where registered.
+     * @p header pairs are emitted first as top-level string fields
+     * (e.g. {"git_rev", "abc1234"}).
      */
-    void dumpJson(std::ostream &os) const;
+    void dumpJson(std::ostream &os,
+                  const std::vector<std::pair<std::string, std::string>>
+                      &header = {}) const;
 
     void
     reset()

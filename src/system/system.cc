@@ -38,6 +38,25 @@ System::System(const SystemConfig &config) : config_(config), rng_(config.seed)
         config_.mem.tiles, config_.engine, *mem_, eq_, stats_, *energy_);
     mem_->setCallbackSink(engines_.get());
 
+    if (config_.profile) {
+        prof::ProfilerConfig pc;
+        pc.tiles = config_.mem.tiles;
+        pc.l1Lines = config_.mem.l1Size / lineBytes;
+        pc.engL1Lines = config_.mem.engL1Size / lineBytes;
+        pc.l2Lines = config_.mem.l2Size / lineBytes;
+        // The L3 is one shared cache banked across tiles: reuse
+        // distances classify against the aggregate capacity.
+        pc.l3Lines =
+            std::uint64_t(config_.mem.tiles) *
+            (config_.mem.l3BankSize / lineBytes);
+        pc.meshX = config_.mesh.dimX;
+        pc.meshY = config_.mesh.dimY;
+        prof_ = std::make_shared<prof::Profiler>(pc);
+        mem_->setProfiler(prof_.get());
+        engines_->setProfiler(prof_.get());
+        noc_->enableLinkProfiling();
+    }
+
     cores_.reserve(config_.mem.tiles);
     for (unsigned c = 0; c < config_.mem.tiles; ++c) {
         cores_.push_back(std::make_unique<Core>(
@@ -71,7 +90,20 @@ System::runFor(Tick limit)
         cores_[core]->run(std::move(fn));
     pending_.clear();
     eq_.runUntil(start + limit);
+    finalizeProfiler();
     return eq_.now() - start;
+}
+
+void
+System::finalizeProfiler()
+{
+    if (!prof_ || prof_->finalized())
+        return;
+    prof_->setNocLinks(noc_->linkBusyCycles(), noc_->linkMessages());
+    prof_->setSetHeat("l1", mem_->aggregateSetHeat(1));
+    prof_->setSetHeat("l2", mem_->aggregateSetHeat(2));
+    prof_->setSetHeat("l3", mem_->aggregateSetHeat(3));
+    prof_->finalize(eq_.now(), stats_);
 }
 
 Tick
@@ -94,6 +126,7 @@ System::run()
     panic_if(mem_->inflight() != 0,
              "event queue drained with %u memory transactions in flight",
              mem_->inflight());
+    finalizeProfiler();
     return eq_.now() - start;
 }
 

@@ -16,6 +16,7 @@
 #include "energy/energy.hh"
 #include "mem/memory_system.hh"
 #include "noc/mesh.hh"
+#include "prof/profiler.hh"
 #include "sim/event_queue.hh"
 #include "sim/random.hh"
 #include "sim/sampler.hh"
@@ -34,6 +35,11 @@ struct SystemConfig
     MeshParams mesh;
     EnergyParams energy;
     std::uint64_t seed = 1;
+
+    /** takoprof: build a Profiler and hook it into the memory system,
+     *  engines, and NoC. Purely observational — enabling it changes no
+     *  simulated timing or stat (the determinism test holds it to that). */
+    bool profile = false;
 
     /** Periodic counter sampling: snapshot every @c sampleInterval
      *  cycles into StatsRegistry::timeSeries() (0 disables). Patterns
@@ -85,7 +91,14 @@ class System
 
     double totalEnergy() const { return energy_->total(); }
 
+    /** Null unless config.profile; finalized when run()/runFor() returns. */
+    prof::Profiler *profiler() { return prof_.get(); }
+    std::shared_ptr<prof::Profiler> profilerShared() const { return prof_; }
+
   private:
+    /** Harvest NoC/set-heat counters into the profiler and finalize it. */
+    void finalizeProfiler();
+
     SystemConfig config_;
     EventQueue eq_;
     StatsRegistry stats_;
@@ -95,6 +108,7 @@ class System
     std::unique_ptr<MemorySystem> mem_;
     std::unique_ptr<MorphRegistry> registry_;
     std::unique_ptr<EngineCluster> engines_;
+    std::shared_ptr<prof::Profiler> prof_;
     std::vector<std::unique_ptr<Core>> cores_;
     std::unique_ptr<StatsSampler> sampler_;
     std::vector<std::pair<int, std::function<Task<>(Guest &)>>> pending_;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "prof/profiler.hh"
 #include "sim/logging.hh"
 #include "sim/trace.hh"
 #include "sim/tracesink.hh"
@@ -385,6 +386,8 @@ Task<>
 Engine::runCallback(Request req)
 {
     const Tick enqueued = eq_.now();
+    if (prof_)
+        prof_->callbackEnqueued(tile_, enqueued);
 
     // Misses are latency-critical and hold a reserved MSHR (Sec. 5.2),
     // so on the dataflow/ideal engines they do not queue behind buffered
@@ -393,9 +396,11 @@ Engine::runCallback(Request req)
     // in-order engine serializes everything — one thread context.
     const bool priority_miss =
         req.kind == CallbackKind::Miss && !inorder();
+    Tick admission_wait = 0;
     if (!priority_miss) {
         co_await bufferSlots_.acquire();
-        bufferWait_.sample(eq_.now() - enqueued);
+        admission_wait = eq_.now() - enqueued;
+        bufferWait_.sample(admission_wait);
     }
 
     // Callbacks on the same address execute in arrival order.
@@ -455,6 +460,19 @@ Engine::runCallback(Request req)
     hBdXlate_.sample(xlate);
     hBdBody_.sample(body);
     hBdTotal_.sample(eq_.now() - enqueued);
+    if (prof_) {
+        prof::CallbackRecord rec;
+        rec.tile = tile_;
+        rec.morph = morph.traits().name;
+        rec.kind = static_cast<unsigned>(req.kind);
+        rec.admissionWait = admission_wait;
+        rec.addrWait = addr_wait;
+        rec.dispatch = dispatch;
+        rec.xlate = xlate;
+        rec.body = body;
+        rec.total = eq_.now() - enqueued;
+        prof_->callbackRetired(rec, eq_.now());
+    }
     if (trace::spanEnabled(trace::Flag::Engine)) {
         trace::ChromeTraceWriter &w = *trace::spanSink();
         w.ensureTrack(1, "engines", tile_, strprintf("tile%d", tile_));

@@ -192,6 +192,9 @@ class Engine
 
     void raiseInterrupt(int core, Addr line);
 
+    /** takoprof: observe callback lifecycle; null when profiling is off. */
+    void setProfiler(prof::Profiler *p) { prof_ = p; }
+
   private:
     struct Request
     {
@@ -219,6 +222,8 @@ class Engine
     StatsRegistry &stats_;
     EnergyModel &energy_;
     EngineCluster &cluster_;
+
+    prof::Profiler *prof_ = nullptr;
 
     Semaphore bufferSlots_;  ///< callback buffer entries
     Semaphore fabricSlots_;  ///< concurrent callbacks on the fabric
@@ -283,6 +288,13 @@ class EngineCluster : public CallbackSink
     {
         if (interruptHandler_)
             interruptHandler_(core, line);
+    }
+
+    void
+    setProfiler(prof::Profiler *p)
+    {
+        for (auto &e : engines_)
+            e->setProfiler(p);
     }
 
   private:

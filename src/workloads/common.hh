@@ -120,6 +120,11 @@ struct RunMetrics
      *  copied around freely by the figure drivers. */
     std::shared_ptr<StatsRegistry> stats;
 
+    /** takoprof profiler from the run's System; null unless the run was
+     *  profiled. Already finalized (System::run does that), so it can
+     *  outlive the System and be serialized at leisure. */
+    std::shared_ptr<prof::Profiler> prof;
+
     double
     speedupOver(const RunMetrics &base) const
     {
@@ -149,6 +154,7 @@ collectMetrics(System &sys, std::string label, Tick cycles)
     m.dramReads = sys.mem().dramReads();
     m.dramWrites = sys.mem().dramWrites();
     m.stats = std::make_shared<StatsRegistry>(sys.stats());
+    m.prof = sys.profilerShared();
     return m;
 }
 

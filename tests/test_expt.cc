@@ -211,6 +211,35 @@ TEST(ExptSpec, RejectsMalformedSpecs)
     EXPECT_NE(err.find("unknown key"), std::string::npos);
 }
 
+TEST(ExptSpec, ParsesExtrasAndRejectsBadShapes)
+{
+    std::string err;
+    SuiteSpec spec;
+    ASSERT_TRUE(SuiteSpec::parse(
+        Json::parse(R"({
+          "suite": "s",
+          "runs": [{"name": "a", "bench": "x",
+                    "extras": ["prof.cb.count", "prof.noc.link.busy_max"]}]
+        })"),
+        spec, err))
+        << err;
+    ASSERT_EQ(spec.runs[0].extras.size(), 2u);
+    EXPECT_EQ(spec.runs[0].extras[0], "prof.cb.count");
+
+    // Not an array.
+    EXPECT_FALSE(SuiteSpec::parse(
+        Json::parse(R"({"suite": "s",
+          "runs": [{"name": "a", "bench": "x", "extras": "m"}]})"),
+        spec, err));
+    EXPECT_NE(err.find("extras"), std::string::npos);
+    // Non-string entry.
+    EXPECT_FALSE(SuiteSpec::parse(
+        Json::parse(R"({"suite": "s",
+          "runs": [{"name": "a", "bench": "x", "extras": [1]}]})"),
+        spec, err));
+    EXPECT_NE(err.find("extras"), std::string::npos);
+}
+
 TEST(ExptSpec, GoldenToleranceSemantics)
 {
     GoldenMetric exact{4.0, 0, 0};
@@ -306,6 +335,42 @@ TEST(ExptReport, JudgesGoldenAndSurfacesFailures)
                   .asArray()[0]["pass"]
                   .asBool(),
               false);
+}
+
+TEST(ExptReport, ExtrasRecordedButNeverGate)
+{
+    const std::string scratch = makeScratch();
+    SuiteSpec spec;
+    std::string err;
+    ASSERT_TRUE(SuiteSpec::parse(
+        Json::parse(R"({
+          "suite": "s",
+          "runs": [{"name": "r", "bench": "b",
+                    "golden": {"m": 10},
+                    "extras": ["prof.cb.count", "prof.absent"]}]})"),
+        spec, err))
+        << err;
+
+    const std::string out = scratch + "/r.json";
+    writeFile(out, R"({"metrics": {"m": 10, "prof.cb.count": 7}})");
+    std::vector<RunOutcome> outcomes(1);
+    outcomes[0].name = "r";
+    outcomes[0].status = RunStatus::Ok;
+    outcomes[0].attempts = 1;
+
+    SuiteReport rep = buildReport(spec, outcomes, {out}, 1, 1.0, "rev");
+    ASSERT_EQ(rep.runs.size(), 1u);
+    // Missing extra does not fail the run.
+    EXPECT_TRUE(rep.runs[0].pass);
+    EXPECT_EQ(rep.runs[0].extras.at("prof.cb.count"), 7.0);
+    ASSERT_EQ(rep.runs[0].extrasMissing.size(), 1u);
+    EXPECT_EQ(rep.runs[0].extrasMissing[0], "prof.absent");
+
+    Json doc = rep.toJson();
+    const Json &run = doc["runs"].asArray()[0];
+    EXPECT_EQ(run["extras"]["prof.cb.count"].asNumber(), 7.0);
+    EXPECT_EQ(run["extras_missing"].asArray()[0].asString(),
+              "prof.absent");
 }
 
 // -------------------------------------------------------------- Runner

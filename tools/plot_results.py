@@ -3,13 +3,16 @@
 
 Usage: tools/plot_results.py bench_output.txt [outdir]
        tools/plot_results.py BENCH_quick.json [outdir]
+       tools/plot_results.py prof.json [outdir]
 
-Accepts either the legacy text capture of the bench binaries' stdout
-(the "=== Fig. N ===" tables) or a takobench suite report
-(BENCH_<suite>.json, schema "takobench-v1"); the format is sniffed from
-the file contents. Writes one PNG per figure/run with the variants'
-leading metric. Requires matplotlib; degrades to printing the parsed
-tables without it.
+Accepts the legacy text capture of the bench binaries' stdout (the
+"=== Fig. N ===" tables), a takobench suite report (BENCH_<suite>.json,
+schema "takobench-v1"), or a takoprof profile (takosim --profile,
+schema "takoprof-v1"); the format is sniffed from the file contents.
+Bench inputs get one PNG per figure/run with the variants' leading
+metric; takoprof inputs get a NoC link-utilization heatmap and a
+per-engine occupancy chart. Requires matplotlib; degrades to printing
+the parsed tables without it.
 """
 import json
 import re
@@ -71,15 +74,67 @@ def parse(path):
         doc = json.loads(text)
         if doc.get("schema", "").startswith("takobench"):
             return parse_suite(doc)
-        raise SystemExit(f"{path}: JSON but not a takobench report "
-                         "(missing \"schema\": \"takobench-v1\")")
+        if doc.get("schema", "").startswith("takoprof"):
+            return doc
+        raise SystemExit(f"{path}: JSON but neither a takobench report "
+                         "nor a takoprof profile (unrecognized "
+                         "\"schema\")")
     return parse_text(path)
+
+
+def plot_takoprof(doc, outdir):
+    """NoC link heatmap + per-engine occupancy from a takoprof-v1 doc."""
+    noc = doc.get("noc", {})
+    tile_busy = noc.get("tile_busy") or []
+    engines = doc.get("engines") or []
+    try:
+        import matplotlib
+        matplotlib.use("Agg")
+        import matplotlib.pyplot as plt
+    except ImportError:
+        for row in tile_busy:
+            print(" ".join(f"{v:>10}" for v in row))
+        for e in engines:
+            print(f"tile {e.get('tile')}: peak occupancy "
+                  f"{e.get('peak_occupancy')}")
+        print("matplotlib not available; printed summaries only")
+        return
+
+    wrote = 0
+    if tile_busy:
+        fig, ax = plt.subplots(figsize=(5, 4))
+        im = ax.imshow(tile_busy, cmap="inferno", origin="upper")
+        ax.set_title("NoC outgoing-link busy cycles per tile")
+        ax.set_xlabel("mesh x")
+        ax.set_ylabel("mesh y")
+        fig.colorbar(im, ax=ax, label="flit-cycles")
+        plt.tight_layout()
+        fig.savefig(f"{outdir}/takoprof_noc_heatmap.png", dpi=120)
+        plt.close(fig)
+        wrote += 1
+    if engines:
+        tiles = [e.get("tile", i) for i, e in enumerate(engines)]
+        peaks = [e.get("peak_occupancy", 0) for e in engines]
+        fig, ax = plt.subplots(figsize=(6, 3))
+        ax.bar([str(t) for t in tiles], peaks)
+        ax.set_title("Engine peak occupancy (concurrent callbacks)")
+        ax.set_xlabel("tile")
+        ax.set_ylabel("callbacks")
+        plt.tight_layout()
+        fig.savefig(f"{outdir}/takoprof_engine_occupancy.png", dpi=120)
+        plt.close(fig)
+        wrote += 1
+    print(f"wrote {wrote} takoprof charts to {outdir}")
 
 
 def main():
     path = sys.argv[1] if len(sys.argv) > 1 else "bench_output.txt"
     outdir = sys.argv[2] if len(sys.argv) > 2 else "."
     sections = parse(path)
+    if isinstance(sections, dict) and \
+            str(sections.get("schema", "")).startswith("takoprof"):
+        plot_takoprof(sections, outdir)
+        return
     try:
         import matplotlib
         matplotlib.use("Agg")

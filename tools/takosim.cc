@@ -22,6 +22,8 @@
 #include <memory>
 #include <string>
 
+#include "gitrev.hh"
+#include "prof/profiler.hh"
 #include "sim/tracesink.hh"
 #include "workloads/aos_soa.hh"
 #include "workloads/decompress.hh"
@@ -46,6 +48,9 @@ struct Options
     std::uint64_t seed = 1;
     bool dumpStats = false;
     std::string statsJson;
+    std::string profile;
+    bool profileSet = false;
+    std::string folded;
     std::string traceOut;
     std::string traceMask = "all";
     Tick sampleEvery = 0;
@@ -77,13 +82,21 @@ usage(int code)
         "               [--variant=baseline|...|tako|ideal] [--cores=N]\n"
         "               [--l1=BYTES] [--l2=BYTES] [--l3bank=BYTES]\n"
         "               [--vertices=N] [--txbytes=N] [--seed=N]\n"
-        "               [--stats] [--stats-json=FILE]\n"
+        "               [--stats] [--stats-json=FILE] [--profile=FILE]\n"
+        "               [--folded=FILE]\n"
         "               [--trace-out=FILE] [--trace-mask=CAT[,CAT...]]\n"
         "               [--sample-every=N] [--sample=PAT[,PAT...]]\n"
         "\n"
         "  --stats            dump every counter and histogram as text\n"
         "  --stats-json=FILE  write counters, histograms, and the sampled\n"
         "                     time series as JSON ('-' for stdout)\n"
+        "  --profile=FILE     enable takoprof (per-Morph callback cycles,\n"
+        "                     miss classification, NoC link heat) and\n"
+        "                     write takoprof-v1 JSON ('-' for stdout;\n"
+        "                     empty value: collect, export only via\n"
+        "                     --stats-json prof.* counters)\n"
+        "  --folded=FILE      write folded-stack callback profile lines\n"
+        "                     (flamegraph.pl input; implies profiling)\n"
         "  --trace-out=FILE   write a Chrome trace-event JSON file\n"
         "                     (loadable in Perfetto / chrome://tracing)\n"
         "  --trace-mask=SPEC  span categories for --trace-out; same names\n"
@@ -93,6 +106,7 @@ usage(int code)
         "  --sample=PATS      comma-separated counter name patterns to\n"
         "                     sample ('*' wildcards; default: all)\n"
         "  --list-workloads   print workloads and their variants\n"
+        "  --version          print the embedded git revision\n"
         "  --help             this text\n");
     std::exit(code);
 }
@@ -124,7 +138,10 @@ parse(int argc, char **argv)
             eq == std::string::npos ? "" : arg.substr(eq + 1);
         if (key == "--help" || key == "-h")
             usage(0);
-        else if (key == "--list-workloads")
+        else if (key == "--version") {
+            std::printf("takosim %s\n", TAKO_GIT_REV);
+            std::exit(0);
+        } else if (key == "--list-workloads")
             listWorkloads();
         else if (key == "--workload")
             o.workload = val;
@@ -148,6 +165,11 @@ parse(int argc, char **argv)
             o.dumpStats = true;
         else if (key == "--stats-json")
             o.statsJson = val;
+        else if (key == "--profile") {
+            o.profile = val;
+            o.profileSet = true;
+        } else if (key == "--folded")
+            o.folded = val;
         else if (key == "--trace-out")
             o.traceOut = val;
         else if (key == "--trace-mask")
@@ -238,6 +260,7 @@ main(int argc, char **argv)
     // latency attribution (benches leave it off to keep the hot path
     // lean — see MemParams::latBreakdown).
     sys.mem.latBreakdown = true;
+    sys.profile = o.profileSet || !o.folded.empty();
 
     // Open output files up front so a bad path fails before the run,
     // not after minutes of simulation.
@@ -247,6 +270,24 @@ main(int argc, char **argv)
         if (!statsJsonFile) {
             std::fprintf(stderr, "takosim: cannot open '%s'\n",
                          o.statsJson.c_str());
+            return 1;
+        }
+    }
+    std::ofstream profileFile;
+    if (!o.profile.empty() && o.profile != "-") {
+        profileFile.open(o.profile);
+        if (!profileFile) {
+            std::fprintf(stderr, "takosim: cannot open '%s'\n",
+                         o.profile.c_str());
+            return 1;
+        }
+    }
+    std::ofstream foldedFile;
+    if (!o.folded.empty() && o.folded != "-") {
+        foldedFile.open(o.folded);
+        if (!foldedFile) {
+            std::fprintf(stderr, "takosim: cannot open '%s'\n",
+                         o.folded.c_str());
             return 1;
         }
     }
@@ -342,19 +383,35 @@ main(int argc, char **argv)
                      o.traceOut.c_str());
     }
 
-    // Keep stdout machine-readable when the JSON goes there.
-    report(m, o.statsJson == "-" ? stderr : stdout);
+    // Keep stdout machine-readable when any JSON/folded output goes
+    // there: the human report moves to stderr.
+    const bool stdoutTaken = o.statsJson == "-" || o.profile == "-" ||
+                             o.folded == "-";
+    report(m, stdoutTaken ? stderr : stdout);
     if (o.dumpStats && m.stats) {
-        std::ostream &os =
-            o.statsJson == "-" ? std::cerr : std::cout;
+        std::ostream &os = stdoutTaken ? std::cerr : std::cout;
         os << "\n";
         m.stats->dump(os);
     }
     if (!o.statsJson.empty() && m.stats) {
+        const std::vector<std::pair<std::string, std::string>> header{
+            {"git_rev", TAKO_GIT_REV}};
         if (o.statsJson == "-")
-            m.stats->dumpJson(std::cout);
+            m.stats->dumpJson(std::cout, header);
         else
-            m.stats->dumpJson(statsJsonFile);
+            m.stats->dumpJson(statsJsonFile, header);
+    }
+    if (m.prof) {
+        const std::vector<std::pair<std::string, std::string>> header{
+            {"git_rev", TAKO_GIT_REV},
+            {"workload", o.workload},
+            {"variant", o.variant}};
+        if (!o.profile.empty()) {
+            m.prof->writeJson(o.profile == "-" ? std::cout : profileFile,
+                              header);
+        }
+        if (!o.folded.empty())
+            m.prof->writeFolded(o.folded == "-" ? std::cout : foldedFile);
     }
     return 0;
 }

@@ -1,0 +1,195 @@
+#!/usr/bin/env python3
+"""Validate a takoprof-v1 profile (takosim --profile output).
+
+Usage: tools/validate_takoprof.py prof.json
+
+Checks the structural schema and the internal invariants that a correct
+profiler run must satisfy (miss classes partition misses, timeline
+arrays are parallel, the NoC heatmap matches the mesh dimensions).
+Exits 0 when valid, 1 with a message on the first violation. Stdlib
+only, so CI can run it anywhere.
+"""
+import json
+import sys
+
+KIND_NAMES = ("onMiss", "onEviction", "onWriteback")
+CYCLE_PHASES = ("admission_wait", "addr_wait", "dispatch", "xlate",
+                "body", "total")
+MISS_LEVELS = ("l1", "l2", "l3")
+
+
+class Invalid(Exception):
+    pass
+
+
+def need(cond, msg):
+    if not cond:
+        raise Invalid(msg)
+
+
+def is_uint(v):
+    return isinstance(v, int) and not isinstance(v, bool) and v >= 0
+
+
+def check_callbacks(doc):
+    need(isinstance(doc.get("callbacks"), list), "\"callbacks\" missing")
+    for i, cb in enumerate(doc["callbacks"]):
+        where = f"callbacks[{i}]"
+        need(isinstance(cb.get("morph"), str) and cb["morph"],
+             f"{where}: missing morph name")
+        need(cb.get("kind") in KIND_NAMES,
+             f"{where}: kind must be one of {KIND_NAMES}")
+        need(is_uint(cb.get("tile")), f"{where}: missing tile")
+        need(is_uint(cb.get("count")) and cb["count"] > 0,
+             f"{where}: count must be a positive integer")
+        cycles = cb.get("cycles")
+        need(isinstance(cycles, dict), f"{where}: missing cycles object")
+        for phase in CYCLE_PHASES:
+            need(is_uint(cycles.get(phase)),
+                 f"{where}: cycles.{phase} missing or negative")
+        parts = sum(cycles[p] for p in CYCLE_PHASES if p != "total")
+        need(parts <= cycles["total"],
+             f"{where}: phase cycles exceed total")
+
+
+def check_miss_class(doc):
+    mc = doc.get("miss_class")
+    need(isinstance(mc, dict), "\"miss_class\" missing")
+    for level in MISS_LEVELS:
+        lv = mc.get(level)
+        where = f"miss_class.{level}"
+        need(isinstance(lv, dict), f"{where} missing")
+        for k in ("accesses", "hits", "misses", "compulsory", "capacity",
+                  "conflict"):
+            need(is_uint(lv.get(k)), f"{where}.{k} missing or negative")
+        need(lv["hits"] + lv["misses"] == lv["accesses"],
+             f"{where}: hits + misses != accesses")
+        need(lv["compulsory"] + lv["capacity"] + lv["conflict"] ==
+             lv["misses"],
+             f"{where}: classes do not partition misses")
+        hist = lv.get("reuse_hist")
+        need(isinstance(hist, dict), f"{where}.reuse_hist missing")
+        need(is_uint(hist.get("first_touch")),
+             f"{where}.reuse_hist.first_touch missing")
+        buckets = hist.get("log2_buckets")
+        need(isinstance(buckets, list) and all(is_uint(b) for b in buckets),
+             f"{where}.reuse_hist.log2_buckets must be a uint array")
+        need(hist["first_touch"] + sum(buckets) == lv["accesses"],
+             f"{where}.reuse_hist does not sum to accesses")
+
+
+def check_engines(doc):
+    need(isinstance(doc.get("engines"), list), "\"engines\" missing")
+    for i, e in enumerate(doc["engines"]):
+        where = f"engines[{i}]"
+        need(is_uint(e.get("tile")), f"{where}: missing tile")
+        need(is_uint(e.get("peak_occupancy")),
+             f"{where}: missing peak_occupancy")
+        occ = e.get("occupancy_cycles")
+        need(isinstance(occ, list) and all(is_uint(c) for c in occ),
+             f"{where}: occupancy_cycles must be a uint array")
+        tl = e.get("timeline")
+        need(isinstance(tl, dict), f"{where}: missing timeline")
+        ticks, levels = tl.get("ticks"), tl.get("occupancy")
+        need(isinstance(ticks, list) and isinstance(levels, list) and
+             len(ticks) == len(levels),
+             f"{where}: timeline ticks/occupancy must be parallel arrays")
+        need(is_uint(tl.get("dropped")), f"{where}: timeline.dropped")
+        need(ticks == sorted(ticks),
+             f"{where}: timeline ticks must be non-decreasing")
+
+
+def check_noc(doc):
+    noc = doc.get("noc")
+    need(isinstance(noc, dict), "\"noc\" missing")
+    need(is_uint(noc.get("dim_x")) and noc["dim_x"] > 0,
+         "noc.dim_x missing")
+    need(is_uint(noc.get("dim_y")) and noc["dim_y"] > 0,
+         "noc.dim_y missing")
+    tiles = noc["dim_x"] * noc["dim_y"]
+    links = noc.get("links")
+    need(isinstance(links, list), "noc.links missing")
+    need(len(links) == tiles * 4,
+         f"noc.links must have {tiles * 4} entries (4 per tile)")
+    for i, ln in enumerate(links):
+        where = f"noc.links[{i}]"
+        need(is_uint(ln.get("tile")) and ln["tile"] < tiles,
+             f"{where}: bad tile")
+        need(ln.get("dir") in ("E", "W", "N", "S"), f"{where}: bad dir")
+        need(is_uint(ln.get("busy_cycles")), f"{where}: busy_cycles")
+        need(is_uint(ln.get("messages")), f"{where}: messages")
+    heat = noc.get("tile_busy")
+    need(isinstance(heat, list) and len(heat) == noc["dim_y"],
+         f"noc.tile_busy must have dim_y={noc['dim_y']} rows")
+    for y, row in enumerate(heat):
+        need(isinstance(row, list) and len(row) == noc["dim_x"],
+             f"noc.tile_busy[{y}] must have dim_x={noc['dim_x']} columns")
+        need(all(is_uint(v) for v in row),
+             f"noc.tile_busy[{y}]: entries must be uints")
+    # The heatmap is derived from the links: each cell sums its tile's
+    # four outgoing links.
+    for y, row in enumerate(heat):
+        for x, v in enumerate(row):
+            t = y * noc["dim_x"] + x
+            s = sum(ln["busy_cycles"] for ln in links if ln["tile"] == t)
+            need(v == s,
+                 f"noc.tile_busy[{y}][{x}] != sum of tile {t} links")
+
+
+def check_set_heat(doc):
+    heat = doc.get("set_heat")
+    need(isinstance(heat, dict), "\"set_heat\" missing")
+    for level, arr in heat.items():
+        need(isinstance(arr, list) and all(is_uint(v) for v in arr),
+             f"set_heat.{level} must be a uint array")
+
+
+def check_folded(doc):
+    folded = doc.get("folded")
+    need(isinstance(folded, list), "\"folded\" missing")
+    for i, line in enumerate(folded):
+        where = f"folded[{i}]"
+        need(isinstance(line, str), f"{where}: must be a string")
+        stack, _, count = line.rpartition(" ")
+        need(stack and count.isdigit(), f"{where}: not 'stack count'")
+        need(len(stack.split(";")) == 4,
+             f"{where}: stack must be tile;morph;kind;phase")
+
+
+def validate(doc):
+    need(doc.get("schema") == "takoprof-v1",
+         "\"schema\" must be \"takoprof-v1\"")
+    need(is_uint(doc.get("end_cycle")), "\"end_cycle\" missing")
+    check_callbacks(doc)
+    check_engines(doc)
+    check_miss_class(doc)
+    check_noc(doc)
+    check_set_heat(doc)
+    check_folded(doc)
+
+
+def main():
+    if len(sys.argv) != 2:
+        print(__doc__.strip().splitlines()[2].strip(), file=sys.stderr)
+        return 2
+    path = sys.argv[1]
+    try:
+        with open(path) as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"{path}: {e}", file=sys.stderr)
+        return 1
+    try:
+        validate(doc)
+    except Invalid as e:
+        print(f"{path}: invalid takoprof-v1: {e}", file=sys.stderr)
+        return 1
+    print(f"{path}: valid takoprof-v1 "
+          f"({len(doc['callbacks'])} callback rows, "
+          f"{len(doc['engines'])} engines, "
+          f"{doc['noc']['dim_x']}x{doc['noc']['dim_y']} mesh)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
