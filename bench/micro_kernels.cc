@@ -10,8 +10,13 @@
 
 #include <benchmark/benchmark.h>
 
+#include <functional>
+#include <queue>
+#include <vector>
+
 #include "mem/cache_array.hh"
 #include "noc/mesh.hh"
+#include "sim/arena.hh"
 #include "sim/event_queue.hh"
 #include "sim/random.hh"
 #include "sim/task.hh"
@@ -21,6 +26,67 @@ using namespace tako;
 
 namespace
 {
+
+/**
+ * The pre-calendar-queue kernel, kept verbatim as the baseline the
+ * BM_EventQueueSchedule* comparison is measured against: std::function
+ * entries (heap-allocating for captures past the SBO) in a binary heap.
+ */
+class LegacyEventQueue
+{
+  public:
+    using Callback = std::function<void()>;
+
+    void
+    schedule(Tick delta, Callback fn,
+             EventPriority prio = EventPriority::Default)
+    {
+        events_.push(Entry{now_ + delta, static_cast<int>(prio),
+                           nextSeq_++, std::move(fn)});
+    }
+
+    bool
+    step()
+    {
+        if (events_.empty())
+            return false;
+        Entry e = std::move(const_cast<Entry &>(events_.top()));
+        events_.pop();
+        now_ = e.when;
+        e.fn();
+        return true;
+    }
+
+    void
+    run()
+    {
+        while (step()) {}
+    }
+
+  private:
+    struct Entry
+    {
+        Tick when;
+        int priority;
+        std::uint64_t seq;
+        Callback fn;
+
+        bool
+        operator>(const Entry &o) const
+        {
+            if (when != o.when)
+                return when > o.when;
+            if (priority != o.priority)
+                return priority > o.priority;
+            return seq > o.seq;
+        }
+    };
+
+    std::priority_queue<Entry, std::vector<Entry>, std::greater<Entry>>
+        events_;
+    Tick now_ = 0;
+    std::uint64_t nextSeq_ = 0;
+};
 
 void
 BM_EventQueueSchedule(benchmark::State &state)
@@ -35,6 +101,40 @@ BM_EventQueueSchedule(benchmark::State &state)
     state.SetItemsProcessed(static_cast<std::int64_t>(count));
 }
 BENCHMARK(BM_EventQueueSchedule);
+
+void
+BM_EventQueueScheduleLegacy(benchmark::State &state)
+{
+    LegacyEventQueue eq;
+    std::uint64_t count = 0;
+    for (auto _ : state) {
+        for (int i = 0; i < 1024; ++i)
+            eq.schedule(static_cast<Tick>(i % 7), [&count]() { ++count; });
+        eq.run();
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(count));
+}
+BENCHMARK(BM_EventQueueScheduleLegacy);
+
+void
+BM_EventQueueFarFuture(benchmark::State &state)
+{
+    // Deltas straddling the calendar window so the overflow heap and the
+    // migrate-on-advance path stay on the profile.
+    EventQueue eq;
+    std::uint64_t count = 0;
+    for (auto _ : state) {
+        for (int i = 0; i < 1024; ++i) {
+            const Tick delta =
+                (i & 3) == 0 ? static_cast<Tick>(1000 + i * 17)
+                             : static_cast<Tick>(i % 7);
+            eq.schedule(delta, [&count]() { ++count; });
+        }
+        eq.run();
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(count));
+}
+BENCHMARK(BM_EventQueueFarFuture);
 
 Task<>
 pingPong(EventQueue &eq, int rounds)
@@ -54,6 +154,32 @@ BM_CoroutineResume(benchmark::State &state)
     state.SetItemsProcessed(state.iterations() * 1024);
 }
 BENCHMARK(BM_CoroutineResume);
+
+Task<>
+tinyTask(EventQueue &eq)
+{
+    co_await Delay{eq, 1};
+}
+
+void
+BM_CoroutineSpawn(benchmark::State &state)
+{
+    // Frame allocation cost: many short-lived coroutines per batch.
+    // After the first batch every frame comes from the arena free list.
+    EventQueue eq;
+    for (auto _ : state) {
+        for (int i = 0; i < 1024; ++i)
+            spawn(tinyTask(eq));
+        eq.run();
+    }
+    state.SetItemsProcessed(state.iterations() * 1024);
+    state.counters["arena_reuse_pct"] = benchmark::Counter(
+        FrameArena::stats().allocs
+            ? 100.0 * static_cast<double>(FrameArena::stats().reuses) /
+                  static_cast<double>(FrameArena::stats().allocs)
+            : 0.0);
+}
+BENCHMARK(BM_CoroutineSpawn);
 
 void
 BM_CacheLookup(benchmark::State &state)

@@ -17,48 +17,48 @@ MemorySystem::MemorySystem(const MemParams &params, EventQueue &eq,
       stats_(stats),
       energy_(energy),
       noc_(noc),
-      l1Hits_(stats.counter("l1.hits", "accesses",
-                            "demand hits in a core/engine L1d")),
-      l1Misses_(stats.counter("l1.misses", "accesses",
-                              "demand misses in a core/engine L1d")),
-      l2Hits_(stats.counter("l2.hits", "accesses",
-                            "hits in a private L2")),
-      l2Misses_(stats.counter("l2.misses", "accesses",
-                              "misses in a private L2")),
-      l3Hits_(stats.counter("l3.hits", "accesses",
-                            "hits in the shared L3")),
-      l3Misses_(stats.counter("l3.misses", "accesses",
-                              "misses in the shared L3")),
-      dramReads_(stats.counter("dram.reads", "accesses",
-                               "64B reads at the memory controllers")),
-      dramWrites_(stats.counter("dram.writes", "accesses",
-                                "64B writebacks at the controllers")),
-      invalidations_(stats.counter("coherence.invalidations", "events",
-                                   "directory-inflicted invalidations")),
-      downgrades_(stats.counter("coherence.downgrades", "events",
-                                "exclusive-owner downgrades to Shared")),
-      l2Evictions_(stats.counter("l2.evictions", "lines",
-                                 "capacity/conflict evictions from L2")),
-      l3Evictions_(stats.counter("l3.evictions", "lines",
-                                 "capacity/conflict evictions from L3")),
-      rmoOps_(stats.counter("rmo.ops")),
-      prefetchesIssued_(stats.counter("prefetch.issued")),
-      hBdCache_(stats.histogram(
+      l1Hits_(stats.handle("l1.hits", "accesses",
+                           "demand hits in a core/engine L1d")),
+      l1Misses_(stats.handle("l1.misses", "accesses",
+                             "demand misses in a core/engine L1d")),
+      l2Hits_(stats.handle("l2.hits", "accesses",
+                           "hits in a private L2")),
+      l2Misses_(stats.handle("l2.misses", "accesses",
+                             "misses in a private L2")),
+      l3Hits_(stats.handle("l3.hits", "accesses",
+                           "hits in the shared L3")),
+      l3Misses_(stats.handle("l3.misses", "accesses",
+                             "misses in the shared L3")),
+      dramReads_(stats.handle("dram.reads", "accesses",
+                              "64B reads at the memory controllers")),
+      dramWrites_(stats.handle("dram.writes", "accesses",
+                               "64B writebacks at the controllers")),
+      invalidations_(stats.handle("coherence.invalidations", "events",
+                                  "directory-inflicted invalidations")),
+      downgrades_(stats.handle("coherence.downgrades", "events",
+                               "exclusive-owner downgrades to Shared")),
+      l2Evictions_(stats.handle("l2.evictions", "lines",
+                                "capacity/conflict evictions from L2")),
+      l3Evictions_(stats.handle("l3.evictions", "lines",
+                                "capacity/conflict evictions from L3")),
+      rmoOps_(stats.handle("rmo.ops")),
+      prefetchesIssued_(stats.handle("prefetch.issued")),
+      hBdCache_(stats.histogramHandle(
           "mem.breakdown.cache", 64, 8, "cycles",
           "per-access cycles in cache tag/data arrays (L1/L2/L3)")),
-      hBdNoc_(stats.histogram(
+      hBdNoc_(stats.histogramHandle(
           "mem.breakdown.noc", 64, 8, "cycles",
           "per-access cycles on the mesh, incl. coherence round trips")),
-      hBdLock_(stats.histogram(
+      hBdLock_(stats.histogramHandle(
           "mem.breakdown.lock_wait", 64, 8, "cycles",
           "per-access cycles waiting on line locks, MSHRs, victim ways")),
-      hBdDram_(stats.histogram(
+      hBdDram_(stats.histogramHandle(
           "mem.breakdown.dram", 64, 8, "cycles",
           "per-access cycles in memory-controller queue + access")),
-      hBdCbWait_(stats.histogram(
+      hBdCbWait_(stats.histogramHandle(
           "mem.breakdown.callback_wait", 64, 8, "cycles",
           "per-access cycles blocked on a tako onMiss callback")),
-      hBdTotal_(stats.histogram(
+      hBdTotal_(stats.histogramHandle(
           "mem.breakdown.total", 64, 8, "cycles",
           "end-to-end access latency (sum of breakdown components)"))
 {
@@ -90,6 +90,11 @@ void
 MemorySystem::setPhase(const std::string &phase)
 {
     phase_ = phase;
+    // Lazily re-resolved on the next DRAM access: creating the counters
+    // here would register zero-valued stats for phases that never touch
+    // DRAM, changing the emitted counter set.
+    dramReadsPhase_ = nullptr;
+    dramWritesPhase_ = nullptr;
 }
 
 void
@@ -141,13 +146,13 @@ MemorySystem::aggregateSetHeat(int level) const
 std::uint64_t
 MemorySystem::dramReads() const
 {
-    return static_cast<std::uint64_t>(dramReads_.value());
+    return static_cast<std::uint64_t>(dramReads_->value());
 }
 
 std::uint64_t
 MemorySystem::dramWrites() const
 {
-    return static_cast<std::uint64_t>(dramWrites_.value());
+    return static_cast<std::uint64_t>(dramWrites_->value());
 }
 
 // ---------------------------------------------------------------------
@@ -159,7 +164,7 @@ MemorySystem::access(AccessReq req)
 {
     const Addr line = lineAlign(req.addr);
     const bool need_m = req.cmd != MemCmd::Load;
-    const MorphBinding *mb = resolve(req.addr);
+    const MorphBinding *mb = resolve(req.tile, req.addr);
 
     // Sec. 4.3 restriction: callbacks may not access data with a Morph
     // registered at the same or a higher level of the hierarchy.
@@ -222,7 +227,7 @@ MemorySystem::access(AccessReq req)
     }
 
     if (!req.prefetch && l1_hit_ok()) {
-        ++l1Hits_;
+        ++*l1Hits_;
         l1.touch(*l1.lookup(line), engine_repl);
         const std::uint64_t v = doFunctional(req);
         // Hit-path breakdowns are fully determined, so build them on the
@@ -237,7 +242,7 @@ MemorySystem::access(AccessReq req)
         --inflight_;
         co_return v;
     }
-    ++l1Misses_;
+    ++*l1Misses_;
 
     // Serialize same-line transactions within the tile; this also merges
     // concurrent misses to the same line (MSHR-style).
@@ -300,7 +305,7 @@ MemorySystem::access(AccessReq req)
           req.cmd == MemCmd::Load ? "ld" : "st/at",
           (unsigned long long)line, l2_ok ? "hits" : "misses");
     if (l2_ok) {
-        ++l2Hits_;
+        ++*l2Hits_;
         co_await Delay{eq_, params_.l2DataLat};
         bd.cache += params_.l2DataLat;
         t.l2.touch(*w2, engine_repl);
@@ -311,7 +316,7 @@ MemorySystem::access(AccessReq req)
         if (was_prefetched)
             w2->rrpv = CacheArray::rrpvLong;
     } else {
-        ++l2Misses_;
+        ++*l2Misses_;
         Semaphore &mshrs = req.fromEngine ? t.engineMshrs : t.coreMshrs;
         t0 = eq_.now();
         co_await mshrs.acquire();
@@ -357,12 +362,12 @@ MemorySystem::finishAccess(const AccessReq &req, Tick start,
                            const LatBreakdown &bd)
 {
     if (params_.latBreakdown && !req.prefetch) {
-        hBdCache_.sample(bd.cache);
-        hBdNoc_.sample(bd.noc);
-        hBdLock_.sample(bd.lockWait);
-        hBdDram_.sample(bd.dram);
-        hBdCbWait_.sample(bd.callbackWait);
-        hBdTotal_.sample(eq_.now() - start);
+        hBdCache_->sample(bd.cache);
+        hBdNoc_->sample(bd.noc);
+        hBdLock_->sample(bd.lockWait);
+        hBdDram_->sample(bd.dram);
+        hBdCbWait_->sample(bd.callbackWait);
+        hBdTotal_->sample(eq_.now() - start);
     }
     if (trace::spanEnabled(trace::Flag::Mem)) {
         trace::ChromeTraceWriter &w = *trace::spanSink();
@@ -420,7 +425,7 @@ MemorySystem::fetchIntoL2(int tile, Addr line, bool want_m, bool engine,
         prof_->l3Access(line, w3 != nullptr);
     }
     if (!w3) {
-        ++l3Misses_;
+        ++*l3Misses_;
         w3 = co_await allocL3Way(bank, line, mb, engine, &bd);
         if (use_once)
             b.l3.demote(*w3);
@@ -456,7 +461,7 @@ MemorySystem::fetchIntoL2(int tile, Addr line, bool want_m, bool engine,
             co_await dramFetch(bank, line, &bd);
         }
     } else {
-        ++l3Hits_;
+        ++*l3Hits_;
         Tick extra = 0;
         if (want_m) {
             // Invalidate all other copies.
@@ -467,7 +472,7 @@ MemorySystem::fetchIntoL2(int tile, Addr line, bool want_m, bool engine,
             for (unsigned s = 0; s < params_.tiles; ++s) {
                 if (!(others & (1u << s)))
                     continue;
-                ++invalidations_;
+                ++*invalidations_;
                 TRACE(Coherence, eq_.now(),
                       "bank %d invalidates tile %u for %#llx", bank, s,
                       (unsigned long long)line);
@@ -485,7 +490,7 @@ MemorySystem::fetchIntoL2(int tile, Addr line, bool want_m, bool engine,
             }
         } else if (w3->owner >= 0 && w3->owner != tile) {
             // Downgrade the exclusive owner to Shared.
-            ++downgrades_;
+            ++*downgrades_;
             TileState &o = *tiles_[w3->owner];
             if (CacheWay *ow = o.l2.lookup(line)) {
                 if (ow->dirty) {
@@ -562,8 +567,10 @@ MemorySystem::dramFetch(int bank_tile, Addr line, LatBreakdown *bd)
                         strprintf("{\"addr\":\"%#llx\"}",
                                   (unsigned long long)line));
     }
-    ++dramReads_;
-    stats_.counter("dram.reads." + phase_)++;
+    ++*dramReads_;
+    if (!dramReadsPhase_) [[unlikely]]
+        dramReadsPhase_ = stats_.handle("dram.reads." + phase_);
+    ++*dramReadsPhase_;
     energy_.dramAccess();
     if (dramTracer_)
         dramTracer_(line, false);
@@ -591,8 +598,10 @@ MemorySystem::dramWritebackTask(int bank_tile, Addr line)
                         strprintf("{\"addr\":\"%#llx\"}",
                                   (unsigned long long)line));
     }
-    ++dramWrites_;
-    stats_.counter("dram.writes." + phase_)++;
+    ++*dramWrites_;
+    if (!dramWritesPhase_) [[unlikely]]
+        dramWritesPhase_ = stats_.handle("dram.writes." + phase_);
+    ++*dramWritesPhase_;
     energy_.dramAccess();
     if (dramTracer_)
         dramTracer_(line, true);
@@ -713,7 +722,7 @@ void
 MemorySystem::evictL2Way(int tile, CacheWay &w)
 {
     TileState &t = *tiles_[tile];
-    ++l2Evictions_;
+    ++*l2Evictions_;
     const Addr line = w.lineAddr;
     TRACE(Cache, eq_.now(), "tile %d evicts %#llx%s%s", tile,
           (unsigned long long)line, w.dirty ? " dirty" : "",
@@ -728,7 +737,7 @@ MemorySystem::evictL2Way(int tile, CacheWay &w)
         }
     }
 
-    const MorphBinding *mb = resolve(line);
+    const MorphBinding *mb = resolve(tile, line);
     const bool dirty = w.dirty;
     const bool private_morph = mb && mb->level == MorphLevel::Private;
 
@@ -783,7 +792,7 @@ MemorySystem::updateDirectoryOnPrivateEvict(int tile, Addr line,
 void
 MemorySystem::evictL3Way(int bank_tile, CacheWay &w)
 {
-    ++l3Evictions_;
+    ++*l3Evictions_;
     const Addr line = w.lineAddr;
     bool dirty = w.dirty;
     TRACE(Cache, eq_.now(), "bank %d evicts %#llx%s%s", bank_tile,
@@ -799,7 +808,7 @@ MemorySystem::evictL3Way(int bank_tile, CacheWay &w)
             dirty |= invalidateTileCopies(static_cast<int>(s), line, true);
     }
 
-    const MorphBinding *mb = resolve(line);
+    const MorphBinding *mb = resolve(bank_tile, line);
     const bool shared_morph = mb && mb->level == MorphLevel::Shared;
 
     if (shared_morph) {
@@ -841,7 +850,7 @@ MemorySystem::invalidateTileCopies(int tile, Addr line,
     }
     if (CacheWay *w2 = t.l2.lookup(line)) {
         dirty |= w2->dirty;
-        const MorphBinding *mb = resolve(line);
+        const MorphBinding *mb = resolve(tile, line);
         if (trigger_callbacks && mb &&
             mb->level == MorphLevel::Private) {
             // Losing the line at the registered level triggers the
@@ -897,8 +906,8 @@ MemorySystem::evictionCallbackRetired(std::uint32_t morph_id)
 Task<>
 MemorySystem::remoteAtomicAdd(int tile, Addr addr, std::uint64_t delta)
 {
-    const MorphBinding *mb = resolve(addr);
-    ++rmoOps_;
+    const MorphBinding *mb = resolve(tile, addr);
+    ++*rmoOps_;
     TRACE(Rmo, eq_.now(), "tile %d rmoAdd %#llx += %llu", tile,
           (unsigned long long)addr, (unsigned long long)delta);
     if (!mb || mb->level != MorphLevel::Shared) {
@@ -927,7 +936,7 @@ MemorySystem::remoteAtomicAdd(int tile, Addr addr, std::uint64_t delta)
         prof_->l3Access(line, w3 != nullptr);
     }
     if (!w3) {
-        ++l3Misses_;
+        ++*l3Misses_;
         w3 = co_await allocL3Way(bank, line, mb, false);
         if (mb->phantom) {
             // Phantom miss makes no request down the hierarchy: onMiss
@@ -943,7 +952,7 @@ MemorySystem::remoteAtomicAdd(int tile, Addr addr, std::uint64_t delta)
             co_await dramFetch(bank, line);
         }
     } else {
-        ++l3Hits_;
+        ++*l3Hits_;
         co_await Delay{eq_, params_.l3DataLat};
         b.l3.touch(*w3, false);
     }
@@ -1162,19 +1171,19 @@ MemorySystem::maybePrefetch(int tile, Addr miss_line)
     // Issue only beyond the stream's high-water mark, so a demand miss
     // never re-requests lines the stream already prefetched (they may
     // have been evicted, but re-fetching them wholesale thrashes DRAM).
-    const MorphBinding *mb = resolve(miss_line);
+    const MorphBinding *mb = resolve(tile, miss_line);
     const Addr start =
         std::max(miss_line + lineBytes, it->second.nextIssue);
     const Addr end =
         miss_line + std::uint64_t(t.pfDegree) * lineBytes;
     for (Addr cand = start; cand <= end; cand += lineBytes) {
-        if (resolve(cand) != mb)
+        if (resolve(tile, cand) != mb)
             break; // don't cross morph/range boundaries
         it->second.nextIssue = cand + lineBytes;
         if (t.inflightPrefetch.contains(cand) || t.l2.lookup(cand))
             continue;
         t.inflightPrefetch.insert(cand);
-        ++prefetchesIssued_;
+        ++*prefetchesIssued_;
         ++t.pfIssuedWindow;
         spawn(prefetchLine(tile, cand));
     }

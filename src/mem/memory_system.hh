@@ -298,6 +298,15 @@ class MemorySystem
         unsigned pfDegree = 0; ///< 0 = initialize from params
         std::uint64_t pfIssuedWindow = 0;
         std::uint64_t pfUsefulWindow = 0;
+
+        // rTLB-style one-entry MRU over the morph registry's interval
+        // map: per-access resolve() hits here instead of walking the
+        // std::map. Positive hits only; invalidated by comparing the
+        // resolver's generation. Starts as an empty range.
+        Addr morphMruBase = 1;
+        Addr morphMruEnd = 0;
+        const MorphBinding *morphMruMb = nullptr;
+        std::uint64_t morphMruGen = ~std::uint64_t{0};
     };
 
     /** Outstanding eviction-callback tracking per morph (flushData). */
@@ -316,6 +325,31 @@ class MemorySystem
     resolve(Addr addr) const
     {
         return resolver_ ? resolver_->resolve(addr) : nullptr;
+    }
+
+    /**
+     * Tile-aware resolve: consults tile @p tile's one-entry MRU before
+     * the registry's interval map. Register/unregister bumps the
+     * resolver generation, which invalidates every tile's entry.
+     */
+    const MorphBinding *
+    resolve(int tile, Addr addr) const
+    {
+        if (!resolver_)
+            return nullptr;
+        TileState &t = *tiles_[static_cast<std::size_t>(tile)];
+        const std::uint64_t gen = resolver_->generation();
+        if (gen == t.morphMruGen && addr >= t.morphMruBase &&
+            addr < t.morphMruEnd)
+            return t.morphMruMb;
+        const MorphBinding *mb = resolver_->resolve(addr);
+        if (mb) {
+            t.morphMruBase = mb->base;
+            t.morphMruEnd = mb->base + mb->length;
+            t.morphMruMb = mb;
+            t.morphMruGen = gen;
+        }
+        return mb;
     }
 
     int bankOf(Addr line) const
@@ -449,29 +483,36 @@ class MemorySystem
     unsigned inflight_ = 0;
     std::function<void(Addr, bool)> dramTracer_;
 
-    // Stats.
-    Counter &l1Hits_;
-    Counter &l1Misses_;
-    Counter &l2Hits_;
-    Counter &l2Misses_;
-    Counter &l3Hits_;
-    Counter &l3Misses_;
-    Counter &dramReads_;
-    Counter &dramWrites_;
-    Counter &invalidations_;
-    Counter &downgrades_;
-    Counter &l2Evictions_;
-    Counter &l3Evictions_;
-    Counter &rmoOps_;
-    Counter &prefetchesIssued_;
+    // Stats, as stable StatsRegistry handles cached at construction so
+    // hot-path increments never re-hash the name.
+    Counter *l1Hits_;
+    Counter *l1Misses_;
+    Counter *l2Hits_;
+    Counter *l2Misses_;
+    Counter *l3Hits_;
+    Counter *l3Misses_;
+    Counter *dramReads_;
+    Counter *dramWrites_;
+    Counter *invalidations_;
+    Counter *downgrades_;
+    Counter *l2Evictions_;
+    Counter *l3Evictions_;
+    Counter *rmoOps_;
+    Counter *prefetchesIssued_;
+
+    // Phase-suffixed DRAM counters ("dram.reads.<phase>"), resolved
+    // lazily on the first DRAM access of each phase so the string
+    // concatenation leaves the per-access path. Reset by setPhase().
+    Counter *dramReadsPhase_ = nullptr;
+    Counter *dramWritesPhase_ = nullptr;
 
     // Per-transaction latency breakdown (demand accesses; cycles each).
-    Histogram &hBdCache_;
-    Histogram &hBdNoc_;
-    Histogram &hBdLock_;
-    Histogram &hBdDram_;
-    Histogram &hBdCbWait_;
-    Histogram &hBdTotal_;
+    Histogram *hBdCache_;
+    Histogram *hBdNoc_;
+    Histogram *hBdLock_;
+    Histogram *hBdDram_;
+    Histogram *hBdCbWait_;
+    Histogram *hBdTotal_;
 };
 
 } // namespace tako

@@ -97,6 +97,13 @@ class MorphResolver
 
     /** True if @p addr lies in the phantom region of the address space. */
     virtual bool isPhantomAddr(Addr addr) const = 0;
+
+    /**
+     * Monotonic count of registration-table mutations. Callers caching
+     * resolve() results (the per-tile MRU in MemorySystem) compare this
+     * to invalidate on any register/unregister.
+     */
+    virtual std::uint64_t generation() const { return 0; }
 };
 
 } // namespace tako

@@ -23,8 +23,8 @@ Mesh::Mesh(const MeshParams &params, StatsRegistry &stats,
            EnergyModel &energy)
     : params_(params),
       energy_(energy),
-      messages_(stats.counter("noc.messages")),
-      flitHopsStat_(stats.counter("noc.flitHops")),
+      messages_(stats.handle("noc.messages")),
+      flitHopsStat_(stats.handle("noc.flitHops")),
       linkFree_(static_cast<std::size_t>(params.dimX) * params.dimY * 4, 0)
 {
 }
@@ -42,7 +42,7 @@ Mesh::hops(int src, int dst) const
 Tick
 Mesh::traverse(Tick now, int src, int dst, unsigned bytes)
 {
-    ++messages_;
+    ++*messages_;
     const unsigned flits =
         std::max<unsigned>(1, static_cast<unsigned>(
                                   divCeil(bytes, params_.flitBytes)));
@@ -87,7 +87,7 @@ Mesh::traverse(Tick now, int src, int dst, unsigned bytes)
     head += params_.routerDelay + (flits - 1);
 
     flitHops_ += std::uint64_t(flits) * hop_count;
-    flitHopsStat_ += static_cast<double>(std::uint64_t(flits) * hop_count);
+    *flitHopsStat_ += static_cast<double>(std::uint64_t(flits) * hop_count);
     energy_.nocFlitHops(std::uint64_t(flits) * hop_count);
     return head - now;
 }

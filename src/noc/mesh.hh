@@ -81,8 +81,8 @@ class Mesh
 
     MeshParams params_;
     EnergyModel &energy_;
-    Counter &messages_;
-    Counter &flitHopsStat_;
+    Counter *messages_;
+    Counter *flitHopsStat_;
     std::vector<Tick> linkFree_;
     std::uint64_t flitHops_ = 0;
     std::vector<std::uint64_t> linkBusy_; ///< empty unless profiling

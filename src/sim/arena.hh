@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Size-class arena for coroutine frames.
+ *
+ * Every guest thread, täkō callback, and helper coroutine allocates its
+ * frame through the promise's operator new (see task.hh). Frame sizes are
+ * decided by the compiler but cluster into a handful of values per build,
+ * so a size-class free list turns the malloc/free per coroutine into a
+ * pointer pop/push after warm-up.
+ *
+ * Lifetime rules: the arena is process-global and never returns slabs to
+ * the OS. Freed frames go back on their class's free list and are handed
+ * out again in LIFO order, which keeps the hottest frame memory in cache.
+ * tako-sim simulations are single-threaded (takobench parallelism is
+ * fork/exec), so there is no locking. Frames larger than kMaxBlock fall
+ * through to ::operator new and are counted in Stats::oversize.
+ */
+
+#ifndef TAKO_SIM_ARENA_HH
+#define TAKO_SIM_ARENA_HH
+
+#include <cstddef>
+#include <cstdint>
+
+namespace tako
+{
+
+class FrameArena
+{
+  public:
+    /// Size-class granule; also the minimum block size.
+    static constexpr std::size_t kGranule = 64;
+    /// Largest pooled frame; bigger requests hit ::operator new.
+    static constexpr std::size_t kMaxBlock = 2048;
+    static constexpr std::size_t kNumClasses = kMaxBlock / kGranule;
+
+    struct Stats
+    {
+        std::uint64_t allocs = 0;    ///< pooled allocations served
+        std::uint64_t reuses = 0;    ///< served from a free list
+        std::uint64_t oversize = 0;  ///< fell through to ::operator new
+        std::uint64_t live = 0;      ///< pooled blocks currently out
+        std::uint64_t slabBytes = 0; ///< bytes held in slabs
+    };
+
+    static void *allocate(std::size_t bytes);
+    static void deallocate(void *p, std::size_t bytes) noexcept;
+
+    static const Stats &stats();
+
+  private:
+    FrameArena() = delete;
+};
+
+} // namespace tako
+
+#endif // TAKO_SIM_ARENA_HH

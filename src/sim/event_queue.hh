@@ -7,16 +7,43 @@
  * Everything that takes simulated time in tako-sim — cache lookups, NoC
  * hops, DRAM accesses, engine callbacks, core compute — is an event chain
  * on one global queue.
+ *
+ * Internally this is a two-level calendar queue over pooled EventNodes
+ * (see event_pool.hh) rather than a binary heap of std::function entries:
+ *
+ *  - A wheel of kWheelSlots power-of-two buckets covers the near window
+ *    [base_, base_ + kWheelSlots). An event at tick T lives in slot
+ *    (T & kWheelMask); within a slot, one FIFO lane per EventPriority.
+ *    Schedule and pop are O(1) — no sift, no per-event allocation.
+ *  - Events beyond the window go to a small overflow min-heap ordered by
+ *    (tick, priority, seq). Whenever base_ advances, every overflow event
+ *    that now falls inside the window migrates into the wheel *before*
+ *    any callback at the new time runs.
+ *
+ * Why that preserves the exact total order: (1) wheel events are always
+ * < base_ + kWheelSlots and overflow events >= base_ + kWheelSlots, so
+ * the global minimum is in the wheel whenever the wheel is non-empty;
+ * (2) the heap pops in (tick, priority, seq) order, so migration appends
+ * to each lane in seq order; (3) a callback scheduling directly into the
+ * wheel at tick T can only run after every overflow event at T has
+ * already migrated (eager migration), and its seq is larger than theirs —
+ * so lane FIFO order is seq order; (4) two different ticks in the window
+ * cannot collide in a slot because the window spans exactly one wheel
+ * period. See DESIGN.md "Simulation kernel internals".
  */
 
 #ifndef TAKO_SIM_EVENT_QUEUE_HH
 #define TAKO_SIM_EVENT_QUEUE_HH
 
+#include <array>
+#include <bit>
 #include <cstdint>
 #include <functional>
 #include <queue>
+#include <utility>
 #include <vector>
 
+#include "sim/event_pool.hh"
 #include "sim/logging.hh"
 #include "sim/types.hh"
 
@@ -34,38 +61,43 @@ enum class EventPriority : int
 class EventQueue
 {
   public:
-    using Callback = std::function<void()>;
-
     EventQueue() = default;
     EventQueue(const EventQueue &) = delete;
     EventQueue &operator=(const EventQueue &) = delete;
+
+    ~EventQueue() { dropAll(); }
 
     /** Current simulated time. */
     Tick now() const { return now_; }
 
     /** Schedule @p fn to run @p delta ticks from now. */
+    template <typename F>
     void
-    schedule(Tick delta, Callback fn,
-             EventPriority prio = EventPriority::Default)
+    schedule(Tick delta, F &&fn, EventPriority prio = EventPriority::Default)
     {
-        scheduleAbs(now_ + delta, std::move(fn), prio);
+        scheduleAbs(now_ + delta, std::forward<F>(fn), prio);
     }
 
     /** Schedule @p fn at absolute tick @p when (must not be in the past). */
+    template <typename F>
     void
-    scheduleAbs(Tick when, Callback fn,
+    scheduleAbs(Tick when, F &&fn,
                 EventPriority prio = EventPriority::Default)
     {
         panic_if(when < now_, "scheduling event in the past (%llu < %llu)",
                  (unsigned long long)when, (unsigned long long)now_);
-        events_.push(Entry{when, static_cast<int>(prio), nextSeq_++,
-                           std::move(fn)});
+        EventNode *n = pool_.alloc();
+        n->when = when;
+        n->seq = nextSeq_++;
+        n->priority = static_cast<std::int8_t>(prio);
+        n->emplace(std::forward<F>(fn));
+        insert(n);
     }
 
     /** Number of pending events. */
-    std::size_t pending() const { return events_.size(); }
+    std::size_t pending() const { return wheelCount_ + overflow_.size(); }
 
-    bool empty() const { return events_.empty(); }
+    bool empty() const { return wheelCount_ == 0 && overflow_.empty(); }
 
     /**
      * Pop and run the next event. Returns false if the queue was empty.
@@ -73,15 +105,20 @@ class EventQueue
     bool
     step()
     {
-        if (events_.empty())
+        EventNode *e = popNext();
+        if (!e)
             return false;
-        // Copy out before pop: the callback may schedule new events.
-        Entry e = std::move(const_cast<Entry &>(events_.top()));
-        events_.pop();
-        if (e.when >= hookWatermark_) [[unlikely]]
-            fireAdvanceHook(e.when);
-        now_ = e.when;
-        e.fn();
+        if (e->when >= hookWatermark_) [[unlikely]]
+            fireAdvanceHook(e->when);
+        now_ = e->when;
+        // Migrate overflow events into the wheel *before* the callback
+        // runs: anything it schedules at a near tick must land behind
+        // every already-pending event at that tick.
+        if (now_ > base_)
+            advanceBase(now_);
+        ++fired_;
+        e->run();
+        pool_.release(e);
         return true;
     }
 
@@ -101,12 +138,15 @@ class EventQueue
     void
     runUntil(Tick limit)
     {
-        while (!events_.empty() && events_.top().when <= limit)
+        Tick next;
+        while (peekWhen(next) && next <= limit)
             step();
         if (now_ < limit) {
             if (limit >= hookWatermark_) [[unlikely]]
                 fireAdvanceHook(limit);
             now_ = limit;
+            if (limit > base_)
+                advanceBase(limit);
         }
     }
 
@@ -141,13 +181,55 @@ class EventQueue
     void
     reset()
     {
-        events_ = {};
+        dropAll();
         now_ = 0;
+        base_ = 0;
         nextSeq_ = 0;
+        fired_ = 0;
     }
+
+    /** Events executed since construction (or the last reset()). */
+    std::uint64_t eventsFired() const { return fired_; }
+
+    /** Pending events currently parked in the far-future overflow heap. */
+    std::size_t overflowPending() const { return overflow_.size(); }
+
+    /** Node pool introspection (tests, perf tooling). */
+    const EventPool &pool() const { return pool_; }
 
   private:
     static constexpr Tick kNoWatermark = ~Tick{0};
+
+    static constexpr unsigned kWheelBits = 8;
+    static constexpr std::size_t kWheelSlots = std::size_t{1} << kWheelBits;
+    static constexpr Tick kWheelMask = Tick{kWheelSlots - 1};
+    static constexpr std::size_t kLanes = 3; // High / Default / Low
+    static constexpr std::size_t kBitmapWords = kWheelSlots / 64;
+
+    struct Lane
+    {
+        EventNode *head = nullptr;
+        EventNode *tail = nullptr;
+    };
+
+    struct Slot
+    {
+        Lane lanes[kLanes];
+    };
+
+    /** Min-heap order for the overflow heap: full (tick, prio, seq). */
+    struct FarGreater
+    {
+        bool
+        operator()(const EventNode *a, const EventNode *b) const
+        {
+            if (a->when != b->when)
+                return a->when > b->when;
+            if (a->priority != b->priority)
+                return a->priority > b->priority;
+            return a->seq > b->seq;
+        }
+    };
 
     /**
      * Out-of-line on purpose: keeps the call (which clobbers caller-saved
@@ -160,28 +242,161 @@ class EventQueue
         hookWatermark_ = advanceHook_(to);
     }
 
-    struct Entry
+    void
+    insert(EventNode *n)
     {
-        Tick when;
-        int priority;
-        std::uint64_t seq;
-        Callback fn;
+        // Unsigned wrap makes this also reject when < base_, which
+        // cannot happen: base_ <= now_ whenever callers can schedule.
+        if (n->when - base_ < kWheelSlots)
+            wheelAppend(n);
+        else
+            overflow_.push(n);
+    }
 
-        bool
-        operator>(const Entry &o) const
-        {
-            if (when != o.when)
-                return when > o.when;
-            if (priority != o.priority)
-                return priority > o.priority;
-            return seq > o.seq;
+    void
+    wheelAppend(EventNode *n)
+    {
+        const std::size_t idx = static_cast<std::size_t>(n->when & kWheelMask);
+        Lane &lane = wheel_[idx].lanes[n->priority + 1];
+        n->next = nullptr;
+        if (lane.tail)
+            lane.tail->next = n;
+        else
+            lane.head = n;
+        lane.tail = n;
+        occupied_[idx >> 6] |= std::uint64_t{1} << (idx & 63);
+        ++wheelCount_;
+    }
+
+    /**
+     * Advance the window start to @p to (<= the minimum pending tick) and
+     * eagerly migrate every overflow event that now fits the window. The
+     * heap pops in total order, so lanes fill in seq order.
+     */
+    void
+    advanceBase(Tick to)
+    {
+        base_ = to;
+        while (!overflow_.empty() &&
+               overflow_.top()->when - base_ < kWheelSlots) {
+            EventNode *n = overflow_.top();
+            overflow_.pop();
+            wheelAppend(n);
         }
-    };
+    }
 
-    std::priority_queue<Entry, std::vector<Entry>, std::greater<Entry>>
-        events_;
+    /** Tick a wheel slot maps to under the current window. */
+    Tick
+    slotTick(std::size_t idx) const
+    {
+        return base_ +
+               ((Tick{idx} - (base_ & kWheelMask)) & kWheelMask);
+    }
+
+    /**
+     * First occupied slot in circular order from base_ — which is
+     * minimum-tick order, since the window spans one wheel period.
+     * Only valid when wheelCount_ > 0.
+     */
+    std::size_t
+    firstOccupied() const
+    {
+        const std::size_t start = static_cast<std::size_t>(base_ & kWheelMask);
+        const std::size_t sw = start >> 6;
+        std::uint64_t word = occupied_[sw] & (~std::uint64_t{0} << (start & 63));
+        if (word)
+            return (sw << 6) + std::countr_zero(word);
+        for (std::size_t w = sw + 1; w < kBitmapWords; ++w)
+            if (occupied_[w])
+                return (w << 6) + std::countr_zero(occupied_[w]);
+        for (std::size_t w = 0; w < sw; ++w)
+            if (occupied_[w])
+                return (w << 6) + std::countr_zero(occupied_[w]);
+        word = occupied_[sw] & ~(~std::uint64_t{0} << (start & 63));
+        panic_if(!word, "event wheel bitmap out of sync");
+        return (sw << 6) + std::countr_zero(word);
+    }
+
+    EventNode *
+    popNext()
+    {
+        if (wheelCount_ == 0) {
+            if (overflow_.empty())
+                return nullptr;
+            // Wheel drained: rebase straight to the heap minimum. This
+            // migrates at least the top, in total order.
+            advanceBase(overflow_.top()->when);
+        }
+        const std::size_t idx = firstOccupied();
+        Slot &slot = wheel_[idx];
+        for (Lane &lane : slot.lanes) {
+            if (!lane.head)
+                continue;
+            EventNode *n = lane.head;
+            lane.head = n->next;
+            if (!lane.head)
+                lane.tail = nullptr;
+            --wheelCount_;
+            if (!slot.lanes[0].head && !slot.lanes[1].head &&
+                !slot.lanes[2].head)
+                occupied_[idx >> 6] &= ~(std::uint64_t{1} << (idx & 63));
+            return n;
+        }
+        panic("occupied wheel slot with empty lanes");
+    }
+
+    /** Minimum pending tick, if any. */
+    bool
+    peekWhen(Tick &out) const
+    {
+        if (wheelCount_ > 0) {
+            out = slotTick(firstOccupied());
+            return true;
+        }
+        if (!overflow_.empty()) {
+            out = overflow_.top()->when;
+            return true;
+        }
+        return false;
+    }
+
+    /** Destroy every pending callable and recycle the nodes. */
+    void
+    dropAll()
+    {
+        for (Slot &slot : wheel_) {
+            for (Lane &lane : slot.lanes) {
+                for (EventNode *n = lane.head; n;) {
+                    EventNode *next = n->next;
+                    n->drop();
+                    pool_.release(n);
+                    n = next;
+                }
+                lane.head = lane.tail = nullptr;
+            }
+        }
+        occupied_.fill(0);
+        wheelCount_ = 0;
+        while (!overflow_.empty()) {
+            EventNode *n = overflow_.top();
+            overflow_.pop();
+            n->drop();
+            pool_.release(n);
+        }
+    }
+
+    std::array<Slot, kWheelSlots> wheel_{};
+    std::array<std::uint64_t, kBitmapWords> occupied_{};
+    std::size_t wheelCount_ = 0;
+    std::priority_queue<EventNode *, std::vector<EventNode *>, FarGreater>
+        overflow_;
+    EventPool pool_;
+
+    /** Window start: wheel covers [base_, base_ + kWheelSlots). */
+    Tick base_ = 0;
     Tick now_ = 0;
     std::uint64_t nextSeq_ = 0;
+    std::uint64_t fired_ = 0;
     /** Next tick the advance hook wants; kNoWatermark = hook off. */
     Tick hookWatermark_ = kNoWatermark;
     std::function<Tick(Tick)> advanceHook_;

@@ -139,7 +139,8 @@ StatsRegistry::dump(std::ostream &os) const
 void
 StatsRegistry::dumpJson(
     std::ostream &os,
-    const std::vector<std::pair<std::string, std::string>> &header) const
+    const std::vector<std::pair<std::string, std::string>> &header,
+    const std::vector<std::pair<std::string, double>> &numericHeader) const
 {
     auto write_meta = [&](const std::string &name) {
         if (const StatMeta *m = meta(name)) {
@@ -160,6 +161,13 @@ StatsRegistry::dumpJson(
         json::writeString(os, key);
         os << ": ";
         json::writeString(os, value);
+        os << ",\n";
+    }
+    for (const auto &[key, value] : numericHeader) {
+        os << "  ";
+        json::writeString(os, key);
+        os << ": ";
+        json::writeNumber(os, value);
         os << ",\n";
     }
     os << "  \"counters\": {";

@@ -33,6 +33,8 @@ class Counter
     Counter &operator++() { value_ += 1; return *this; }
     void operator++(int) { value_ += 1; }
     double value() const { return value_; }
+    /** Overwrite the value; for host-side gauges (wall clock, rates). */
+    void set(double v) { value_ = v; }
     void reset() { value_ = 0; }
 
   private:
@@ -140,6 +142,25 @@ class StatsRegistry
         return counters_[name];
     }
 
+    /**
+     * Stable-pointer form of counter(): hot paths cache the handle at
+     * component construction instead of re-hashing the name on every
+     * increment. std::map nodes never move, so the pointer stays valid
+     * for the registry's lifetime regardless of later registrations.
+     */
+    Counter *
+    handle(const std::string &name)
+    {
+        return &counters_[name];
+    }
+
+    Counter *
+    handle(const std::string &name, const std::string &unit,
+           const std::string &desc)
+    {
+        return &counter(name, unit, desc);
+    }
+
     /** Find @p name, or create it with the default geometry (16 x 8). */
     Histogram &
     histogram(const std::string &name)
@@ -175,6 +196,15 @@ class StatsRegistry
                      (unsigned long long)it->second.bucketWidth());
         }
         return it->second;
+    }
+
+    /** Stable-pointer form of histogram(); same contract as handle(). */
+    Histogram *
+    histogramHandle(const std::string &name, unsigned num_buckets,
+                    std::uint64_t bucket_width, const std::string &unit = "",
+                    const std::string &desc = "")
+    {
+        return &histogram(name, num_buckets, bucket_width, unit, desc);
     }
 
     /** Value of a counter; 0 if it was never created. */
@@ -222,11 +252,14 @@ class StatsRegistry
      * Dump every counter, histogram, and the time series (if sampled) as
      * one JSON object, with units/descriptions where registered.
      * @p header pairs are emitted first as top-level string fields
-     * (e.g. {"git_rev", "abc1234"}).
+     * (e.g. {"git_rev", "abc1234"}); @p numericHeader pairs follow as
+     * top-level number fields (e.g. {"host_seconds", 1.25}).
      */
     void dumpJson(std::ostream &os,
                   const std::vector<std::pair<std::string, std::string>>
-                      &header = {}) const;
+                      &header = {},
+                  const std::vector<std::pair<std::string, double>>
+                      &numericHeader = {}) const;
 
     void
     reset()

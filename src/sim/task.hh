@@ -18,10 +18,12 @@
 #define TAKO_SIM_TASK_HH
 
 #include <coroutine>
+#include <cstddef>
 #include <exception>
 #include <functional>
 #include <utility>
 
+#include "sim/arena.hh"
 #include "sim/event_queue.hh"
 #include "sim/logging.hh"
 
@@ -38,6 +40,21 @@ struct PromiseBase
 {
     std::coroutine_handle<> continuation;
     std::exception_ptr exception;
+
+    // Coroutine frames come from the size-class arena: the compiler
+    // routes frame allocation through the promise's operator new with
+    // the full frame size.
+    static void *
+    operator new(std::size_t bytes)
+    {
+        return FrameArena::allocate(bytes);
+    }
+
+    static void
+    operator delete(void *p, std::size_t bytes) noexcept
+    {
+        FrameArena::deallocate(p, bytes);
+    }
 
     std::suspend_always initial_suspend() noexcept { return {}; }
 
@@ -183,6 +200,18 @@ struct DetachedTask
 {
     struct promise_type
     {
+        static void *
+        operator new(std::size_t bytes)
+        {
+            return FrameArena::allocate(bytes);
+        }
+
+        static void
+        operator delete(void *p, std::size_t bytes) noexcept
+        {
+            FrameArena::deallocate(p, bytes);
+        }
+
         DetachedTask get_return_object() { return {}; }
         std::suspend_never initial_suspend() noexcept { return {}; }
         std::suspend_never final_suspend() noexcept { return {}; }

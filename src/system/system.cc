@@ -86,12 +86,42 @@ Tick
 System::runFor(Tick limit)
 {
     const Tick start = eq_.now();
+    const auto host_start = std::chrono::steady_clock::now();
     for (auto &[core, fn] : pending_)
         cores_[core]->run(std::move(fn));
     pending_.clear();
     eq_.runUntil(start + limit);
+    stampHostStats(host_start);
     finalizeProfiler();
     return eq_.now() - start;
+}
+
+void
+System::stampHostStats(
+    std::chrono::steady_clock::time_point host_start)
+{
+    // Host-side throughput gauges. These are the only stats allowed to
+    // differ between two otherwise-identical runs; consumers diffing for
+    // determinism must skip the host.* namespace. Registered after the
+    // run so the sampler's time series (fixed at construction) never
+    // sees them.
+    hostSeconds_ +=
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      host_start)
+            .count();
+    const double events = static_cast<double>(eq_.eventsFired());
+    stats_
+        .counter("host.seconds", "s",
+                 "host wall-clock time spent inside run()/runFor()")
+        .set(hostSeconds_);
+    stats_
+        .counter("host.sim_events", "events",
+                 "events executed by the kernel event queue")
+        .set(events);
+    stats_
+        .counter("host.events_per_sec", "events/s",
+                 "kernel event throughput (sim_events / seconds)")
+        .set(hostSeconds_ > 0 ? events / hostSeconds_ : 0.0);
 }
 
 void
@@ -110,11 +140,13 @@ Tick
 System::run()
 {
     const Tick start = eq_.now();
+    const auto host_start = std::chrono::steady_clock::now();
     for (auto &[core, fn] : pending_)
         cores_[core]->run(std::move(fn));
     pending_.clear();
 
     eq_.run();
+    stampHostStats(host_start);
 
     unsigned blocked = 0;
     for (const auto &core : cores_)

@@ -8,6 +8,7 @@
 #ifndef TAKO_SYSTEM_SYSTEM_HH
 #define TAKO_SYSTEM_SYSTEM_HH
 
+#include <chrono>
 #include <functional>
 #include <memory>
 #include <vector>
@@ -99,6 +100,9 @@ class System
     /** Harvest NoC/set-heat counters into the profiler and finalize it. */
     void finalizeProfiler();
 
+    /** Set the host.* wall-clock/throughput gauges after a run. */
+    void stampHostStats(std::chrono::steady_clock::time_point host_start);
+
     SystemConfig config_;
     EventQueue eq_;
     StatsRegistry stats_;
@@ -112,6 +116,7 @@ class System
     std::vector<std::unique_ptr<Core>> cores_;
     std::unique_ptr<StatsSampler> sampler_;
     std::vector<std::pair<int, std::function<Task<>(Guest &)>>> pending_;
+    double hostSeconds_ = 0.0;
 };
 
 } // namespace tako

@@ -230,28 +230,28 @@ Engine::Engine(int tile, const EngineParams &params, MemorySystem &mem,
                                   : params.maxConcurrent)),
       memPortSem_(eq, memPorts()),
       addrOrder_(eq),
-      cbMiss_(stats.counter("engine.cb.miss")),
-      cbEviction_(stats.counter("engine.cb.eviction")),
-      cbWriteback_(stats.counter("engine.cb.writeback")),
-      engineInstrs_(stats.counter("engine.instrs")),
-      rtlbHits_(stats.counter("engine.rtlb.hits")),
-      rtlbMisses_(stats.counter("engine.rtlb.misses")),
-      bitstreamLoads_(stats.counter("engine.bitstream.loads")),
-      missLatency_(stats.histogram("engine.missLatency", 32, 16)),
-      bufferWait_(stats.histogram("engine.bufferWait", 16, 8)),
-      hBdAddrWait_(stats.histogram(
+      cbMiss_(stats.handle("engine.cb.miss")),
+      cbEviction_(stats.handle("engine.cb.eviction")),
+      cbWriteback_(stats.handle("engine.cb.writeback")),
+      engineInstrs_(stats.handle("engine.instrs")),
+      rtlbHits_(stats.handle("engine.rtlb.hits")),
+      rtlbMisses_(stats.handle("engine.rtlb.misses")),
+      bitstreamLoads_(stats.handle("engine.bitstream.loads")),
+      missLatency_(stats.histogramHandle("engine.missLatency", 32, 16)),
+      bufferWait_(stats.histogramHandle("engine.bufferWait", 16, 8)),
+      hBdAddrWait_(stats.histogramHandle(
           "engine.breakdown.addr_wait", 32, 8, "cycles",
           "cycles a callback waits for same-address ordering")),
-      hBdDispatch_(stats.histogram(
+      hBdDispatch_(stats.histogramHandle(
           "engine.breakdown.dispatch", 32, 8, "cycles",
           "scheduler + fabric-slot cycles before the body starts")),
-      hBdXlate_(stats.histogram(
+      hBdXlate_(stats.histogramHandle(
           "engine.breakdown.xlate", 32, 8, "cycles",
           "rTLB lookup + bitstream load cycles")),
-      hBdBody_(stats.histogram(
+      hBdBody_(stats.histogramHandle(
           "engine.breakdown.body", 32, 16, "cycles",
           "cycles spent executing the morph callback body")),
-      hBdTotal_(stats.histogram(
+      hBdTotal_(stats.histogramHandle(
           "engine.breakdown.total", 32, 16, "cycles",
           "end-to-end callback latency, trigger to retire"))
 {
@@ -294,7 +294,7 @@ Engine::computeLatency(unsigned instrs, unsigned depth) const
 void
 Engine::chargeCompute(unsigned instrs)
 {
-    engineInstrs_ += instrs;
+    *engineInstrs_ += instrs;
     energy_.engineInstrs(instrs, inorder());
 }
 
@@ -330,10 +330,10 @@ Engine::rtlbLookup(Addr line)
     auto it = rtlb_.find(page);
     if (it != rtlb_.end()) {
         it->second = ++rtlbClock_;
-        ++rtlbHits_;
+        ++*rtlbHits_;
         return params_.tlbLat;
     }
-    ++rtlbMisses_;
+    ++*rtlbMisses_;
     if (rtlb_.size() >= params_.rtlbEntries) {
         auto lru = std::min_element(
             rtlb_.begin(), rtlb_.end(),
@@ -354,7 +354,7 @@ Engine::bitstreamLookup(const MorphBinding &binding)
         it->second = ++bitstreamClock_;
         return 0;
     }
-    ++bitstreamLoads_;
+    ++*bitstreamLoads_;
     if (bitstreams_.size() >= params_.bitstreamCacheEntries) {
         auto lru = std::min_element(
             bitstreams_.begin(), bitstreams_.end(),
@@ -400,7 +400,7 @@ Engine::runCallback(Request req)
     if (!priority_miss) {
         co_await bufferSlots_.acquire();
         admission_wait = eq_.now() - enqueued;
-        bufferWait_.sample(admission_wait);
+        bufferWait_->sample(admission_wait);
     }
 
     // Callbacks on the same address execute in arrival order.
@@ -435,16 +435,16 @@ Engine::runCallback(Request req)
     const Tick body_start = eq_.now();
     switch (req.kind) {
       case CallbackKind::Miss:
-        ++cbMiss_;
+        ++*cbMiss_;
         co_await morph.onMiss(ctx);
-        missLatency_.sample(eq_.now() - enqueued);
+        missLatency_->sample(eq_.now() - enqueued);
         break;
       case CallbackKind::Eviction:
-        ++cbEviction_;
+        ++*cbEviction_;
         co_await morph.onEviction(ctx);
         break;
       case CallbackKind::Writeback:
-        ++cbWriteback_;
+        ++*cbWriteback_;
         co_await morph.onWriteback(ctx);
         break;
     }
@@ -455,11 +455,11 @@ Engine::runCallback(Request req)
         bufferSlots_.release();
     }
     addrOrder_.release(req.line);
-    hBdAddrWait_.sample(addr_wait);
-    hBdDispatch_.sample(dispatch);
-    hBdXlate_.sample(xlate);
-    hBdBody_.sample(body);
-    hBdTotal_.sample(eq_.now() - enqueued);
+    hBdAddrWait_->sample(addr_wait);
+    hBdDispatch_->sample(dispatch);
+    hBdXlate_->sample(xlate);
+    hBdBody_->sample(body);
+    hBdTotal_->sample(eq_.now() - enqueued);
     if (prof_) {
         prof::CallbackRecord rec;
         rec.tile = tile_;

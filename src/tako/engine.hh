@@ -238,20 +238,20 @@ class Engine
     std::unordered_map<std::uint32_t, std::uint64_t> bitstreams_;
     std::uint64_t bitstreamClock_ = 0;
 
-    Counter &cbMiss_;
-    Counter &cbEviction_;
-    Counter &cbWriteback_;
-    Counter &engineInstrs_;
-    Counter &rtlbHits_;
-    Counter &rtlbMisses_;
-    Counter &bitstreamLoads_;
-    Histogram &missLatency_;
-    Histogram &bufferWait_;
-    Histogram &hBdAddrWait_;
-    Histogram &hBdDispatch_;
-    Histogram &hBdXlate_;
-    Histogram &hBdBody_;
-    Histogram &hBdTotal_;
+    Counter *cbMiss_;
+    Counter *cbEviction_;
+    Counter *cbWriteback_;
+    Counter *engineInstrs_;
+    Counter *rtlbHits_;
+    Counter *rtlbMisses_;
+    Counter *bitstreamLoads_;
+    Histogram *missLatency_;
+    Histogram *bufferWait_;
+    Histogram *hBdAddrWait_;
+    Histogram *hBdDispatch_;
+    Histogram *hBdXlate_;
+    Histogram *hBdBody_;
+    Histogram *hBdTotal_;
 };
 
 /**

@@ -27,6 +27,7 @@ MorphRegistry::insert(Morph &morph, MorphLevel level, Addr base,
           phantom ? "phantom" : "real", (unsigned long long)base,
           (unsigned long long)size, b.id);
     const bool ok = map_.insert(base, size, b);
+    ++gen_; // invalidate per-tile MRU resolve caches
     fatal_if(!ok,
              "morph '%s': range [%#llx, +%llu) overlaps an existing "
              "registration (only one Morph per address, Sec. 4.1)",
@@ -81,6 +82,7 @@ MorphRegistry::unregister(const MorphBinding *binding)
     co_await mem_.flushMorphData(*binding);
     co_await Delay{eq_, registrationLat};
     map_.erase(base);
+    ++gen_; // invalidate per-tile MRU resolve caches
     // Phantom ranges are bump-allocated and not recycled; a freed range
     // simply becomes unreachable (accesses to it panic).
 }

@@ -75,6 +75,8 @@ class MorphRegistry : public MorphResolver
         return addr >= phantomBase;
     }
 
+    std::uint64_t generation() const override { return gen_; }
+
     std::size_t numRegistered() const { return map_.size(); }
 
   private:
@@ -86,6 +88,7 @@ class MorphRegistry : public MorphResolver
     IntervalMap<MorphBinding> map_;
     Addr nextPhantom_ = phantomBase;
     std::uint32_t nextId_ = 1;
+    std::uint64_t gen_ = 0;
 };
 
 } // namespace tako

@@ -155,6 +155,12 @@ collectMetrics(System &sys, std::string label, Tick cycles)
     m.dramWrites = sys.mem().dramWrites();
     m.stats = std::make_shared<StatsRegistry>(sys.stats());
     m.prof = sys.profilerShared();
+    // Surface kernel throughput in bench tables / Reporter metrics
+    // ("<label>.host.events_per_sec"). Host-side only — never gated.
+    if (double eps = sys.stats().get("host.events_per_sec"); eps > 0) {
+        m.extra["host.events_per_sec"] = eps;
+        m.extra["host.seconds"] = sys.stats().get("host.seconds");
+    }
     return m;
 }
 

@@ -547,9 +547,20 @@ TEST(ExptEndToEnd, SameSpecSameSeedIdenticalMetricsAcrossJobLevels)
         Json b = Json::parseFile(j8_cmds[i].outputJson, &e2);
         ASSERT_TRUE(e1.empty() && e2.empty()) << e1 << e2;
         // Byte-identical metric extraction: parallel fan-out must not
-        // perturb the (single-process, seeded) simulations.
+        // perturb the (single-process, seeded) simulations. host.*
+        // gauges are wall-clock-derived and exempt by contract.
         auto ma = extractMetrics(a);
         auto mb = extractMetrics(b);
+        auto dropHost = [](std::map<std::string, double> &m) {
+            for (auto it = m.begin(); it != m.end();) {
+                if (it->first.rfind("host.", 0) == 0)
+                    it = m.erase(it);
+                else
+                    ++it;
+            }
+        };
+        dropHost(ma);
+        dropHost(mb);
         EXPECT_EQ(ma, mb);
         EXPECT_FALSE(ma.empty());
     }

@@ -370,7 +370,9 @@ TEST(Profiler, EnablingProfilingChangesNoSimulatedStat)
         addProfWorkload(sys, morph);
         cycles[run] = sys.run();
         for (const auto &[name, c] : sys.stats().counters()) {
-            if (name.rfind("prof.", 0) != 0)
+            // prof.* exists only when profiled; host.* is wall-clock.
+            if (name.rfind("prof.", 0) != 0 &&
+                name.rfind("host.", 0) != 0)
                 counters[run][name] = c.value();
         }
         // prof.* counters exist exactly when profiled.

@@ -42,6 +42,26 @@ class NopMorph : public Morph
     }
 };
 
+class CountingMorph : public Morph
+{
+  public:
+    CountingMorph()
+        : Morph(MorphTraits{.name = "count",
+                            .hasMiss = true,
+                            .missKernel = {2, 1}})
+    {
+    }
+
+    Task<>
+    onMiss(EngineCtx &ctx) override
+    {
+        ++misses;
+        co_await ctx.compute(2, 1);
+    }
+
+    int misses = 0;
+};
+
 } // namespace
 
 TEST(Registry, PhantomRangesAreDisjointAndPageAligned)
@@ -114,6 +134,33 @@ TEST(Registry, MorphBitsTagFilledLines)
     });
     sys.run();
     sys.mem().checkInvariants();
+}
+
+TEST(Registry, ReRegisterSameRangeInvalidatesResolveCache)
+{
+    // The per-tile MRU in front of the registry's interval map is keyed
+    // by the registry generation: unregister + re-register over the
+    // same range must route the next miss to the *new* Morph, never a
+    // stale cached binding.
+    System sys(smallConfig());
+    CountingMorph m1, m2;
+    const Addr data = 0x40000;
+    int m1_after_first = -1;
+    sys.addThread(0, [&](Guest &g) -> Task<> {
+        const MorphBinding *b1 = co_await g.registerReal(
+            m1, MorphLevel::Shared, data, lineBytes);
+        co_await g.load(data);
+        co_await g.unregister(b1);
+        m1_after_first = m1.misses;
+        const MorphBinding *b2 = co_await g.registerReal(
+            m2, MorphLevel::Shared, data, lineBytes);
+        co_await g.load(data);
+        co_await g.unregister(b2);
+    });
+    sys.run();
+    EXPECT_GE(m1_after_first, 1);
+    EXPECT_EQ(m1.misses, m1_after_first); // no stale-cache dispatch
+    EXPECT_GE(m2.misses, 1);
 }
 
 TEST(Registry, OverlappingRealRegistrationDies)

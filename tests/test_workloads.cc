@@ -76,6 +76,41 @@ TEST(Decompress, AllVariantsAgree)
     }
 }
 
+TEST(Decompress, RepeatRunsAreBitIdentical)
+{
+    // Kernel determinism gate: two in-process runs of the same seeded
+    // workload must produce identical simulation stats. Only host.*
+    // gauges (wall-clock derived) may differ; they must still exist.
+    DecompressConfig cfg;
+    cfg.numValues = 512;
+    cfg.numIndices = 2048;
+    RunMetrics a =
+        runDecompress(DecompressVariant::Tako, cfg, tinySystem(4));
+    RunMetrics b =
+        runDecompress(DecompressVariant::Tako, cfg, tinySystem(4));
+    ASSERT_TRUE(a.stats && b.stats);
+    std::size_t compared = 0, host = 0;
+    for (const auto &[name, c] : a.stats->counters()) {
+        auto it = b.stats->counters().find(name);
+        ASSERT_NE(it, b.stats->counters().end()) << name;
+        if (name.rfind("host.", 0) == 0) {
+            ++host;
+            continue;
+        }
+        EXPECT_EQ(c.value(), it->second.value()) << name;
+        ++compared;
+    }
+    EXPECT_EQ(a.stats->counters().size(), b.stats->counters().size());
+    EXPECT_GE(host, 3u); // host.seconds, host.sim_events, host.events_per_sec
+    EXPECT_GT(compared, 10u);
+    for (const auto &[name, h] : a.stats->histograms()) {
+        auto it = b.stats->histograms().find(name);
+        ASSERT_NE(it, b.stats->histograms().end()) << name;
+        EXPECT_EQ(h.count(), it->second.count()) << name;
+        EXPECT_EQ(h.sum(), it->second.sum()) << name;
+    }
+}
+
 TEST(Decompress, TakoMemoizesHotLines)
 {
     DecompressConfig cfg;

@@ -1,0 +1,126 @@
+#!/usr/bin/env python3
+"""Kernel perf smoke: microbench + one profiled takosim run -> BENCH_perf.json.
+
+Usage: tools/perf_smoke.py [--bin-dir build] [--out BENCH_perf.json]
+                           [--quick]
+
+Runs the kernel microbenchmarks (schedule/fire throughput old vs. new,
+coroutine spawn/resume) and one end-to-end profiled takosim run, then
+merges both into a single "takoperf-v1" JSON artifact. CI uploads the
+artifact per commit so events/sec has a trajectory; feed one or more of
+these files to tools/plot_results.py to render the trend.
+
+Exit status is non-zero if either child fails or if the new event queue
+fails to beat the legacy baseline by at least MIN_SPEEDUP (the PR's
+regression gate).
+"""
+import argparse
+import json
+import os
+import subprocess
+import sys
+
+MIN_SPEEDUP = 2.0
+KERNEL_FILTER = "BM_EventQueue|BM_Coroutine"
+
+
+def run_microbench(bin_dir, quick):
+    exe = os.path.join(bin_dir, "bench", "micro_kernels")
+    out = os.path.join(bin_dir, "micro_kernels_perf.json")
+    cmd = [
+        exe,
+        f"--benchmark_filter={KERNEL_FILTER}",
+        "--benchmark_format=json",
+        f"--benchmark_out={out}",
+        "--benchmark_out_format=json",
+    ]
+    if not quick:
+        # Plain double: this google-benchmark build rejects "0.2s".
+        cmd.append("--benchmark_min_time=0.2")
+    subprocess.run(cmd, check=True, stdout=subprocess.DEVNULL)
+    doc = json.load(open(out))
+    benches = {}
+    for b in doc.get("benchmarks", []):
+        if b.get("run_type") == "aggregate":
+            continue
+        benches[b["name"]] = {
+            "items_per_second": b.get("items_per_second", 0.0),
+            "cpu_time_ns": b.get("cpu_time", 0.0),
+        }
+    return doc.get("context", {}), benches
+
+
+def run_takosim(bin_dir, quick):
+    exe = os.path.join(bin_dir, "tools", "takosim")
+    stats = os.path.join(bin_dir, "perf_smoke_stats.json")
+    prof = os.path.join(bin_dir, "perf_smoke_prof.json")
+    cmd = [
+        exe,
+        "--workload=decompress",
+        "--variant=tako",
+        f"--stats-json={stats}",
+        f"--profile={prof}",
+    ]
+    env = dict(os.environ)
+    if quick:
+        env["TAKO_QUICK"] = "1"
+    subprocess.run(cmd, check=True, stdout=subprocess.DEVNULL, env=env)
+    doc = json.load(open(stats))
+    return {
+        "workload": "decompress",
+        "variant": "tako",
+        "host_seconds": doc.get("host_seconds", 0.0),
+        "sim_events": doc.get("sim_events", 0.0),
+        "events_per_sec": doc.get("events_per_sec", 0.0),
+        "git_rev": doc.get("git_rev", "unknown"),
+    }, prof
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("--bin-dir", default="build")
+    ap.add_argument("--out", default="BENCH_perf.json")
+    ap.add_argument("--quick", action="store_true",
+                    help="short benchmark reps + quick-mode takosim")
+    args = ap.parse_args()
+
+    context, benches = run_microbench(args.bin_dir, args.quick)
+    takosim, prof_path = run_takosim(args.bin_dir, args.quick)
+
+    new = benches.get("BM_EventQueueSchedule", {}).get("items_per_second", 0)
+    old = benches.get("BM_EventQueueScheduleLegacy", {}) \
+                 .get("items_per_second", 0)
+    speedup = new / old if old else 0.0
+
+    report = {
+        "schema": "takoperf-v1",
+        "git_rev": takosim["git_rev"],
+        "host": {
+            "cpu": context.get("host_name", ""),
+            "num_cpus": context.get("num_cpus", 0),
+            "mhz_per_cpu": context.get("mhz_per_cpu", 0),
+            "build_type": context.get("library_build_type", ""),
+        },
+        "benchmarks": benches,
+        "event_queue_speedup_vs_legacy": speedup,
+        "takosim": takosim,
+    }
+    with open(args.out, "w") as f:
+        json.dump(report, f, indent=2)
+        f.write("\n")
+
+    print(f"perf_smoke: schedule/fire {new / 1e6:.1f} M/s "
+          f"(legacy {old / 1e6:.1f} M/s, {speedup:.1f}x), "
+          f"takosim {takosim['events_per_sec'] / 1e6:.2f} M events/s "
+          f"-> {args.out}")
+    if os.path.exists(prof_path):
+        print(f"perf_smoke: profiled run wrote {prof_path}")
+    if speedup < MIN_SPEEDUP:
+        print(f"perf_smoke: FAIL: event-queue speedup {speedup:.2f}x "
+              f"< required {MIN_SPEEDUP}x", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

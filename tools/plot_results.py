@@ -4,14 +4,18 @@
 Usage: tools/plot_results.py bench_output.txt [outdir]
        tools/plot_results.py BENCH_quick.json [outdir]
        tools/plot_results.py prof.json [outdir]
+       tools/plot_results.py BENCH_perf_a.json BENCH_perf_b.json... [outdir]
 
 Accepts the legacy text capture of the bench binaries' stdout (the
 "=== Fig. N ===" tables), a takobench suite report (BENCH_<suite>.json,
-schema "takobench-v1"), or a takoprof profile (takosim --profile,
-schema "takoprof-v1"); the format is sniffed from the file contents.
+schema "takobench-v1"), a takoprof profile (takosim --profile, schema
+"takoprof-v1"), or one or more perf-smoke artifacts (tools/perf_smoke.py,
+schema "takoperf-v1"); the format is sniffed from the file contents.
 Bench inputs get one PNG per figure/run with the variants' leading
 metric; takoprof inputs get a NoC link-utilization heatmap and a
-per-engine occupancy chart. Requires matplotlib; degrades to printing
+per-engine occupancy chart; takoperf inputs get an events/sec trend
+across the given files (in argument order, labelled by git rev — pass
+the artifacts oldest-first). Requires matplotlib; degrades to printing
 the parsed tables without it.
 """
 import json
@@ -74,11 +78,11 @@ def parse(path):
         doc = json.loads(text)
         if doc.get("schema", "").startswith("takobench"):
             return parse_suite(doc)
-        if doc.get("schema", "").startswith("takoprof"):
+        if doc.get("schema", "").startswith(("takoprof", "takoperf")):
             return doc
-        raise SystemExit(f"{path}: JSON but neither a takobench report "
-                         "nor a takoprof profile (unrecognized "
-                         "\"schema\")")
+        raise SystemExit(f"{path}: JSON but not a takobench report, "
+                         "takoprof profile, or takoperf artifact "
+                         "(unrecognized \"schema\")")
     return parse_text(path)
 
 
@@ -127,10 +131,65 @@ def plot_takoprof(doc, outdir):
     print(f"wrote {wrote} takoprof charts to {outdir}")
 
 
+def plot_takoperf(docs, outdir):
+    """Events/sec trend across one or more takoperf-v1 artifacts.
+
+    Two series on one chart: end-to-end takosim events/sec (the number
+    that bounds figure-bench scale) and the raw event-queue
+    schedule/fire microbenchmark, each point one artifact in argument
+    order labelled by its git rev.
+    """
+    revs = [str(d.get("git_rev", "?"))[:12] for d in docs]
+    sim_eps = [d.get("takosim", {}).get("events_per_sec", 0) / 1e6
+               for d in docs]
+    ueq = [d.get("benchmarks", {}).get("BM_EventQueueSchedule", {})
+            .get("items_per_second", 0) / 1e6 for d in docs]
+    try:
+        import matplotlib
+        matplotlib.use("Agg")
+        import matplotlib.pyplot as plt
+    except ImportError:
+        print(f"{'rev':>12} {'sim Mev/s':>10} {'uqueue M/s':>10}")
+        for r, s, u in zip(revs, sim_eps, ueq):
+            print(f"{r:>12} {s:>10.2f} {u:>10.1f}")
+        print("matplotlib not available; printed summaries only")
+        return
+
+    fig, ax = plt.subplots(figsize=(max(6, len(revs) * 0.9), 3.5))
+    ax.plot(revs, sim_eps, marker="o", label="takosim (end-to-end)")
+    ax.set_ylabel("M events/s (takosim)")
+    ax.set_ylim(bottom=0)
+    ax2 = ax.twinx()
+    ax2.plot(revs, ueq, marker="s", color="tab:orange",
+             label="event queue (micro)")
+    ax2.set_ylabel("M events/s (microbench)")
+    ax2.set_ylim(bottom=0)
+    ax.set_title("Simulation-kernel throughput trend")
+    lines = ax.get_lines() + ax2.get_lines()
+    ax.legend(lines, [ln.get_label() for ln in lines], loc="lower right")
+    plt.xticks(rotation=30, ha="right")
+    plt.tight_layout()
+    fig.savefig(f"{outdir}/takoperf_trend.png", dpi=120)
+    plt.close(fig)
+    print(f"wrote takoperf trend ({len(revs)} points) to "
+          f"{outdir}/takoperf_trend.png")
+
+
 def main():
-    path = sys.argv[1] if len(sys.argv) > 1 else "bench_output.txt"
-    outdir = sys.argv[2] if len(sys.argv) > 2 else "."
-    sections = parse(path)
+    args = sys.argv[1:] or ["bench_output.txt"]
+    outdir = "."
+    if len(args) > 1 and not args[-1].endswith((".json", ".txt")):
+        outdir = args.pop()
+    parsed = [parse(p) for p in args]
+    if all(isinstance(d, dict) and
+           str(d.get("schema", "")).startswith("takoperf")
+           for d in parsed):
+        plot_takoperf(parsed, outdir)
+        return
+    if len(parsed) > 1:
+        raise SystemExit("multiple input files are only supported for "
+                         "takoperf-v1 artifacts")
+    sections = parsed[0]
     if isinstance(sections, dict) and \
             str(sections.get("schema", "")).startswith("takoprof"):
         plot_takoprof(sections, outdir)

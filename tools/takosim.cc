@@ -396,10 +396,16 @@ main(int argc, char **argv)
     if (!o.statsJson.empty() && m.stats) {
         const std::vector<std::pair<std::string, std::string>> header{
             {"git_rev", TAKO_GIT_REV}};
+        // Host throughput as first-class top-level fields so perf
+        // tooling does not have to dig through the counters object.
+        const std::vector<std::pair<std::string, double>> numericHeader{
+            {"host_seconds", m.stats->get("host.seconds")},
+            {"sim_events", m.stats->get("host.sim_events")},
+            {"events_per_sec", m.stats->get("host.events_per_sec")}};
         if (o.statsJson == "-")
-            m.stats->dumpJson(std::cout, header);
+            m.stats->dumpJson(std::cout, header, numericHeader);
         else
-            m.stats->dumpJson(statsJsonFile, header);
+            m.stats->dumpJson(statsJsonFile, header, numericHeader);
     }
     if (m.prof) {
         const std::vector<std::pair<std::string, std::string>> header{
