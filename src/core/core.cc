@@ -311,7 +311,7 @@ Core::multiOp(MemCmd cmd, const std::vector<Addr> &addrs,
         spawn(windowedOp(*this, loadWindow_, cmd, addrs[i],
                          wdata ? (*wdata)[i] : 0,
                          out ? &(*out)[i] : nullptr, no_fetch, use_once),
-              [&join]() { join.done(); });
+              join.completion());
     }
     co_await join.wait();
 }

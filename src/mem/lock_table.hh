@@ -15,7 +15,7 @@
 
 #include <coroutine>
 #include <deque>
-#include <unordered_map>
+#include <map>
 
 #include "sim/event_queue.hh"
 #include "sim/logging.hh"
@@ -83,8 +83,12 @@ class LineLockTable
 
   private:
     EventQueue &eq_;
-    /** Present key == lock held; value == FIFO of waiters. */
-    std::unordered_map<Addr, std::deque<std::coroutine_handle<>>> locks_;
+    /**
+     * Present key == lock held; value == FIFO of waiters. Ordered
+     * (takolint D1): never iterated today, but lock state is exactly the
+     * kind of table a future diagnostic dump would walk.
+     */
+    std::map<Addr, std::deque<std::coroutine_handle<>>> locks_;
 };
 
 /** RAII-ish helper: released explicitly, asserts on leaks in debug. */

@@ -447,9 +447,9 @@ MemorySystem::fetchIntoL2(int tile, Addr line, bool want_m, bool engine,
             // the callback component.
             Join join(eq_);
             join.add(2);
-            spawn(dramFetch(bank, line), [&join]() { join.done(); });
+            spawn(dramFetch(bank, line), join.completion());
             sink_->triggerMiss(bank, line, *mb,
-                               [&join]() { join.done(); });
+                               join.completion());
             t0 = eq_.now();
             co_await join.wait();
             bd.callbackWait += eq_.now() - t0;
@@ -569,6 +569,7 @@ MemorySystem::dramFetch(int bank_tile, Addr line, LatBreakdown *bd)
     }
     ++*dramReads_;
     if (!dramReadsPhase_) [[unlikely]]
+        // takolint: ok(S1, re-resolved once per phase change, then cached)
         dramReadsPhase_ = stats_.handle("dram.reads." + phase_);
     ++*dramReadsPhase_;
     energy_.dramAccess();
@@ -600,6 +601,7 @@ MemorySystem::dramWritebackTask(int bank_tile, Addr line)
     }
     ++*dramWrites_;
     if (!dramWritesPhase_) [[unlikely]]
+        // takolint: ok(S1, re-resolved once per phase change, then cached)
         dramWritesPhase_ = stats_.handle("dram.writes." + phase_);
     ++*dramWritesPhase_;
     energy_.dramAccess();

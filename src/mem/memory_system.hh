@@ -27,10 +27,10 @@
 #define TAKO_MEM_MEMORY_SYSTEM_HH
 
 #include <coroutine>
+#include <map>
 #include <memory>
+#include <set>
 #include <string>
-#include <unordered_map>
-#include <unordered_set>
 #include <vector>
 
 #include "energy/energy.hh"
@@ -288,9 +288,11 @@ class MemorySystem
             unsigned run = 0;
             std::uint64_t lastUse = 0;
         };
-        std::unordered_map<std::uint64_t, Stream> streams;
+        // Ordered (takolint D1): the LRU victim scan below iterates, and
+        // lastUse ties would otherwise break on hash order.
+        std::map<std::uint64_t, Stream> streams;
         std::uint64_t streamClock = 0;
-        std::unordered_set<Addr> inflightPrefetch;
+        std::set<Addr> inflightPrefetch;
 
         // Usefulness-based prefetch throttling: when prefetched lines
         // die unused (thrash), back the degree off; when they are
@@ -477,7 +479,7 @@ class MemorySystem
     std::vector<MemCtrl> ctrls_;
     std::vector<int> ctrlTiles_;
 
-    std::unordered_map<std::uint32_t, Outstanding> outstanding_;
+    std::map<std::uint32_t, Outstanding> outstanding_;
 
     std::string phase_ = "default";
     unsigned inflight_ = 0;

@@ -71,7 +71,7 @@ PhiMorph::onWriteback(EngineCtx &ctx)
                 [](EngineCtx *c, Addr a, std::uint64_t d) -> Task<> {
                     co_await c->atomicAdd(a, d);
                 }(&ctx, realNext_ + (vbase + i) * 8, delta),
-                [&join]() { join.done(); });
+                join.completion());
         }
         co_await ctx.compute(13, 4);
         co_await join.wait();
@@ -98,7 +98,7 @@ PhiMorph::onWriteback(EngineCtx &ctx)
                     [](EngineCtx *c, Addr a, std::uint64_t d) -> Task<> {
                         co_await c->atomicAdd(a, d);
                     }(&ctx, realNext_ + (vbase + i) * 8, delta),
-                    [&join]() { join.done(); });
+                    join.completion());
             }
             co_await ctx.compute(13, 4);
             co_await join.wait();

@@ -26,8 +26,8 @@
 
 #include <array>
 #include <cstdint>
+#include <map>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
 #include "sim/types.hh"
@@ -64,7 +64,8 @@ class ReuseStack
     void compact(std::size_t capacity);
 
     std::vector<std::int64_t> bit_; ///< Fenwick tree, 1-based slots
-    std::unordered_map<Addr, std::uint32_t> lastSlot_;
+    /** Ordered (takolint D1): compact() iterates to collect live marks. */
+    std::map<Addr, std::uint32_t> lastSlot_;
     std::uint32_t nextSlot_ = 1;
     std::uint64_t marks_ = 0; ///< live marks (== lastSlot_.size())
 };

@@ -144,6 +144,7 @@ class EventPool
     void
     grow()
     {
+        // takolint: ok(L2, the pool's own slab allocation)
         slabs_.push_back(std::make_unique<EventNode[]>(kSlabNodes));
         EventNode *slab = slabs_.back().get();
         // Chain the fresh slab back-to-front so nodes hand out in

@@ -348,6 +348,19 @@ class Join
 
     unsigned outstanding() const { return outstanding_; }
 
+    /**
+     * Completion callable for spawn()/triggerMiss-style APIs. Captures
+     * `this` by value, which is safe by construction: the coroutine that
+     * owns the Join suspends on wait() and cannot destroy it until every
+     * outstanding completion has run (takolint L1-clean, unlike an
+     * ad-hoc `[&join]` capture).
+     */
+    auto completion()
+    {
+        Join *self = this;
+        return [self]() { self->done(); };
+    }
+
     auto
     wait()
     {

@@ -83,6 +83,7 @@ parseSpec(const char *spec_cstr)
 std::uint32_t
 enabledMask()
 {
+    // takolint: ok(D2, one-time TAKO_TRACE config read at startup)
     static const std::uint32_t mask = parseSpec(std::getenv("TAKO_TRACE"));
     return mask;
 }

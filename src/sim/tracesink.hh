@@ -20,8 +20,8 @@
 
 #include <cstdint>
 #include <ostream>
+#include <set>
 #include <string>
-#include <unordered_set>
 
 #include "sim/trace.hh"
 #include "sim/types.hh"
@@ -73,8 +73,10 @@ class ChromeTraceWriter
     bool closed_ = false;
     bool first_ = true;
     std::uint64_t events_ = 0;
-    std::unordered_set<std::uint64_t> tracks_;
-    std::unordered_set<int> processes_;
+    // Ordered (takolint D1): dedup-only today, but metadata tables are
+    // natural candidates for an on-close iteration pass.
+    std::set<std::uint64_t> tracks_;
+    std::set<int> processes_;
 };
 
 namespace detail

@@ -141,7 +141,7 @@ EngineCtx::loadMulti(const std::vector<Addr> &addrs,
         spawn(portedAccess(engine_, callbackLevelOf(binding_),
                            MemCmd::Load, addrs[i], 0,
                            out ? &(*out)[i] : nullptr),
-              [&join]() { join.done(); });
+              join.completion());
     }
     co_await join.wait();
 }
@@ -158,7 +158,7 @@ EngineCtx::streamLoadMulti(const std::vector<Addr> &addrs,
         spawn(portedAccess(engine_, callbackLevelOf(binding_),
                            MemCmd::Load, addrs[i], 0,
                            out ? &(*out)[i] : nullptr, false, true),
-              [&join]() { join.done(); });
+              join.completion());
     }
     co_await join.wait();
 }
@@ -172,7 +172,7 @@ EngineCtx::storeMulti(
         join.add();
         spawn(portedAccess(engine_, callbackLevelOf(binding_),
                            MemCmd::Store, addr, value, nullptr),
-              [&join]() { join.done(); });
+              join.completion());
     }
     co_await join.wait();
 }
@@ -186,7 +186,7 @@ EngineCtx::streamStoreMulti(
         join.add();
         spawn(portedAccess(engine_, callbackLevelOf(binding_),
                            MemCmd::Store, addr, value, nullptr, true),
-              [&join]() { join.done(); });
+              join.completion());
     }
     co_await join.wait();
 }

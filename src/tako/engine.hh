@@ -27,8 +27,8 @@
 #include <deque>
 #include <functional>
 #include <list>
+#include <map>
 #include <memory>
-#include <unordered_map>
 #include <vector>
 
 #include "mem/lock_table.hh"
@@ -230,12 +230,13 @@ class Engine
     Semaphore memPortSem_;   ///< memory PEs
     LineLockTable addrOrder_; ///< per-address callback ordering
 
-    // rTLB: page -> lastUse (LRU).
-    std::unordered_map<std::uint64_t, std::uint64_t> rtlb_;
+    // rTLB: page -> lastUse (LRU). Ordered (takolint D1): the victim
+    // scan iterates, and hash order would decide lastUse ties.
+    std::map<std::uint64_t, std::uint64_t> rtlb_;
     std::uint64_t rtlbClock_ = 0;
 
-    // Bitstream cache: morph id -> lastUse (LRU).
-    std::unordered_map<std::uint32_t, std::uint64_t> bitstreams_;
+    // Bitstream cache: morph id -> lastUse (LRU). Ordered, same as rtlb_.
+    std::map<std::uint32_t, std::uint64_t> bitstreams_;
     std::uint64_t bitstreamClock_ = 0;
 
     Counter *cbMiss_;

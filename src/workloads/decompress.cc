@@ -212,7 +212,7 @@ runDecompress(DecompressVariant variant, const DecompressConfig &cfg,
                     join.add();
                     spawn(ndcDecompress(sys, cfg, lay, *ndcPort, idxs[k],
                                         &vals[k]),
-                          [&join]() { join.done(); });
+                          join.completion());
                 }
                 co_await g.exec(2 * batch); // issue + consume
                 co_await join.wait();

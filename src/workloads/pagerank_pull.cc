@@ -271,7 +271,7 @@ runPagerankPull(PullVariant variant, const PagerankPullConfig &cfg,
                 std::vector<std::uint64_t> nextWords;
                 nextSwap.add();
                 spawn(swap_line(ptr + wordsPerLine, &nextWords),
-                      [&nextSwap]() { nextSwap.done(); });
+                      nextSwap.completion());
 
                 std::vector<std::uint64_t> us, vs;
                 for (std::uint64_t w : words) {

@@ -1,0 +1,30 @@
+// Seeded D1 violations: unordered containers in model code, iterated in
+// hash order. takolint must flag the declarations and the iteration.
+#include <cstdint>
+#include <unordered_map>
+#include <unordered_set>
+
+struct TileModel
+{
+    std::unordered_map<std::uint64_t, int> streams; // takolint-expect: D1
+    std::unordered_set<std::uint64_t> inflight;     // takolint-expect: D1
+
+    int
+    victimScan()
+    {
+        int best = 0;
+        for (auto &kv : streams) // takolint-expect: D1
+            best += kv.second;
+        return best;
+    }
+
+    bool
+    drain()
+    {
+        bool any = false;
+        for (auto it = inflight.begin(); // takolint-expect: D1
+             it != inflight.end(); ++it)
+            any = true;
+        return any;
+    }
+};

@@ -1,0 +1,32 @@
+// Seeded D2 violations: wall-clock, rand(), and getenv() on what would
+// be the simulated path. Any of these makes runs non-reproducible.
+#include <chrono>
+#include <cstdlib>
+#include <ctime>
+
+unsigned long long
+tickSeed()
+{
+    return static_cast<unsigned long long>(
+        std::chrono::steady_clock::now() // takolint-expect: D2
+            .time_since_epoch()
+            .count());
+}
+
+int
+randomBank(int banks)
+{
+    return rand() % banks; // takolint-expect: D2
+}
+
+bool
+tracingEnabled()
+{
+    return getenv("TRACE") != nullptr; // takolint-expect: D2
+}
+
+long
+wallSeconds()
+{
+    return time(nullptr); // takolint-expect: D2
+}

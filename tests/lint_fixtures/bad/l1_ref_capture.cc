@@ -1,0 +1,22 @@
+// Seeded L1 violations: by-reference lambda captures handed to deferred
+// execution (EventQueue::schedule*, spawn). The frame holding the
+// captured locals can be gone by the time the callable runs.
+struct EventQueue
+{
+    template <typename F> void schedule(long when, F f);
+    template <typename F> void scheduleAbs(long when, F f);
+};
+
+struct Task
+{
+};
+template <typename F> void spawn(Task t, F f);
+
+void
+issue(EventQueue &eq, Task t)
+{
+    int pending = 2;
+    eq.schedule(5, [&pending]() { --pending; }); // takolint-expect: L1
+    eq.scheduleAbs(9, [&]() { --pending; });     // takolint-expect: L1
+    spawn(t, [&pending]() { --pending; });       // takolint-expect: L1
+}

@@ -1,0 +1,27 @@
+// Seeded L2 violations: raw new/delete (and unique_ptr construction) of
+// pooled types. EventNodes must come from the EventPool free list, not
+// the general heap, or the pool's recycling invariants break.
+#include <memory>
+
+struct EventNode
+{
+    EventNode *next;
+};
+
+EventNode *
+leakNode()
+{
+    return new EventNode{nullptr}; // takolint-expect: L2
+}
+
+void
+dropNode(EventNode *n)
+{
+    delete n; // takolint-expect: L2
+}
+
+std::unique_ptr<EventNode>
+ownNode()
+{
+    return std::make_unique<EventNode>(); // takolint-expect: L2
+}

@@ -1,0 +1,24 @@
+// Seeded S1 violations: stats looked up by string in per-access code.
+// Each call re-hashes the name; hot paths must hold a handle() pointer
+// resolved once at construction.
+#include <cstdint>
+#include <string>
+
+struct StatsRegistry
+{
+    std::uint64_t *counter(const std::string &name);
+    std::uint64_t *handle(const std::string &name);
+    void histogram(const std::string &name, std::uint64_t v);
+};
+
+struct Bank
+{
+    StatsRegistry *stats;
+
+    void
+    access(std::uint64_t lat)
+    {
+        ++*stats->counter("bank.accesses"); // takolint-expect: S1
+        stats->histogram("bank.latency", lat); // takolint-expect: S1
+    }
+};

@@ -1,0 +1,37 @@
+// D1-clean patterns: ordered containers for anything iterated in model
+// code, plus a suppressed unordered map whose hash order provably never
+// reaches simulated state (drained through std::sort before use).
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <set>
+#include <unordered_map>
+#include <vector>
+
+struct TileModel
+{
+    std::map<std::uint64_t, int> streams;
+    std::set<std::uint64_t> inflight;
+    // takolint: ok(D1, drained via sorted snapshot in drainSorted only)
+    std::unordered_map<std::uint64_t, int> scratch;
+
+    int
+    victimScan()
+    {
+        int best = 0;
+        for (auto &kv : streams)
+            best += kv.second;
+        return best;
+    }
+
+    std::vector<std::uint64_t>
+    drainSorted()
+    {
+        std::vector<std::uint64_t> keys;
+        // takolint: ok(D1, snapshot is sorted before any simulated use)
+        for (auto &kv : scratch)
+            keys.push_back(kv.first);
+        std::sort(keys.begin(), keys.end());
+        return keys;
+    }
+};

@@ -1,0 +1,30 @@
+// D2-clean patterns: simulated time comes from the event queue, random
+// numbers from a seeded PRNG owned by the model, and the one legitimate
+// host read (startup configuration) carries a suppression.
+#include <cstdint>
+#include <cstdlib>
+
+struct EventQueue
+{
+    std::uint64_t now() const;
+};
+
+struct Xoroshiro
+{
+    std::uint64_t s0 = 0x9e3779b97f4a7c15ull, s1 = 0xbf58476d1ce4e5b9ull;
+    std::uint64_t next();
+};
+
+std::uint64_t
+tickSeed(const EventQueue &eq, Xoroshiro &prng)
+{
+    return eq.now() ^ prng.next();
+}
+
+bool
+tracingEnabled()
+{
+    // takolint: ok(D2, one-time config read at startup, not simulated path)
+    static const bool on = getenv("TRACE") != nullptr;
+    return on;
+}

@@ -1,0 +1,37 @@
+// L1-clean patterns: deferred callables capture by value (or a stable
+// `this`), so they stay valid however late the event queue runs them.
+// The one by-reference capture is suppressed with its lifetime proof.
+struct EventQueue
+{
+    template <typename F> void schedule(long when, F f);
+};
+
+struct Task
+{
+};
+template <typename F> void spawn(Task t, F f);
+
+struct Join
+{
+    void done();
+    auto completion()
+    {
+        Join *self = this;
+        return [self]() { self->done(); };
+    }
+};
+
+struct Bank
+{
+    EventQueue *eq;
+    int pending = 0;
+
+    void
+    issue(Task t, Join &join)
+    {
+        eq->schedule(5, [this]() { --pending; });
+        spawn(t, join.completion());
+        // takolint: ok(L1, frame suspends on join.wait() until this runs)
+        eq->schedule(9, [&join]() { join.done(); });
+    }
+};

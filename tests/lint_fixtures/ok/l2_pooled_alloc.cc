@@ -1,0 +1,42 @@
+// L2-clean patterns: EventNodes come from the pool's free list; only
+// the pool itself touches the heap, under a suppression naming why.
+#include <memory>
+#include <vector>
+
+struct EventNode
+{
+    EventNode *next;
+};
+
+struct EventPool
+{
+    EventNode *free_ = nullptr;
+    std::vector<std::unique_ptr<EventNode[]>> slabs_;
+
+    EventNode *
+    get()
+    {
+        if (!free_)
+            grow();
+        EventNode *n = free_;
+        free_ = n->next;
+        return n;
+    }
+
+    void
+    put(EventNode *n)
+    {
+        n->next = free_;
+        free_ = n;
+    }
+
+    void
+    grow()
+    {
+        // takolint: ok(L2, the pool's own slab allocation)
+        slabs_.push_back(std::make_unique<EventNode[]>(256));
+        EventNode *slab = slabs_.back().get();
+        for (int i = 255; i >= 0; --i)
+            put(&slab[i]);
+    }
+};

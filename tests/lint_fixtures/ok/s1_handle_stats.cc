@@ -1,0 +1,31 @@
+// S1-clean pattern: string lookups happen once, in the constructor
+// (takolint's stats-ok context); the per-access path bumps cached
+// handle() pointers only.
+#include <cstdint>
+#include <string>
+
+struct StatsRegistry
+{
+    std::uint64_t *counter(const std::string &name);
+    std::uint64_t *handle(const std::string &name);
+};
+
+struct Bank
+{
+    std::uint64_t *accesses_;
+    std::uint64_t *misses_;
+
+    explicit Bank(StatsRegistry &stats)
+        : accesses_(stats.handle("bank.accesses")),
+          misses_(stats.handle("bank.misses"))
+    {
+    }
+
+    void
+    access(bool miss)
+    {
+        ++*accesses_;
+        if (miss)
+            ++*misses_;
+    }
+};
