@@ -192,7 +192,8 @@ printSummary(const SuiteReport &rep, std::FILE *out)
         std::fprintf(out, "  %-24s %-8s %6.1fs", r.spec->name.c_str(),
                      r.pass ? "pass" : "FAIL", r.outcome.wallSec);
         if (r.outcome.attempts > 1)
-            std::fprintf(out, "  (attempt %u)", r.outcome.attempts);
+            std::fprintf(out, "  (%u attempts, %.1fs total)",
+                         r.outcome.attempts, r.outcome.wallSec);
         if (!r.pass && !r.error.empty())
             std::fprintf(out, "  %s", r.error.c_str());
         std::fprintf(out, "\n");

@@ -13,6 +13,9 @@
  *     "runs": [
  *       {"name": "fig06", "target": "fig06_decompression",
  *        "status": "ok", "attempts": 1, "wall_sec": 2.1,
+ *                        // wall_sec totals every attempt, so retried
+ *                        // runs report their real cost
+
  *        "metrics": {"tako.speedup": 2.53, ...},
  *        "rows": [...],                       // bench table rows, if any
  *        "golden": [{"metric": "tako.speedup", "expected": 2.5,

@@ -78,7 +78,16 @@ spawn(const RunCommand &cmd)
     ::_exit(127);
 }
 
+/** Test seam: nonzero return = simulated fork() errno (see runner.hh). */
+std::function<int(const RunCommand &, unsigned)> spawnFailureHook;
+
 } // namespace
+
+void
+setSpawnFailureHook(std::function<int(const RunCommand &, unsigned)> hook)
+{
+    spawnFailureHook = std::move(hook);
+}
 
 const char *
 runStatusName(RunStatus s)
@@ -106,16 +115,23 @@ runAll(const std::vector<RunCommand> &cmds, unsigned jobs,
         outcomes[i].name = cmds[i].name;
 
     std::map<pid_t, Child> running;
+    // Attempts whose fork() failed, waiting to be retried on a later
+    // scheduling pass — the pool sleeps between passes, so a transient
+    // EAGAIN (pid/ulimit pressure) gets breathing room to clear.
+    std::vector<std::pair<std::size_t, unsigned>> spawnRetries;
+    // Wall time accumulated over every finished attempt of each run, so
+    // a run that timed out before succeeding reports its real cost.
+    std::vector<double> accumWall(cmds.size(), 0.0);
     std::size_t next = 0; ///< next command index to launch
     unsigned done = 0;
 
     auto finish = [&](std::size_t idx, RunStatus status, int code,
-                      unsigned attempt, double wall) {
+                      unsigned attempt) {
         RunOutcome &out = outcomes[idx];
         out.status = status;
         out.exitCode = code;
         out.attempts = attempt;
-        out.wallSec = wall;
+        out.wallSec = accumWall[idx];
         ++done;
         if (progress)
             progress(out, done, static_cast<unsigned>(cmds.size()));
@@ -124,37 +140,68 @@ runAll(const std::vector<RunCommand> &cmds, unsigned jobs,
     auto launch = [&](std::size_t idx, unsigned attempt) {
         const RunCommand &cmd = cmds[idx];
         if (cmd.argv.empty() || !isExecutable(cmd.argv[0])) {
-            finish(idx, RunStatus::MissingBinary, 0, attempt, 0);
+            finish(idx, RunStatus::MissingBinary, 0, attempt);
             return;
         }
         // A fresh attempt must not inherit a half-written metrics file
         // from a crashed or killed predecessor.
         if (!cmd.outputJson.empty())
             ::unlink(cmd.outputJson.c_str());
-        const pid_t pid = spawn(cmd);
+        const int injected =
+            spawnFailureHook ? spawnFailureHook(cmd, attempt) : 0;
+        const pid_t pid = injected ? -1 : spawn(cmd);
         if (pid < 0) {
-            finish(idx, RunStatus::Crashed, 0, attempt, 0);
+            const int err = injected ? injected : errno;
+            std::fprintf(stderr,
+                         "takobench: spawn %s (attempt %u): %s\n",
+                         cmd.name.c_str(), attempt, std::strerror(err));
+            // A failed fork() is as transient as a crash: retry it
+            // through the same bounded budget instead of giving up.
+            if (attempt <= cmd.retries)
+                spawnRetries.emplace_back(idx, attempt + 1);
+            else
+                finish(idx, RunStatus::Crashed, err, attempt);
             return;
         }
         running[pid] = Child{pid, idx, attempt, Clock::now(), false};
     };
 
-    while (next < cmds.size() || !running.empty()) {
+    while (next < cmds.size() || !running.empty() ||
+           !spawnRetries.empty()) {
+        if (!spawnRetries.empty()) {
+            const auto pending = std::move(spawnRetries);
+            spawnRetries.clear();
+            for (const auto &[idx, attempt] : pending)
+                launch(idx, attempt);
+        }
         while (next < cmds.size() && running.size() < jobs) {
             launch(next, 1);
             ++next;
         }
-        if (running.empty())
+        if (running.empty()) {
+            if (!spawnRetries.empty())
+                ::usleep(2000); // let transient spawn pressure clear
             continue;
+        }
 
         // Reap anything that finished; kill anything over its timeout.
         int wstatus = 0;
         const pid_t pid = ::waitpid(-1, &wstatus, WNOHANG);
+        if (pid > 0 && !running.count(pid)) {
+            // Not one of ours: an inherited or double-reaped child.
+            // Its exit status is lost to the real owner — say so
+            // instead of silently swallowing it.
+            std::fprintf(stderr,
+                         "takobench: reaped stray pid %d "
+                         "(wstatus 0x%x) not in the run table\n",
+                         static_cast<int>(pid), wstatus);
+        }
         if (pid > 0 && running.count(pid)) {
             const Child c = running[pid];
             running.erase(pid);
             const RunCommand &cmd = cmds[c.index];
             const double wall = secondsSince(c.started);
+            accumWall[c.index] += wall;
 
             RunStatus status;
             int code = 0;
@@ -178,7 +225,7 @@ runAll(const std::vector<RunCommand> &cmds, unsigned jobs,
             if (retryable && c.attempt <= cmd.retries)
                 launch(c.index, c.attempt + 1);
             else
-                finish(c.index, status, code, c.attempt, wall);
+                finish(c.index, status, code, c.attempt);
             continue; // reap eagerly before sleeping again
         }
 

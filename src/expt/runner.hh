@@ -47,12 +47,23 @@ struct RunOutcome
 {
     std::string name;
     RunStatus status = RunStatus::Ok;
-    int exitCode = 0;      ///< exit status, or signal number if Crashed
+    int exitCode = 0;      ///< exit status, signal if Crashed, errno if
+                           ///< every spawn attempt failed
     unsigned attempts = 0; ///< total attempts made (1 = first try)
-    double wallSec = 0;    ///< wall time of the final attempt
+    double wallSec = 0;    ///< total wall time across all attempts —
+                           ///< a run that timed out before succeeding
+                           ///< reports what it really cost
 
     bool ok() const { return status == RunStatus::Ok; }
 };
+
+/**
+ * Test seam: simulate fork() failures. The hook runs before each spawn;
+ * a nonzero return makes that attempt fail as if fork() had set that
+ * errno. Pass {} to clear. Process-global, tests only.
+ */
+void setSpawnFailureHook(
+    std::function<int(const RunCommand &cmd, unsigned attempt)> hook);
 
 /**
  * Execute @p cmds with at most @p jobs children in flight. Never

@@ -24,6 +24,7 @@ Mesh::Mesh(const MeshParams &params, StatsRegistry &stats,
     : params_(params),
       energy_(energy),
       messages_(stats.handle("noc.messages")),
+      localMessages_(stats.handle("noc.localMessages")),
       flitHopsStat_(stats.handle("noc.flitHops")),
       linkFree_(static_cast<std::size_t>(params.dimX) * params.dimY * 4, 0)
 {
@@ -48,7 +49,10 @@ Mesh::traverse(Tick now, int src, int dst, unsigned bytes)
                                   divCeil(bytes, params_.flitBytes)));
 
     if (src == dst) {
-        // Local delivery still crosses the tile router once.
+        // Local delivery still crosses the tile router once, but books
+        // no flit-hops and touches no link — count it separately so the
+        // per-link totals reconcile with noc.messages.
+        ++*localMessages_;
         return params_.routerDelay;
     }
 

@@ -82,6 +82,7 @@ class Mesh
     MeshParams params_;
     EnergyModel &energy_;
     Counter *messages_;
+    Counter *localMessages_; ///< src == dst deliveries (no link, no hops)
     Counter *flitHopsStat_;
     std::vector<Tick> linkFree_;
     std::uint64_t flitHops_ = 0;

@@ -101,6 +101,13 @@ Profiler::setNocLinks(std::vector<std::uint64_t> busyCycles,
 }
 
 void
+Profiler::setNocTotals(std::uint64_t messages, std::uint64_t localMessages)
+{
+    nocMessages_ = messages;
+    nocLocalMessages_ = localMessages;
+}
+
+void
 Profiler::setSetHeat(const std::string &level,
                      std::vector<std::uint64_t> heat)
 {
@@ -290,7 +297,9 @@ Profiler::writeJson(
     // links) that plot_results.py renders directly.
     static const char *dirs[4] = {"E", "W", "N", "S"};
     os << ",\n  \"noc\": {\"dim_x\": " << cfg_.meshX
-       << ", \"dim_y\": " << cfg_.meshY << ", \"links\": [";
+       << ", \"dim_y\": " << cfg_.meshY
+       << ", \"messages\": " << nocMessages_
+       << ", \"local_messages\": " << nocLocalMessages_ << ", \"links\": [";
     first = true;
     for (std::size_t li = 0; li < linkBusy_.size(); ++li) {
         os << (first ? "\n" : ",\n") << "    {\"tile\": " << li / 4

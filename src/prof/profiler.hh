@@ -90,6 +90,9 @@ class Profiler
     // --- finalize inputs (System::run epilogue) ----------------------
     void setNocLinks(std::vector<std::uint64_t> busyCycles,
                      std::vector<std::uint64_t> messages);
+    /** Whole-mesh totals (noc.messages / noc.localMessages), so the
+     *  profile's per-link counts can be reconciled against them. */
+    void setNocTotals(std::uint64_t messages, std::uint64_t localMessages);
     void setSetHeat(const std::string &level,
                     std::vector<std::uint64_t> heat);
 
@@ -175,6 +178,8 @@ class Profiler
 
     std::vector<std::uint64_t> linkBusy_; ///< tiles*4, Mesh layout
     std::vector<std::uint64_t> linkMsgs_;
+    std::uint64_t nocMessages_ = 0;      ///< all traverses
+    std::uint64_t nocLocalMessages_ = 0; ///< src == dst subset
     std::map<std::string, std::vector<std::uint64_t>> setHeat_;
 
     Tick end_ = 0;

@@ -21,10 +21,18 @@ struct ArenaState
 ArenaState &
 state()
 {
-    // Function-local so the arena is usable from any static-init context
-    // and is torn down after every coroutine frame is gone.
-    static ArenaState s;
-    return s;
+    // One arena per host thread: shard workers and ensemble lanes each
+    // allocate frames without locks, and two threads never share a free
+    // list. Function-local so the arena is usable from any static-init
+    // context. The state is intentionally leaked rather than destroyed
+    // at thread exit: a frame allocated on a worker thread may be freed
+    // later from another thread (e.g. the owner destroys a drained
+    // System after the lane joined), and the slab backing that frame
+    // must outlive the thread that carved it. A freed block always
+    // joins the freeing thread's free list, so cross-thread frees are
+    // safe — blocks just migrate between per-thread lists.
+    static thread_local ArenaState *s = new ArenaState;
+    return *s;
 }
 
 constexpr std::size_t

@@ -151,6 +151,28 @@ class EventQueue
     }
 
     /**
+     * Run every event with when <= @p limit, leaving time at the last
+     * executed event instead of forcing it to @p limit. This is the
+     * window primitive for sharded execution: a shard simulates its
+     * quantum without disturbing final-time-derived statistics, so a
+     * sharded run's clock matches a monolithic run's bit for bit.
+     */
+    void
+    runThrough(Tick limit)
+    {
+        Tick next;
+        while (peekWhen(next) && next <= limit)
+            step();
+    }
+
+    /** Earliest pending event time, if any (sharded-run scheduling). */
+    bool
+    nextEventTime(Tick &out) const
+    {
+        return peekWhen(out);
+    }
+
+    /**
      * Observer invoked when simulated time is about to advance to or past
      * @p watermark, with the tick being advanced to (events at that tick
      * have not yet run). The hook returns the next tick it wants to see;

@@ -1,0 +1,280 @@
+#include "sim/shard.hh"
+
+#include <algorithm>
+#include <thread>
+
+#include "sim/logging.hh"
+
+namespace tako
+{
+
+ShardPlan
+ShardPlan::build(unsigned dimX, unsigned dimY, Tick routerDelay,
+                 Tick linkDelay, unsigned shards)
+{
+    ShardPlan plan;
+    plan.dimX = dimX ? dimX : 1;
+    plan.dimY = dimY ? dimY : 1;
+    plan.shards = std::clamp(shards, 1u, plan.dimX);
+    // One boundary crossing costs at least one router and one link
+    // traversal; that floor is the window inside which no shard can
+    // observe another shard's same-window events.
+    plan.quantum = std::max<Tick>(1, routerDelay + linkDelay);
+    plan.columnShard.resize(plan.dimX);
+    for (unsigned c = 0; c < plan.dimX; ++c)
+        plan.columnShard[c] = static_cast<unsigned>(
+            std::uint64_t{c} * plan.shards / plan.dimX);
+    for (unsigned c = 0; c + 1 < plan.dimX; ++c) {
+        if (plan.columnShard[c] != plan.columnShard[c + 1])
+            plan.boundaryLinks += 2 * plan.dimY; // E + W directed links
+    }
+    return plan;
+}
+
+ShardedExecutor::ShardedExecutor(std::vector<EventQueue *> domains,
+                                 Tick quantum, unsigned threads)
+    : domains_(std::move(domains)), quantum_(std::max<Tick>(1, quantum))
+{
+    panic_if(domains_.empty(),
+             "sharded executor needs at least one domain");
+    for (const EventQueue *q : domains_)
+        panic_if(q == nullptr, "sharded executor given a null domain");
+    const unsigned n = static_cast<unsigned>(domains_.size());
+    threads_ = threads == 0 ? n : std::clamp(threads, 1u, n);
+    mail_.reserve(std::size_t{n} * n);
+    for (std::size_t i = 0; i < std::size_t{n} * n; ++i)
+        mail_.push_back(std::make_unique<SpscMailbox<ShardEvent>>());
+    sendSeq_.resize(n);
+}
+
+void
+ShardedExecutor::send(unsigned src, unsigned dst, Tick when,
+                      EventPriority prio, std::function<void()> fn)
+{
+    const unsigned n = static_cast<unsigned>(domains_.size());
+    panic_if(src >= n || dst >= n, "shard send %u -> %u outside 0..%u",
+             src, dst, n - 1);
+    if (src == dst) {
+        domains_[src]->scheduleAbs(when, std::move(fn), prio);
+        return;
+    }
+    ShardEvent ev;
+    ev.when = when;
+    ev.priority = prio;
+    ev.srcSeq = sendSeq_[src].value++;
+    ev.fn = std::move(fn);
+    const bool pushed = mail_[std::size_t{src} * n + dst]->tryPush(
+        std::move(ev));
+    panic_if(!pushed,
+             "shard %u -> %u mailbox full (%zu events in one window); "
+             "the quantum produced more cross-shard traffic than the "
+             "ring holds",
+             src, dst, mail_[0]->capacity());
+}
+
+void
+ShardedExecutor::drainInbox(unsigned shard, Tick windowStart)
+{
+    const unsigned n = static_cast<unsigned>(domains_.size());
+    struct Incoming
+    {
+        Tick when;
+        int prio;
+        unsigned src;
+        std::uint64_t seq;
+        std::function<void()> fn;
+    };
+    std::vector<Incoming> batch;
+    ShardEvent ev;
+    for (unsigned src = 0; src < n; ++src) {
+        SpscMailbox<ShardEvent> &mb = *mail_[std::size_t{src} * n + shard];
+        while (mb.tryPop(ev)) {
+            panic_if(ev.when < windowStart,
+                     "cross-shard event for shard %u at tick %llu "
+                     "arrived in the window starting at %llu: the "
+                     "sender violated the lookahead quantum (%llu)",
+                     shard, (unsigned long long)ev.when,
+                     (unsigned long long)windowStart,
+                     (unsigned long long)quantum_);
+            batch.push_back({ev.when, static_cast<int>(ev.priority), src,
+                             ev.srcSeq, std::move(ev.fn)});
+        }
+    }
+    if (batch.empty())
+        return;
+    // Insert in the global merge order: the receiving queue assigns its
+    // tie-break seqs in insertion order, so sorting here by
+    // (tick, priority, source shard, source seq) reproduces the
+    // monolithic total order for same-tick arrivals.
+    std::stable_sort(batch.begin(), batch.end(),
+                     [](const Incoming &a, const Incoming &b) {
+                         if (a.when != b.when)
+                             return a.when < b.when;
+                         if (a.prio != b.prio)
+                             return a.prio < b.prio;
+                         if (a.src != b.src)
+                             return a.src < b.src;
+                         return a.seq < b.seq;
+                     });
+    for (Incoming &in : batch) {
+        domains_[shard]->scheduleAbs(in.when, std::move(in.fn),
+                                     static_cast<EventPriority>(in.prio));
+    }
+    delivered_.fetch_add(batch.size(), std::memory_order_relaxed);
+}
+
+void
+ShardedExecutor::runSolo(unsigned shard)
+{
+    EventQueue &q = *domains_[shard];
+    // A solo domain may run unboundedly: every other domain is idle and
+    // nothing can reach this one's inbox until it sends. The first
+    // outbound send ends the free run — from then on another domain has
+    // future work, and lockstep windows resume from this domain's
+    // current position.
+    const std::uint64_t sentBefore = sendSeq_[shard].value;
+    while (sendSeq_[shard].value == sentBefore && q.step()) {}
+}
+
+ShardedExecutor::RoundState
+ShardedExecutor::barrierSync(bool completion)
+{
+    std::unique_lock<std::mutex> lk(barrierMutex_);
+    if (++waiting_ == threads_) {
+        if (completion)
+            advanceRound();
+        waiting_ = 0;
+        ++generation_;
+        barrierCv_.notify_all();
+    } else {
+        const std::uint64_t g = generation_;
+        barrierCv_.wait(lk, [&] { return generation_ != g; });
+    }
+    return RoundState{windowStart_, soloDomain_, done_};
+}
+
+void
+ShardedExecutor::advanceRound()
+{
+    ++rounds_;
+    const unsigned prevSolo = soloDomain_;
+    soloDomain_ = kNoSolo;
+
+    bool anyMail = false;
+    for (const auto &mb : mail_) {
+        if (!mb->empty()) {
+            anyMail = true;
+            break;
+        }
+    }
+    unsigned pendingDomains = 0;
+    unsigned pendingIdx = 0;
+    Tick minNext = 0;
+    for (unsigned i = 0; i < domains_.size(); ++i) {
+        Tick t = 0;
+        if (domains_[i]->nextEventTime(t)) {
+            if (pendingDomains == 0 || t < minNext)
+                minNext = t;
+            pendingIdx = i;
+            ++pendingDomains;
+        }
+    }
+
+    if (!anyMail && pendingDomains == 0) {
+        done_ = true;
+        return;
+    }
+    if (anyMail) {
+        // In-flight mail was sent no earlier than the finished window
+        // (or the solo domain's final position), and every send is
+        // timestamped at least one quantum ahead — so the next lockstep
+        // window starts safely below every undelivered timestamp.
+        windowStart_ = prevSolo != kNoSolo ? domains_[prevSolo]->now() + 1
+                                           : windowStart_ + quantum_;
+        return;
+    }
+    // No mail in flight: jump straight to the earliest pending event.
+    // With a single busy domain there is nothing to synchronize against
+    // until it sends, so let it run free.
+    windowStart_ = minNext;
+    if (pendingDomains == 1)
+        soloDomain_ = pendingIdx;
+}
+
+void
+ShardedExecutor::workerLoop(unsigned worker)
+{
+    const unsigned n = static_cast<unsigned>(domains_.size());
+    Tick start = 0;
+    unsigned solo = kNoSolo;
+    while (true) {
+        // Execute phase: run this round's windows. All mailbox pushes
+        // happen here, never concurrently with a drain.
+        if (solo != kNoSolo) {
+            if (solo % threads_ == worker)
+                runSolo(solo);
+        } else {
+            for (unsigned s = worker; s < n; s += threads_)
+                domains_[s]->runThrough(start + quantum_ - 1);
+        }
+        const RoundState rs = barrierSync(true);
+        if (rs.done)
+            return;
+        // Drain phase: deliver the barrier snapshot of every inbox for
+        // the next round. The trailing barrier keeps these pops
+        // disjoint from the next execute phase's pushes, so the
+        // delivered set is a function of simulation state alone.
+        if (rs.solo == kNoSolo) {
+            for (unsigned s = worker; s < n; s += threads_)
+                drainInbox(s, rs.start);
+        }
+        barrierSync(false);
+        start = rs.start;
+        solo = rs.solo;
+    }
+}
+
+void
+ShardedExecutor::run()
+{
+    {
+        std::unique_lock<std::mutex> lk(barrierMutex_);
+        windowStart_ = 0;
+        soloDomain_ = kNoSolo;
+        done_ = false;
+        waiting_ = 0;
+        generation_ = 0;
+    }
+    std::vector<std::thread> workers;
+    workers.reserve(threads_);
+    for (unsigned w = 0; w < threads_; ++w)
+        workers.emplace_back([this, w] { workerLoop(w); });
+    for (std::thread &t : workers)
+        t.join();
+}
+
+void
+runLanes(unsigned lanes, const std::vector<std::function<void()>> &jobs)
+{
+    if (jobs.empty())
+        return;
+    const unsigned n = std::clamp<unsigned>(
+        lanes, 1, static_cast<unsigned>(jobs.size()));
+    if (n == 1) {
+        for (const std::function<void()> &job : jobs)
+            job();
+        return;
+    }
+    std::vector<std::thread> pool;
+    pool.reserve(n);
+    for (unsigned w = 0; w < n; ++w) {
+        pool.emplace_back([w, n, &jobs] {
+            for (std::size_t i = w; i < jobs.size(); i += n)
+                jobs[i]();
+        });
+    }
+    for (std::thread &t : pool)
+        t.join();
+}
+
+} // namespace tako

@@ -1,0 +1,244 @@
+/**
+ * @file
+ * Conservative sharded execution for the deterministic event kernel.
+ *
+ * A ShardPlan partitions the tile mesh into column-contiguous shards
+ * and derives the synchronization quantum from the static minimum
+ * cross-shard NoC latency under XY routing: any message that leaves a
+ * shard crosses at least one boundary link, which costs at least
+ * routerDelay + linkDelay ticks. Every shard therefore simulates
+ * windows of `quantum` ticks in lockstep — within a window no shard can
+ * observe an event another shard produced in the same window, so each
+ * shard's calendar queue runs free of locks.
+ *
+ * Cross-shard events travel through per-shard-pair SPSC mailboxes and
+ * are drained only at quantum barriers, sorted into the receiving
+ * queue by (tick, priority, source shard, source sequence). Because the
+ * drained set and its insertion order are functions of simulation state
+ * alone — never of host-thread timing — a sharded run reproduces the
+ * monolithic (tick, priority, seq) total order bit for bit (proof
+ * sketch in DESIGN.md §4).
+ *
+ * The same lane machinery drives deterministic ensembles: runLanes()
+ * executes independent jobs (e.g. seed-offset replicas) across a fixed
+ * worker pool with a lane assignment that depends only on job index,
+ * so merged results are identical at any lane count.
+ */
+
+#ifndef TAKO_SIM_SHARD_HH
+#define TAKO_SIM_SHARD_HH
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "sim/event_queue.hh"
+
+namespace tako
+{
+
+/**
+ * Static tile -> shard partition plus the conservative lookahead bound.
+ * Columns are assigned contiguously so every boundary is a vertical cut
+ * and the quantum derives from one E/W link crossing.
+ */
+struct ShardPlan
+{
+    unsigned shards = 1; ///< effective shard count (<= dimX)
+    unsigned dimX = 1;
+    unsigned dimY = 1;
+    /** Conservative sync quantum: minimum ticks any cross-shard message
+     *  spends in flight (routerDelay + linkDelay for one boundary
+     *  link). Never zero. */
+    Tick quantum = 1;
+    std::vector<unsigned> columnShard; ///< dimX entries, non-decreasing
+    unsigned boundaryLinks = 0; ///< directed E/W links crossing a cut
+
+    /**
+     * Partition a dimX x dimY mesh into @p shards column bands. The
+     * request is clamped to [1, dimX]; a mesh cannot split finer than
+     * its columns.
+     */
+    static ShardPlan build(unsigned dimX, unsigned dimY, Tick routerDelay,
+                           Tick linkDelay, unsigned shards);
+
+    unsigned
+    shardOf(unsigned tile) const
+    {
+        return columnShard[tile % dimX];
+    }
+};
+
+/**
+ * Lock-free single-producer/single-consumer ring. One instance per
+ * directed shard pair: only the source shard's worker pushes, only the
+ * destination shard's worker pops, and pops happen exclusively at
+ * quantum barriers (after every producer for the window has arrived),
+ * so capacity bounds one window's traffic, not a whole run's.
+ */
+template <typename T>
+class SpscMailbox
+{
+  public:
+    explicit SpscMailbox(std::size_t capacity = 4096)
+    {
+        std::size_t cap = 1;
+        while (cap < capacity)
+            cap <<= 1;
+        ring_.resize(cap);
+        mask_ = cap - 1;
+    }
+
+    /** Producer side. False = full (caller decides how to fail). */
+    bool
+    tryPush(T v)
+    {
+        const std::size_t t = tail_.load(std::memory_order_relaxed);
+        if (t - head_.load(std::memory_order_acquire) > mask_)
+            return false;
+        ring_[t & mask_] = std::move(v);
+        tail_.store(t + 1, std::memory_order_release);
+        return true;
+    }
+
+    /** Consumer side. False = empty. */
+    bool
+    tryPop(T &out)
+    {
+        const std::size_t h = head_.load(std::memory_order_relaxed);
+        if (tail_.load(std::memory_order_acquire) == h)
+            return false;
+        out = std::move(ring_[h & mask_]);
+        head_.store(h + 1, std::memory_order_release);
+        return true;
+    }
+
+    bool
+    empty() const
+    {
+        return tail_.load(std::memory_order_acquire) ==
+               head_.load(std::memory_order_acquire);
+    }
+
+    std::size_t capacity() const { return mask_ + 1; }
+
+  private:
+    std::vector<T> ring_;
+    std::size_t mask_ = 0;
+    alignas(64) std::atomic<std::size_t> head_{0}; ///< consumer cursor
+    alignas(64) std::atomic<std::size_t> tail_{0}; ///< producer cursor
+};
+
+/** One cross-shard event in flight. */
+struct ShardEvent
+{
+    Tick when = 0;
+    EventPriority priority = EventPriority::Default;
+    std::uint64_t srcSeq = 0; ///< source shard's send order
+    std::function<void()> fn;
+};
+
+/**
+ * Runs N event-queue domains in lockstep quantum windows on a fixed
+ * worker pool, draining cross-shard mailboxes only at barriers. The
+ * result is bit-identical at any thread count (1..N): thread timing can
+ * change when host work happens, never which events run in what order.
+ *
+ * Domains are borrowed, not owned; each must only ever be touched by
+ * executor callbacks (or before run() / after it returns).
+ */
+class ShardedExecutor
+{
+  public:
+    /**
+     * @p domains one calendar queue per shard; @p quantum the plan's
+     * conservative lookahead (>= 1); @p threads worker count, clamped
+     * to [1, domains.size()], 0 = one per domain.
+     */
+    ShardedExecutor(std::vector<EventQueue *> domains, Tick quantum,
+                    unsigned threads = 0);
+
+    /**
+     * Post @p fn to shard @p dst at absolute tick @p when. Must be
+     * called from an event executing on shard @p src, and @p when must
+     * be at least the sending event's time plus the quantum — the
+     * receiver panics on anything earlier (lookahead violation).
+     * src == dst degenerates to a plain scheduleAbs.
+     */
+    void send(unsigned src, unsigned dst, Tick when, EventPriority prio,
+              std::function<void()> fn);
+
+    /** Run every domain to quiescence (all queues and mailboxes empty).
+     *  Blocks the calling thread; workers join before it returns. */
+    void run();
+
+    /** Quantum rounds completed (diagnostics; valid after run()). */
+    std::uint64_t rounds() const { return rounds_; }
+    /** Cross-shard events delivered through mailboxes. */
+    std::uint64_t
+    crossShardEvents() const
+    {
+        return delivered_.load(std::memory_order_relaxed);
+    }
+
+  private:
+    struct alignas(64) PaddedCounter
+    {
+        std::uint64_t value = 0;
+    };
+
+    /** Snapshot of the next round, taken under the barrier mutex. */
+    struct RoundState
+    {
+        Tick start;
+        unsigned solo;
+        bool done;
+    };
+
+    static constexpr unsigned kNoSolo = ~0u;
+
+    void workerLoop(unsigned worker);
+    void drainInbox(unsigned shard, Tick windowStart);
+    void runSolo(unsigned shard);
+    void advanceRound();
+    RoundState barrierSync(bool completion);
+
+    std::vector<EventQueue *> domains_;
+    Tick quantum_;
+    unsigned threads_;
+    /** mail_[src * N + dst]; only (src worker, dst worker) touch it. */
+    std::vector<std::unique_ptr<SpscMailbox<ShardEvent>>> mail_;
+    std::vector<PaddedCounter> sendSeq_; ///< per-source send counters
+
+    // Barrier + round state. The round fields are written only by the
+    // barrier's completion step (all workers parked) and read only
+    // after release — the barrier's mutex orders every access.
+    std::mutex barrierMutex_;
+    std::condition_variable barrierCv_;
+    unsigned waiting_ = 0;
+    std::uint64_t generation_ = 0;
+    Tick windowStart_ = 0;
+    unsigned soloDomain_ = kNoSolo;
+    bool done_ = false;
+
+    std::uint64_t rounds_ = 0;
+    std::atomic<std::uint64_t> delivered_{0};
+};
+
+/**
+ * Execute independent @p jobs across @p lanes worker threads: lane w
+ * runs jobs w, w + lanes, ... in index order. The job -> lane map is a
+ * pure function of the indices, so any caller that merges results in
+ * job order gets identical output at every lane count. Used for
+ * seed-offset replica ensembles (takosim --replicate).
+ */
+void runLanes(unsigned lanes,
+              const std::vector<std::function<void()>> &jobs);
+
+} // namespace tako
+
+#endif // TAKO_SIM_SHARD_HH

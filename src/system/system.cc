@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "sim/shard.hh"
+
 namespace tako
 {
 
@@ -130,6 +132,9 @@ System::finalizeProfiler()
     if (!prof_ || prof_->finalized())
         return;
     prof_->setNocLinks(noc_->linkBusyCycles(), noc_->linkMessages());
+    prof_->setNocTotals(
+        static_cast<std::uint64_t>(stats_.get("noc.messages")),
+        static_cast<std::uint64_t>(stats_.get("noc.localMessages")));
     prof_->setSetHeat("l1", mem_->aggregateSetHeat(1));
     prof_->setSetHeat("l2", mem_->aggregateSetHeat(2));
     prof_->setSetHeat("l3", mem_->aggregateSetHeat(3));
@@ -139,6 +144,8 @@ System::finalizeProfiler()
 Tick
 System::run()
 {
+    if (config_.shards > 1)
+        return runSharded();
     const Tick start = eq_.now();
     const auto host_start = std::chrono::steady_clock::now();
     for (auto &[core, fn] : pending_)
@@ -146,6 +153,60 @@ System::run()
     pending_.clear();
 
     eq_.run();
+    stampHostStats(host_start);
+
+    unsigned blocked = 0;
+    for (const auto &core : cores_)
+        blocked += core->running();
+    panic_if(blocked != 0,
+             "event queue drained with %u guest thread(s) blocked "
+             "(deadlock); %u memory transactions in flight",
+             blocked, mem_->inflight());
+    panic_if(mem_->inflight() != 0,
+             "event queue drained with %u memory transactions in flight",
+             mem_->inflight());
+    finalizeProfiler();
+    return eq_.now() - start;
+}
+
+Tick
+System::runSharded()
+{
+    const Tick start = eq_.now();
+    const auto host_start = std::chrono::steady_clock::now();
+
+    const ShardPlan plan = ShardPlan::build(
+        config_.mesh.dimX, config_.mesh.dimY, config_.mesh.routerDelay,
+        config_.mesh.linkDelay, config_.shards);
+
+    // Stage the guest-thread starts as the first event so every
+    // coroutine frame is created, driven, and destroyed on the owning
+    // shard's worker thread (frame arenas are per-thread). The
+    // bootstrap shifts every event seq by one uniformly, which
+    // preserves the (tick, priority, seq) relative order exactly.
+    eq_.schedule(
+        0,
+        [this]() {
+            for (auto &[core, fn] : pending_)
+                cores_[core]->run(std::move(fn));
+            pending_.clear();
+        },
+        EventPriority::High);
+
+    // Domain 0 carries the whole model today; the remaining shard
+    // domains are stood up from the plan and drained in lockstep, so
+    // the quantum-barrier protocol (and its determinism guarantee) is
+    // exercised on every sharded run while the mesh decomposition
+    // lands tile by tile (DESIGN.md §4.6).
+    std::vector<std::unique_ptr<EventQueue>> extras;
+    std::vector<EventQueue *> domains{&eq_};
+    for (unsigned s = 1; s < plan.shards; ++s) {
+        extras.push_back(std::make_unique<EventQueue>());
+        domains.push_back(extras.back().get());
+    }
+    ShardedExecutor exec(domains, plan.quantum);
+    exec.run();
+
     stampHostStats(host_start);
 
     unsigned blocked = 0;

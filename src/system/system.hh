@@ -48,6 +48,15 @@ struct SystemConfig
     Tick sampleInterval = 0;
     std::vector<std::string> samplePatterns;
 
+    /**
+     * Shard the run across a ShardPlan partition (1 = monolithic,
+     * today's behavior). run() then executes on a sharded conservative
+     * executor whose quantum derives from the mesh's minimum cross-
+     * shard latency; every non-host.* stat is bit-identical to the
+     * monolithic run (CI gates on it). Clamped to the mesh's columns.
+     */
+    unsigned shards = 1;
+
     /** Table 3 configuration scaled to @p cores (8 -> 4x2, 16 -> 4x4,
      *  36 -> 6x6; memory bandwidth scales with cores, Sec. 9). */
     static SystemConfig forCores(unsigned cores);
@@ -97,6 +106,12 @@ class System
     std::shared_ptr<prof::Profiler> profilerShared() const { return prof_; }
 
   private:
+    /** run() body for config.shards > 1: domain 0 (the whole model, for
+     *  now) executes on a ShardedExecutor worker under quantum
+     *  barriers; remaining shard domains are stood up from the
+     *  ShardPlan and drained in lockstep. */
+    Tick runSharded();
+
     /** Harvest NoC/set-heat counters into the profiler and finalize it. */
     void finalizeProfiler();
 

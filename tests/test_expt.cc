@@ -13,7 +13,10 @@
 #include <fstream>
 #include <string>
 
+#include <cerrno>
+
 #include <limits.h>
+#include <sys/wait.h>
 #include <unistd.h>
 
 #include "expt/json.hh"
@@ -455,6 +458,79 @@ TEST(ExptRunner, CleanFailureIsNotRetried)
     auto outcomes = runAll({cmd}, 1);
     EXPECT_EQ(outcomes[0].status, RunStatus::Failed);
     EXPECT_EQ(outcomes[0].attempts, 1u);
+}
+
+/** Clears the spawn-failure seam even when an assertion bails out. */
+struct SpawnHookGuard
+{
+    ~SpawnHookGuard() { setSpawnFailureHook({}); }
+};
+
+TEST(ExptRunner, SpawnFailureIsRetriedThenSucceeds)
+{
+    const std::string scratch = makeScratch();
+    SpawnHookGuard guard;
+    // First fork "fails" with EAGAIN; the retry path must pick the run
+    // back up instead of reporting a code-0 crash.
+    setSpawnFailureHook([](const RunCommand &, unsigned attempt) {
+        return attempt == 1 ? EAGAIN : 0;
+    });
+    auto cmd = shCommand("spawnretry", "exit 0", scratch, 30,
+                         /*retries=*/2);
+    auto outcomes = runAll({cmd}, 1);
+    EXPECT_EQ(outcomes[0].status, RunStatus::Ok);
+    EXPECT_EQ(outcomes[0].attempts, 2u);
+}
+
+TEST(ExptRunner, SpawnFailureExhaustsRetriesWithErrno)
+{
+    const std::string scratch = makeScratch();
+    SpawnHookGuard guard;
+    setSpawnFailureHook(
+        [](const RunCommand &, unsigned) { return EAGAIN; });
+    auto cmd = shCommand("spawnfail", "exit 0", scratch, 30,
+                         /*retries=*/2);
+    auto outcomes = runAll({cmd}, 1);
+    EXPECT_EQ(outcomes[0].status, RunStatus::Crashed);
+    EXPECT_EQ(outcomes[0].exitCode, EAGAIN); // errno, not 0
+    EXPECT_EQ(outcomes[0].attempts, 3u);     // 1 + retries
+}
+
+TEST(ExptRunner, StrayChildIsReapedWithoutDisturbingRuns)
+{
+    const std::string scratch = makeScratch();
+    // A child the runner never spawned: its pid is not in the run
+    // table, so the pool's waitpid(-1) sees it as a stray.
+    const pid_t stray = ::fork();
+    if (stray == 0)
+        ::_exit(0);
+    ASSERT_GT(stray, 0);
+    // Keep the real run alive long enough that the stray is reaped
+    // mid-loop rather than after the pool drains.
+    auto cmd = shCommand("real", "sleep 0.3; exit 0", scratch);
+    auto outcomes = runAll({cmd}, 1);
+    EXPECT_EQ(outcomes[0].status, RunStatus::Ok);
+    EXPECT_EQ(outcomes[0].attempts, 1u);
+    // The runner consumed (and logged) the stray: it is gone.
+    int wstatus = 0;
+    EXPECT_EQ(::waitpid(stray, &wstatus, WNOHANG), -1);
+    EXPECT_EQ(errno, ECHILD);
+}
+
+TEST(ExptRunner, WallTimeAccumulatesAcrossAttempts)
+{
+    const std::string scratch = makeScratch();
+    // First attempt burns the full 0.4s timeout; the retry finishes in
+    // milliseconds. Total wall must cover both, not just the final try.
+    const std::string script =
+        "if [ -e " + scratch + "/marker ]; then exit 0; "
+        "else touch " + scratch + "/marker; sleep 30; fi";
+    auto cmd = shCommand("wall", script, scratch, /*timeout=*/0.4,
+                         /*retries=*/1);
+    auto outcomes = runAll({cmd}, 1);
+    EXPECT_EQ(outcomes[0].status, RunStatus::Ok);
+    EXPECT_EQ(outcomes[0].attempts, 2u);
+    EXPECT_GE(outcomes[0].wallSec, 0.4);
 }
 
 TEST(ExptRunner, ParallelismPreservesOrderAndResults)

@@ -246,9 +246,10 @@ TEST_F(Fixtures, BadFilesProduceExactlyTheExpectedFindings)
             << "unexpected finding " << g.first << " at line "
             << g.second;
 
-    // All five rules must be exercised by the bad fixtures.
+    // Every rule must be exercised by the bad fixtures.
     EXPECT_EQ(activeRules(report),
-              (std::set<std::string>{"D1", "D2", "L1", "L2", "S1"}));
+              (std::set<std::string>{"D1", "D2", "L1", "L2", "S1",
+                                     "X1"}));
 }
 
 TEST_F(Fixtures, OkFilesAreCleanAndSuppressionsAllUsed)

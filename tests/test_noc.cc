@@ -49,6 +49,35 @@ TEST_F(MeshFixture, LocalDeliveryCrossesRouterOnce)
     EXPECT_EQ(mesh.traverse(0, 5, 5, 72), MeshParams{}.routerDelay);
 }
 
+TEST_F(MeshFixture, LocalDeliveriesCountedSeparately)
+{
+    mesh.enableLinkProfiling();
+    mesh.traverse(0, 5, 5, 72); // local: no link, no flit-hops
+    mesh.traverse(0, 0, 3, 8);  // remote: 3 hops
+    mesh.traverse(10, 7, 7, 8); // local again
+    EXPECT_EQ(stats.get("noc.messages"), 3.0);
+    EXPECT_EQ(stats.get("noc.localMessages"), 2.0);
+    // Reconciliation invariant takoprof validates: per-link message
+    // totals cover exactly the remote traverses (once per hop).
+    std::uint64_t linkMsgs = 0;
+    for (const std::uint64_t m : mesh.linkMessages())
+        linkMsgs += m;
+    EXPECT_EQ(linkMsgs, 3u); // one remote message x 3 hops
+    EXPECT_EQ(mesh.flitHops(), 3u);
+}
+
+TEST_F(MeshFixture, AllLocalTrafficTouchesNoLink)
+{
+    mesh.enableLinkProfiling();
+    for (int t = 0; t < 16; ++t)
+        mesh.traverse(0, t, t, 64);
+    EXPECT_EQ(stats.get("noc.messages"), 16.0);
+    EXPECT_EQ(stats.get("noc.localMessages"), 16.0);
+    EXPECT_EQ(mesh.flitHops(), 0u);
+    for (const std::uint64_t m : mesh.linkMessages())
+        EXPECT_EQ(m, 0u);
+}
+
 TEST_F(MeshFixture, SerializationAddsTailLatency)
 {
     // 72B = 5 flits: 4 extra cycles for the tail.

@@ -1,0 +1,336 @@
+/**
+ * @file
+ * Tests for the sharded conservative executor: plan partitioning and
+ * quantum derivation, SPSC mailbox semantics, and — the load-bearing
+ * property — bit-identical results at every worker-thread count, under
+ * real host threads and real cross-shard traffic.
+ */
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "sim/shard.hh"
+#include "system/system.hh"
+#include "workloads/decompress.hh"
+
+using namespace tako;
+
+// ------------------------------------------------------------ ShardPlan
+
+TEST(ShardPlan, PartitionsColumnsContiguously)
+{
+    const ShardPlan p = ShardPlan::build(4, 4, 2, 1, 4);
+    EXPECT_EQ(p.shards, 4u);
+    EXPECT_EQ(p.columnShard, (std::vector<unsigned>{0, 1, 2, 3}));
+    // 4x4 mesh with a tile per column band: tile 5 sits in column 1.
+    EXPECT_EQ(p.shardOf(5), 1u);
+    EXPECT_EQ(p.shardOf(12), 0u);
+    // 3 vertical cuts x 4 rows x {E, W}.
+    EXPECT_EQ(p.boundaryLinks, 3u * 4u * 2u);
+}
+
+TEST(ShardPlan, QuantumIsMinimumBoundaryCrossing)
+{
+    EXPECT_EQ(ShardPlan::build(4, 4, 2, 1, 4).quantum, Tick{3});
+    EXPECT_EQ(ShardPlan::build(4, 4, 7, 5, 2).quantum, Tick{12});
+    // Degenerate delays still give a usable (nonzero) window.
+    EXPECT_EQ(ShardPlan::build(4, 4, 0, 0, 2).quantum, Tick{1});
+}
+
+TEST(ShardPlan, ClampsToColumns)
+{
+    // A 4-column mesh cannot split 8 ways; a request for 0 means 1.
+    EXPECT_EQ(ShardPlan::build(4, 4, 2, 1, 8).shards, 4u);
+    EXPECT_EQ(ShardPlan::build(4, 4, 2, 1, 0).shards, 1u);
+    const ShardPlan two = ShardPlan::build(4, 2, 2, 1, 2);
+    EXPECT_EQ(two.columnShard, (std::vector<unsigned>{0, 0, 1, 1}));
+    EXPECT_EQ(two.boundaryLinks, 1u * 2u * 2u);
+}
+
+// ---------------------------------------------------------- SpscMailbox
+
+TEST(SpscMailbox, FifoAcrossThreads)
+{
+    SpscMailbox<std::uint64_t> mb(1024);
+    constexpr std::uint64_t kCount = 200000;
+    std::thread producer([&mb] {
+        for (std::uint64_t i = 0; i < kCount; ++i) {
+            while (!mb.tryPush(i))
+                std::this_thread::yield();
+        }
+    });
+    std::uint64_t expect = 0;
+    while (expect < kCount) {
+        std::uint64_t v = 0;
+        if (mb.tryPop(v)) {
+            ASSERT_EQ(v, expect); // strict FIFO, nothing lost
+            ++expect;
+        }
+    }
+    producer.join();
+    EXPECT_TRUE(mb.empty());
+}
+
+TEST(SpscMailbox, ReportsFullWithoutOverwriting)
+{
+    SpscMailbox<int> mb(4);
+    EXPECT_EQ(mb.capacity(), 4u);
+    for (int i = 0; i < 4; ++i)
+        EXPECT_TRUE(mb.tryPush(i));
+    EXPECT_FALSE(mb.tryPush(99));
+    int v = -1;
+    EXPECT_TRUE(mb.tryPop(v));
+    EXPECT_EQ(v, 0);
+    EXPECT_TRUE(mb.tryPush(4)); // slot freed
+}
+
+// ------------------------------------------------- ShardedExecutor core
+
+namespace
+{
+
+/**
+ * Synthetic PDES workload: four domains in a ring, each running a local
+ * event chain whose accumulator mixes (tick, payload, order), with every
+ * third hop mailing a payload to the next domain one-or-more quanta
+ * ahead. Any reordering — across threads, rounds, or merge batches —
+ * changes the accumulators, so equality below is bit-level determinism.
+ */
+struct RingModel
+{
+    static constexpr unsigned kDomains = 4;
+    static constexpr Tick kQuantum = 3;
+
+    std::array<std::unique_ptr<EventQueue>, kDomains> queues;
+    std::unique_ptr<ShardedExecutor> exec;
+    std::array<std::uint64_t, kDomains> acc{};
+    std::array<std::uint64_t, kDomains> received{};
+
+    explicit RingModel(unsigned threads)
+    {
+        std::vector<EventQueue *> domains;
+        for (auto &q : queues) {
+            q = std::make_unique<EventQueue>();
+            domains.push_back(q.get());
+        }
+        exec = std::make_unique<ShardedExecutor>(domains, kQuantum,
+                                                 threads);
+    }
+
+    void
+    mix(unsigned d, std::uint64_t v)
+    {
+        acc[d] = acc[d] * 6364136223846793005ULL + v + queues[d]->now();
+    }
+
+    void
+    local(unsigned d, unsigned remaining)
+    {
+        mix(d, (std::uint64_t{d} << 32) + remaining);
+        if (remaining == 0)
+            return;
+        if (remaining % 3 == 0) {
+            const unsigned dst = (d + 1) % kDomains;
+            const std::uint64_t payload = acc[d];
+            // Conservative: at least one quantum ahead of "now".
+            const Tick when =
+                queues[d]->now() + kQuantum + (payload % (2 * kQuantum));
+            exec->send(d, dst, when, EventPriority::Default,
+                       [this, dst, payload] { recv(dst, payload, 2); });
+        }
+        queues[d]->schedule(1 + (acc[d] % 3),
+                            [this, d, remaining] {
+                                local(d, remaining - 1);
+                            });
+    }
+
+    void
+    recv(unsigned d, std::uint64_t payload, unsigned ttl)
+    {
+        ++received[d];
+        mix(d, payload);
+        if (ttl > 0 && payload % 2 == 0) {
+            const unsigned dst = (d + 1) % kDomains;
+            const std::uint64_t fwd = acc[d];
+            exec->send(d, dst, queues[d]->now() + kQuantum,
+                       EventPriority::High,
+                       [this, dst, fwd, ttl] { recv(dst, fwd, ttl - 1); });
+        }
+    }
+
+    void
+    run(unsigned chainLength)
+    {
+        for (unsigned d = 0; d < kDomains; ++d) {
+            queues[d]->scheduleAbs(d, [this, d, chainLength] {
+                local(d, chainLength);
+            });
+        }
+        exec->run();
+    }
+};
+
+} // namespace
+
+TEST(ShardedExecutor, RingIsBitIdenticalAtEveryThreadCount)
+{
+    RingModel ref(1);
+    ref.run(60);
+    // The ring must actually communicate for this test to mean
+    // anything.
+    std::uint64_t totalReceived = 0;
+    for (const std::uint64_t r : ref.received)
+        totalReceived += r;
+    ASSERT_GT(totalReceived, 20u);
+    ASSERT_GT(ref.exec->crossShardEvents(), 20u);
+
+    for (const unsigned threads : {2u, 4u}) {
+        // Several repetitions per thread count: scheduling jitter
+        // across runs must never reach the results.
+        for (int rep = 0; rep < 3; ++rep) {
+            RingModel m(threads);
+            m.run(60);
+            EXPECT_EQ(m.acc, ref.acc)
+                << "threads=" << threads << " rep=" << rep;
+            EXPECT_EQ(m.received, ref.received);
+            EXPECT_EQ(m.exec->crossShardEvents(),
+                      ref.exec->crossShardEvents());
+            for (unsigned d = 0; d < RingModel::kDomains; ++d) {
+                EXPECT_EQ(m.queues[d]->now(), ref.queues[d]->now());
+                EXPECT_EQ(m.queues[d]->eventsFired(),
+                          ref.queues[d]->eventsFired());
+            }
+        }
+    }
+}
+
+TEST(ShardedExecutor, SoloDomainMatchesMonolithicRun)
+{
+    // One busy domain among four idle ones: the executor's free-running
+    // solo path must reproduce a plain EventQueue::run() exactly.
+    auto chain = [](EventQueue &q, std::uint64_t &acc, auto &&self,
+                    unsigned remaining) -> void {
+        acc = acc * 6364136223846793005ULL + q.now() + remaining;
+        if (remaining == 0)
+            return;
+        q.schedule(1 + (acc % 4), [&q, &acc, &self, remaining] {
+            self(q, acc, self, remaining - 1);
+        });
+    };
+
+    EventQueue mono;
+    std::uint64_t monoAcc = 0;
+    mono.scheduleAbs(0, [&] { chain(mono, monoAcc, chain, 200); });
+    mono.run();
+
+    std::array<std::unique_ptr<EventQueue>, 4> queues;
+    std::vector<EventQueue *> domains;
+    for (auto &q : queues) {
+        q = std::make_unique<EventQueue>();
+        domains.push_back(q.get());
+    }
+    std::uint64_t shardAcc = 0;
+    queues[0]->scheduleAbs(
+        0, [&] { chain(*queues[0], shardAcc, chain, 200); });
+    ShardedExecutor exec(domains, 3, 4);
+    exec.run();
+
+    EXPECT_EQ(shardAcc, monoAcc);
+    EXPECT_EQ(queues[0]->now(), mono.now());
+    EXPECT_EQ(queues[0]->eventsFired(), mono.eventsFired());
+    EXPECT_EQ(exec.crossShardEvents(), 0u);
+}
+
+TEST(ShardedExecutor, EmptyDomainsTerminate)
+{
+    std::array<std::unique_ptr<EventQueue>, 3> queues;
+    std::vector<EventQueue *> domains;
+    for (auto &q : queues) {
+        q = std::make_unique<EventQueue>();
+        domains.push_back(q.get());
+    }
+    ShardedExecutor exec(domains, 5);
+    exec.run(); // must not hang
+    EXPECT_EQ(exec.crossShardEvents(), 0u);
+}
+
+// ------------------------------------------------------------- runLanes
+
+TEST(RunLanes, JobToLaneMapIsAFunctionOfIndexOnly)
+{
+    // Each job writes into its own slot; with any lane count the merged
+    // (index-ordered) output is the same.
+    auto runWith = [](unsigned lanes) {
+        std::vector<std::uint64_t> out(17, 0);
+        std::vector<std::function<void()>> jobs;
+        for (std::size_t i = 0; i < out.size(); ++i) {
+            jobs.push_back([&out, i] {
+                std::uint64_t v = i + 1;
+                for (int k = 0; k < 1000; ++k)
+                    v = v * 2862933555777941757ULL + k;
+                out[i] = v;
+            });
+        }
+        runLanes(lanes, jobs);
+        return out;
+    };
+    const auto ref = runWith(1);
+    EXPECT_EQ(runWith(2), ref);
+    EXPECT_EQ(runWith(4), ref);
+    EXPECT_EQ(runWith(32), ref); // clamped to job count
+}
+
+// ------------------------------------- full System under --shards (16t)
+
+namespace
+{
+
+/** Every counter (minus host.* wall-clock gauges, which are exempt by
+ *  contract) from a 16-tile decompress run at a given shard count. */
+std::map<std::string, double>
+decompressCounters(unsigned shards)
+{
+    SystemConfig cfg = SystemConfig::forCores(16);
+    cfg.mem.l1Size = 2 * 1024;
+    cfg.mem.l2Size = 8 * 1024;
+    cfg.mem.l3BankSize = 32 * 1024;
+    cfg.shards = shards;
+    DecompressConfig dc;
+    dc.numValues = 2 * 1024;
+    dc.numIndices = 4 * 1024;
+    const RunMetrics m = runDecompress(DecompressVariant::Tako, dc, cfg);
+    std::map<std::string, double> counters;
+    for (const auto &[name, c] : m.stats->counters())
+        if (name.rfind("host.", 0) != 0)
+            counters.emplace(name, c.value());
+    counters.emplace("__cycles", static_cast<double>(m.cycles));
+    counters.emplace("__energy", m.energy);
+    counters.emplace("__checksum", m.extra.at("checksum"));
+    return counters;
+}
+
+} // namespace
+
+TEST(ShardedSystem, SixteenTileRunIsBitIdenticalAcrossShardCounts)
+{
+    const auto ref = decompressCounters(1);
+    ASSERT_FALSE(ref.empty());
+    for (const unsigned shards : {2u, 4u}) {
+        const auto got = decompressCounters(shards);
+        ASSERT_EQ(got.size(), ref.size()) << "shards=" << shards;
+        for (const auto &[name, value] : ref) {
+            const auto it = got.find(name);
+            ASSERT_NE(it, got.end()) << name;
+            // Bit-identical, not approximately equal.
+            EXPECT_EQ(it->second, value)
+                << name << " differs at shards=" << shards;
+        }
+    }
+}

@@ -19,8 +19,14 @@ import json
 import os
 import subprocess
 import sys
+import time
 
 MIN_SPEEDUP = 2.0
+# Required wall-clock speedup of a --replicate ensemble at --shards=4
+# over --shards=1 (4 independent replicas across 4 host lanes). Only
+# enforced when the host actually has >= 4 CPUs: on smaller runners the
+# lanes time-share and the measurement is meaningless.
+MIN_SHARD_SPEEDUP = 2.0
 KERNEL_FILTER = "BM_EventQueue|BM_Coroutine"
 
 
@@ -76,6 +82,48 @@ def run_takosim(bin_dir, quick):
     }, prof
 
 
+def run_shard_ensemble(bin_dir, quick):
+    """Wall-time a 16-tile nightly-sized ensemble at 1 vs. 4 lanes.
+
+    Determinism is gated elsewhere (test_shard, the quick-suite
+    diff_metrics gates); this measures the parallelism payoff:
+    --shards=N is the host-parallelism budget, spent on ensemble lanes
+    under --replicate.
+    """
+    exe = os.path.join(bin_dir, "tools", "takosim")
+    # phi at 16k vertices is the nightly-sized 16-tile run: long enough
+    # (~seconds per replica) that lane scheduling, not process startup,
+    # dominates the measurement.
+    base = [
+        exe,
+        "--workload=phi",
+        "--variant=tako",
+        "--cores=16",
+        "--vertices=16384",
+        "--replicate=4",
+    ]
+    env = dict(os.environ)
+    if quick:
+        env["TAKO_QUICK"] = "1"
+    walls = {}
+    for shards in (1, 4):
+        start = time.monotonic()
+        subprocess.run(base + [f"--shards={shards}"], check=True,
+                       stdout=subprocess.DEVNULL, env=env)
+        walls[shards] = time.monotonic() - start
+    return {
+        "workload": "phi",
+        "variant": "tako",
+        "cores": 16,
+        "vertices": 16384,
+        "replicas": 4,
+        "wall_sec_shards1": walls[1],
+        "wall_sec_shards4": walls[4],
+        "speedup": walls[1] / walls[4] if walls[4] > 0 else 0.0,
+        "host_cpus": os.cpu_count() or 1,
+    }
+
+
 def main():
     ap = argparse.ArgumentParser()
     ap.add_argument("--bin-dir", default="build")
@@ -86,6 +134,7 @@ def main():
 
     context, benches = run_microbench(args.bin_dir, args.quick)
     takosim, prof_path = run_takosim(args.bin_dir, args.quick)
+    shard = run_shard_ensemble(args.bin_dir, args.quick)
 
     new = benches.get("BM_EventQueueSchedule", {}).get("items_per_second", 0)
     old = benches.get("BM_EventQueueScheduleLegacy", {}) \
@@ -104,6 +153,7 @@ def main():
         "benchmarks": benches,
         "event_queue_speedup_vs_legacy": speedup,
         "takosim": takosim,
+        "shard_ensemble": shard,
     }
     with open(args.out, "w") as f:
         json.dump(report, f, indent=2)
@@ -115,9 +165,18 @@ def main():
           f"-> {args.out}")
     if os.path.exists(prof_path):
         print(f"perf_smoke: profiled run wrote {prof_path}")
+    print(f"perf_smoke: shard ensemble 4x16-tile replicas "
+          f"{shard['wall_sec_shards1']:.2f}s at 1 lane, "
+          f"{shard['wall_sec_shards4']:.2f}s at 4 lanes "
+          f"({shard['speedup']:.2f}x, {shard['host_cpus']} host CPUs)")
     if speedup < MIN_SPEEDUP:
         print(f"perf_smoke: FAIL: event-queue speedup {speedup:.2f}x "
               f"< required {MIN_SPEEDUP}x", file=sys.stderr)
+        return 1
+    if shard["host_cpus"] >= 4 and shard["speedup"] < MIN_SHARD_SPEEDUP:
+        print(f"perf_smoke: FAIL: shard-ensemble speedup "
+              f"{shard['speedup']:.2f}x < required {MIN_SHARD_SPEEDUP}x "
+              f"on a {shard['host_cpus']}-CPU host", file=sys.stderr)
         return 1
     return 0
 

@@ -43,6 +43,9 @@ struct Options
     std::string scratchDir;
     bool list = false;
     bool verbose = false;
+    /** Extra argv appended to every takosim-kind run (repeatable);
+     *  bench-kind runs never see them. */
+    std::vector<std::string> takosimArgs;
 };
 
 [[noreturn]] void
@@ -61,6 +64,10 @@ usage(int code)
         "                     e.g. build/tools -> build/bench)\n"
         "  --scratch=DIR      per-run outputs and logs\n"
         "                     (default: takobench.scratch/<suite>)\n"
+        "  --takosim-arg=ARG  append ARG verbatim to every takosim-kind\n"
+        "                     run's command line (repeatable; bench-kind\n"
+        "                     runs are untouched). Example:\n"
+        "                     --takosim-arg=--shards=4\n"
         "  --list             print the suite's runs and exit\n"
         "  --verbose          echo each child command line\n"
         "  --help             this text\n");
@@ -89,6 +96,13 @@ parse(int argc, char **argv)
             o.binDir = val;
         } else if (key == "--scratch") {
             o.scratchDir = val;
+        } else if (key == "--takosim-arg") {
+            if (val.empty()) {
+                std::fprintf(stderr,
+                             "takobench: --takosim-arg needs a value\n\n");
+                usage(2);
+            }
+            o.takosimArgs.push_back(val);
         } else if (arg == "-j") {
             if (i + 1 >= argc)
                 usage(2);
@@ -218,6 +232,10 @@ buildCommand(const RunSpec &run, const Options &o,
         cmd.argv.push_back("--workload=" + run.target);
         for (const auto &[k, v] : run.args)
             cmd.argv.push_back("--" + k + "=" + v);
+        // Pass-throughs go after the spec's own args so a sweep (e.g.
+        // --shards=4 for the CI determinism gate) wins on conflicts.
+        for (const std::string &extra : o.takosimArgs)
+            cmd.argv.push_back(extra);
         cmd.argv.push_back("--stats-json=" + cmd.outputJson);
     } else {
         if (run.quick)

@@ -22,6 +22,13 @@
  *   S1  stats resolved via cached handle() pointers at construction,
  *       not string lookups inside per-access code: registry calls are
  *       only allowed in constructors/destructors and finalize().
+ *   X1  no static-duration mutable state in model code: sharded runs
+ *       (SystemConfig::shards > 1) execute shards on concurrent host
+ *       threads, so anything shared must either be immutable
+ *       (const/constexpr/constinit), per-thread (thread_local), or go
+ *       through the ShardedExecutor::send() mailbox API. Heuristic on
+ *       the `static` keyword; unmarked namespace-scope globals are a
+ *       known blind spot.
  *
  * Any site can opt out with an explicit, reasoned suppression on the
  * same line or the line above:

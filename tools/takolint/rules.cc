@@ -169,6 +169,7 @@ class Checker
                 checkD1(i);
                 checkD2(i);
                 checkS1(i);
+                checkX1(i);
             }
             checkL1(i);
             checkL2(i);
@@ -633,6 +634,48 @@ class Checker
              "handle at construction and increment through it");
     }
 
+    // ---- X1: static-duration mutable state in model code -----------
+    /**
+     * Sharded runs execute model code on several host threads at once:
+     * any `static` (function-local or namespace/class scope) that is
+     * neither immutable (`const`/`constexpr`/`constinit`) nor
+     * per-thread (`thread_local`) is shared mutable state that bypasses
+     * the mailbox API and breaks both thread-safety and determinism.
+     *
+     * Heuristic, as everywhere in this linter: a `(` before the
+     * declarator ends means a function declaration (skipped), and
+     * namespace-scope globals declared *without* the `static` keyword
+     * are not seen at all — a known under-approximation.
+     */
+    void
+    checkX1(int i)
+    {
+        if (!c_.is(i, "static"))
+            return;
+        for (int j = i + 1; j < c_.size() && j < i + 40;) {
+            const std::string &t = c_.text(j);
+            if (t == "const" || t == "constexpr" || t == "constinit" ||
+                t == "thread_local")
+                return; // immutable or shard-private: fine
+            if (t == "<") {
+                j = c_.skipTemplateArgs(j);
+                continue;
+            }
+            if (t == "(")
+                return; // function (or constructor-style init): skip
+            if (t == ";" || t == "=" || t == "{") {
+                emit("X1", c_.line(i),
+                     "static-duration mutable state in model code: "
+                     "shards run concurrently, so cross-shard "
+                     "communication must go through "
+                     "ShardedExecutor::send() mailboxes; make this "
+                     "const/constexpr, thread_local, or per-instance");
+                return;
+            }
+            ++j;
+        }
+    }
+
     const SourceFile &f_;
     Cursor c_;
     const Index &idx_;
@@ -693,6 +736,8 @@ ruleDescriptions()
         {"L2", "no raw new/delete of pooled types (EventNode)"},
         {"S1", "stats via cached handles, not string lookups, in "
                "per-access code"},
+        {"X1", "no static-duration mutable state in model code "
+               "(cross-shard state outside the mailbox API)"},
     };
     return rules;
 }

@@ -13,6 +13,7 @@
  *   takosim --workload=primeprobe --variant=tako
  */
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -24,6 +25,7 @@
 
 #include "gitrev.hh"
 #include "prof/profiler.hh"
+#include "sim/shard.hh"
 #include "sim/tracesink.hh"
 #include "workloads/aos_soa.hh"
 #include "workloads/decompress.hh"
@@ -55,6 +57,12 @@ struct Options
     std::string traceMask = "all";
     Tick sampleEvery = 0;
     std::vector<std::string> samplePatterns;
+    /** SystemConfig::shards: quantum-barrier sharded execution (and the
+     *  ensemble lane count under --replicate). */
+    unsigned shards = 1;
+    /** Run N seed-offset replicas (seed, seed+1, ...) across
+     *  min(shards, N) lanes; report replica 0 plus ens.* aggregates. */
+    unsigned replicate = 1;
 };
 
 /** Workload -> valid variants, for --list-workloads and error text. */
@@ -86,6 +94,7 @@ usage(int code)
         "               [--folded=FILE]\n"
         "               [--trace-out=FILE] [--trace-mask=CAT[,CAT...]]\n"
         "               [--sample-every=N] [--sample=PAT[,PAT...]]\n"
+        "               [--shards=N] [--replicate=N]\n"
         "\n"
         "  --stats            dump every counter and histogram as text\n"
         "  --stats-json=FILE  write counters, histograms, and the sampled\n"
@@ -105,6 +114,16 @@ usage(int code)
         "                     time series exported by --stats-json\n"
         "  --sample=PATS      comma-separated counter name patterns to\n"
         "                     sample ('*' wildcards; default: all)\n"
+        "  --shards=N         run on the sharded conservative executor\n"
+        "                     (quantum barriers from the mesh's minimum\n"
+        "                     cross-shard latency); every non-host.*\n"
+        "                     stat is bit-identical to --shards=1\n"
+        "  --replicate=N      run N replicas at seeds seed..seed+N-1\n"
+        "                     across min(shards, N) host lanes; output\n"
+        "                     is replica 0 plus ens.* aggregates and is\n"
+        "                     identical at any lane count (incompatible\n"
+        "                     with --profile/--folded/--trace-out/\n"
+        "                     --sample-every/--sample)\n"
         "  --list-workloads   print workloads and their variants\n"
         "  --version          print the embedded git revision\n"
         "  --help             this text\n");
@@ -176,7 +195,15 @@ parse(int argc, char **argv)
             o.traceMask = val;
         else if (key == "--sample-every")
             o.sampleEvery = parseNum(val);
-        else if (key == "--sample") {
+        else if (key == "--shards") {
+            o.shards = static_cast<unsigned>(parseNum(val));
+            if (o.shards == 0)
+                o.shards = 1;
+        } else if (key == "--replicate") {
+            o.replicate = static_cast<unsigned>(parseNum(val));
+            if (o.replicate == 0)
+                o.replicate = 1;
+        } else if (key == "--sample") {
             std::size_t pos = 0;
             while (pos <= val.size()) {
                 const std::size_t comma = val.find(',', pos);
@@ -221,6 +248,83 @@ badVariant(const std::string &workload, const std::string &variant)
     std::exit(2);
 }
 
+/**
+ * Run one replica of the selected workload at @p seed on a copy of
+ * @p sys. Builds its own System and touches no process-global state,
+ * so ensemble lanes may call it concurrently (main() forbids the
+ * global-sink features — tracing, profiling, sampling — whenever more
+ * than one replica runs).
+ */
+RunMetrics
+runOne(const Options &o, SystemConfig sys, std::uint64_t seed,
+       PrimeProbeResult *pp)
+{
+    sys.seed = seed;
+    if (o.workload == "decompress") {
+        DecompressConfig cfg;
+        cfg.seed = seed;
+        std::map<std::string, DecompressVariant> v{
+            {"baseline", DecompressVariant::Baseline},
+            {"precompute", DecompressVariant::Precompute},
+            {"ndc", DecompressVariant::Ndc},
+            {"tako", DecompressVariant::Tako},
+            {"ideal", DecompressVariant::TakoIdeal}};
+        if (!v.count(o.variant))
+            badVariant(o.workload, o.variant);
+        return runDecompress(v[o.variant], cfg, sys);
+    } else if (o.workload == "phi") {
+        PagerankPushConfig cfg;
+        cfg.graph.numVertices = o.vertices;
+        cfg.graph.seed = seed;
+        cfg.threads = o.cores;
+        cfg.regionVertices = 256;
+        std::map<std::string, PushVariant> v{
+            {"baseline", PushVariant::Baseline},
+            {"ub", PushVariant::UpdateBatching},
+            {"tako", PushVariant::Phi},
+            {"ideal", PushVariant::PhiIdeal}};
+        if (!v.count(o.variant))
+            badVariant(o.workload, o.variant);
+        return runPagerankPush(v[o.variant], cfg, sys);
+    } else if (o.workload == "hats") {
+        PagerankPullConfig cfg;
+        cfg.graph.numVertices = o.vertices;
+        cfg.graph.seed = seed;
+        std::map<std::string, PullVariant> v{
+            {"baseline", PullVariant::VertexOrdered},
+            {"sw-bdfs", PullVariant::SoftwareBdfs},
+            {"tako", PullVariant::Hats},
+            {"ideal", PullVariant::HatsIdeal}};
+        if (!v.count(o.variant))
+            badVariant(o.workload, o.variant);
+        return runPagerankPull(v[o.variant], cfg, sys);
+    } else if (o.workload == "nvm") {
+        NvmTxConfig cfg;
+        cfg.txBytes = o.txBytes;
+        std::map<std::string, NvmVariant> v{
+            {"baseline", NvmVariant::Journaling},
+            {"tako", NvmVariant::Tako},
+            {"ideal", NvmVariant::TakoIdeal}};
+        if (!v.count(o.variant))
+            badVariant(o.workload, o.variant);
+        return runNvmTx(v[o.variant], cfg, sys);
+    } else if (o.workload == "primeprobe") {
+        PrimeProbeConfig cfg;
+        cfg.seed = seed;
+        PrimeProbeResult r = runPrimeProbe(o.variant == "tako", cfg, sys);
+        if (pp)
+            *pp = r;
+        return r.metrics;
+    } else if (o.workload == "aossoa") {
+        AosSoaConfig cfg;
+        cfg.seed = seed;
+        return runAosSoa(o.variant != "srrip", cfg, sys);
+    }
+    std::fprintf(stderr, "takosim: unknown workload '%s'\n\n",
+                 o.workload.c_str());
+    listWorkloads(2);
+}
+
 void
 report(const RunMetrics &m, std::FILE *out)
 {
@@ -261,6 +365,18 @@ main(int argc, char **argv)
     // lean — see MemParams::latBreakdown).
     sys.mem.latBreakdown = true;
     sys.profile = o.profileSet || !o.folded.empty();
+    sys.shards = o.shards;
+    if (o.replicate > 1 &&
+        (sys.profile || !o.traceOut.empty() || o.sampleEvery > 0 ||
+         !o.samplePatterns.empty())) {
+        std::fprintf(stderr,
+                     "takosim: --replicate=%u is incompatible with "
+                     "--profile/--folded/--trace-out/--sample-every/"
+                     "--sample (they write through process-global "
+                     "sinks; replicas run concurrently)\n",
+                     o.replicate);
+        return 2;
+    }
 
     // Open output files up front so a bad path fails before the run,
     // not after minutes of simulation.
@@ -310,69 +426,57 @@ main(int argc, char **argv)
     }
 
     RunMetrics m;
-    if (o.workload == "decompress") {
-        DecompressConfig cfg;
-        cfg.seed = o.seed;
-        std::map<std::string, DecompressVariant> v{
-            {"baseline", DecompressVariant::Baseline},
-            {"precompute", DecompressVariant::Precompute},
-            {"ndc", DecompressVariant::Ndc},
-            {"tako", DecompressVariant::Tako},
-            {"ideal", DecompressVariant::TakoIdeal}};
-        if (!v.count(o.variant))
-            badVariant(o.workload, o.variant);
-        m = runDecompress(v[o.variant], cfg, sys);
-    } else if (o.workload == "phi") {
-        PagerankPushConfig cfg;
-        cfg.graph.numVertices = o.vertices;
-        cfg.graph.seed = o.seed;
-        cfg.threads = o.cores;
-        cfg.regionVertices = 256;
-        std::map<std::string, PushVariant> v{
-            {"baseline", PushVariant::Baseline},
-            {"ub", PushVariant::UpdateBatching},
-            {"tako", PushVariant::Phi},
-            {"ideal", PushVariant::PhiIdeal}};
-        if (!v.count(o.variant))
-            badVariant(o.workload, o.variant);
-        m = runPagerankPush(v[o.variant], cfg, sys);
-    } else if (o.workload == "hats") {
-        PagerankPullConfig cfg;
-        cfg.graph.numVertices = o.vertices;
-        cfg.graph.seed = o.seed;
-        std::map<std::string, PullVariant> v{
-            {"baseline", PullVariant::VertexOrdered},
-            {"sw-bdfs", PullVariant::SoftwareBdfs},
-            {"tako", PullVariant::Hats},
-            {"ideal", PullVariant::HatsIdeal}};
-        if (!v.count(o.variant))
-            badVariant(o.workload, o.variant);
-        m = runPagerankPull(v[o.variant], cfg, sys);
-    } else if (o.workload == "nvm") {
-        NvmTxConfig cfg;
-        cfg.txBytes = o.txBytes;
-        std::map<std::string, NvmVariant> v{
-            {"baseline", NvmVariant::Journaling},
-            {"tako", NvmVariant::Tako},
-            {"ideal", NvmVariant::TakoIdeal}};
-        if (!v.count(o.variant))
-            badVariant(o.workload, o.variant);
-        m = runNvmTx(v[o.variant], cfg, sys);
-    } else if (o.workload == "primeprobe") {
-        PrimeProbeConfig cfg;
-        cfg.seed = o.seed;
-        PrimeProbeResult r = runPrimeProbe(o.variant == "tako", cfg, sys);
-        std::printf("detected      : %s\n", r.detected ? "yes" : "no");
-        std::printf("bits recovered: %u\n", r.trueLeaks);
-        m = r.metrics;
-    } else if (o.workload == "aossoa") {
-        AosSoaConfig cfg;
-        cfg.seed = o.seed;
-        m = runAosSoa(o.variant != "srrip", cfg, sys);
+    if (o.replicate == 1) {
+        PrimeProbeResult pp;
+        m = runOne(o, sys, o.seed, &pp);
+        if (o.workload == "primeprobe") {
+            std::printf("detected      : %s\n",
+                        pp.detected ? "yes" : "no");
+            std::printf("bits recovered: %u\n", pp.trueLeaks);
+        }
     } else {
-        std::fprintf(stderr, "takosim: unknown workload '%s'\n\n",
-                     o.workload.c_str());
-        listWorkloads(2);
+        // Seed-offset ensemble across host lanes. Each replica runs
+        // monolithic (its own System, shards=1) — --shards spends the
+        // host-parallelism budget on lanes here, and the job -> lane
+        // map is index-pure, so the merged output is identical at any
+        // lane count.
+        SystemConfig repSys = sys;
+        repSys.shards = 1;
+        std::vector<RunMetrics> reps(o.replicate);
+        std::vector<std::function<void()>> jobs;
+        for (unsigned i = 0; i < o.replicate; ++i) {
+            jobs.push_back([&o, &repSys, &reps, i] {
+                reps[i] = runOne(o, repSys, o.seed + i, nullptr);
+            });
+        }
+        runLanes(std::min(o.shards, o.replicate), jobs);
+
+        // Replica 0 is the reported run; fold the rest into ens.*
+        // aggregates in replica order (determinism: pure reduction
+        // over per-replica deterministic values).
+        m = reps[0];
+        double cycTotal = 0, cycMax = 0, energyTotal = 0, dramTotal = 0;
+        for (const RunMetrics &r : reps) {
+            cycTotal += static_cast<double>(r.cycles);
+            cycMax = std::max(cycMax, static_cast<double>(r.cycles));
+            energyTotal += r.energy;
+            dramTotal += static_cast<double>(r.dramAccesses());
+        }
+        StatsRegistry &reg = *m.stats;
+        reg.counter("ens.replicas", "runs", "replicas in this ensemble")
+            .set(o.replicate);
+        reg.counter("ens.cycles.total", "cycles",
+                    "summed simulated cycles across replicas")
+            .set(cycTotal);
+        reg.counter("ens.cycles.max", "cycles",
+                    "slowest replica's simulated cycles")
+            .set(cycMax);
+        reg.counter("ens.energy.total", "pJ",
+                    "summed simulated energy across replicas")
+            .set(energyTotal);
+        reg.counter("ens.dram.total", "accesses",
+                    "summed DRAM accesses across replicas")
+            .set(dramTotal);
     }
 
     if (traceWriter) {

@@ -134,6 +134,26 @@ def check_noc(doc):
             s = sum(ln["busy_cycles"] for ln in links if ln["tile"] == t)
             need(v == s,
                  f"noc.tile_busy[{y}][{x}] != sum of tile {t} links")
+    # Message reconciliation: every traverse is either a local delivery
+    # (src == dst, touches no link) or a remote one that crosses between
+    # 1 and (dim_x-1)+(dim_y-1) links under XY routing; each link counts
+    # a message once per hop.
+    need(is_uint(noc.get("messages")), "noc.messages missing")
+    need(is_uint(noc.get("local_messages")), "noc.local_messages missing")
+    need(noc["local_messages"] <= noc["messages"],
+         "noc.local_messages exceeds noc.messages")
+    remote = noc["messages"] - noc["local_messages"]
+    link_msgs = sum(ln["messages"] for ln in links)
+    need(link_msgs >= remote,
+         f"per-link message totals ({link_msgs}) cannot cover "
+         f"{remote} remote messages")
+    max_hops = (noc["dim_x"] - 1) + (noc["dim_y"] - 1)
+    need(link_msgs <= remote * max_hops,
+         f"per-link message totals ({link_msgs}) exceed {remote} remote "
+         f"messages x {max_hops} max XY hops")
+    if remote == 0:
+        need(link_msgs == 0,
+             "links carry messages but every traverse was local")
 
 
 def check_set_heat(doc):
