@@ -182,8 +182,12 @@ SuiteSpec::parse(const Json &doc, SuiteSpec &out, std::string &err)
                               "option=value pairs";
                 return false;
             }
-            if (!rnode["takosim"].contains("workload")) {
-                err = where + ": takosim runs need a \"workload\"";
+            const bool has_workload =
+                rnode["takosim"].contains("workload");
+            const bool has_trace = rnode["takosim"].contains("trace");
+            if (has_workload == has_trace) {
+                err = where + ": takosim runs need exactly one of "
+                              "\"workload\" or \"trace\"";
                 return false;
             }
             if (!rnode["args"].isNull()) {
@@ -192,13 +196,22 @@ SuiteSpec::parse(const Json &doc, SuiteSpec &out, std::string &err)
                 return false;
             }
             r.kind = RunKind::Takosim;
-            r.target = rnode["takosim"]["workload"].asString();
+            r.traceRun = has_trace;
+            r.target = rnode["takosim"][has_trace ? "trace" : "workload"]
+                           .asString();
+            if (r.target.empty()) {
+                err = where + ": \"" +
+                      (has_trace ? std::string("trace")
+                                 : std::string("workload")) +
+                      "\" must be a non-empty string";
+                return false;
+            }
             if (!parseArgs(rnode["takosim"], where, r.args, err))
                 return false;
-            // "workload" is carried in target; drop it from the args so
-            // the command builder doesn't emit it twice.
+            // workload/trace is carried in target; drop it from the
+            // args so the command builder doesn't emit it twice.
             std::erase_if(r.args, [](const auto &kv) {
-                return kv.first == "workload";
+                return kv.first == "workload" || kv.first == "trace";
             });
         }
 

@@ -62,7 +62,11 @@ struct RunSpec
 {
     std::string name;   ///< unique within the suite; names output files
     RunKind kind = RunKind::Bench;
-    std::string target; ///< bench binary name, or takosim workload
+    /** Bench binary name, takosim workload, or (traceRun) trace file. */
+    std::string target;
+    /** Takosim runs only: target is a takotrace file replayed via
+     *  `--trace=FILE` instead of a `--workload` name. */
+    bool traceRun = false;
 
     /** Extra `--key=value` arguments, in spec order (takosim: variant /
      *  cores / seed / ...; bench: forwarded verbatim). */

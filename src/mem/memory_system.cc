@@ -162,6 +162,13 @@ MemorySystem::dramWrites() const
 Task<std::uint64_t>
 MemorySystem::access(AccessReq req)
 {
+    // Demand accesses only: prefetches, engine traffic, and täkō
+    // callbacks are simulator-generated, not part of the guest's own
+    // reference stream, so a recorded trace replays 1:1.
+    if (accessTracer_ && !req.prefetch && !req.fromEngine &&
+        req.callbackLevel < 0)
+        accessTracer_(eq_.now(), req);
+
     const Addr line = lineAlign(req.addr);
     const bool need_m = req.cmd != MemCmd::Load;
     const MorphBinding *mb = resolve(req.tile, req.addr);

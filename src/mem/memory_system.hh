@@ -233,6 +233,17 @@ class MemorySystem
     {
         dramTracer_ = std::move(tracer);
     }
+
+    /**
+     * Optional tracer invoked at the issue of every demand access from
+     * a core (prefetches, engine traffic, and täkō callbacks excluded).
+     * Observational only — feeds takotrace recording (--trace-record).
+     */
+    void
+    setAccessTracer(std::function<void(Tick, const AccessReq &)> tracer)
+    {
+        accessTracer_ = std::move(tracer);
+    }
     const std::string &phase() const { return phase_; }
 
     std::uint64_t dramReads() const;
@@ -484,6 +495,7 @@ class MemorySystem
     std::string phase_ = "default";
     unsigned inflight_ = 0;
     std::function<void(Addr, bool)> dramTracer_;
+    std::function<void(Tick, const AccessReq &)> accessTracer_;
 
     // Stats, as stable StatsRegistry handles cached at construction so
     // hot-path increments never re-hash the name.

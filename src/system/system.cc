@@ -39,6 +39,8 @@ System::System(const SystemConfig &config) : config_(config), rng_(config.seed)
     engines_ = std::make_unique<EngineCluster>(
         config_.mem.tiles, config_.engine, *mem_, eq_, stats_, *energy_);
     mem_->setCallbackSink(engines_.get());
+    if (config_.accessTracer)
+        mem_->setAccessTracer(config_.accessTracer);
 
     if (config_.profile) {
         prof::ProfilerConfig pc;

@@ -42,6 +42,11 @@ struct SystemConfig
      *  simulated timing or stat (the determinism test holds it to that). */
     bool profile = false;
 
+    /** takotrace recording: invoked at the issue of every core demand
+     *  access (see MemorySystem::setAccessTracer). Observational only:
+     *  installing it changes no simulated timing or stat. */
+    std::function<void(Tick, const AccessReq &)> accessTracer;
+
     /** Periodic counter sampling: snapshot every @c sampleInterval
      *  cycles into StatsRegistry::timeSeries() (0 disables). Patterns
      *  select which counters (wildcards allowed; empty = all). */

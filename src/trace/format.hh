@@ -1,0 +1,190 @@
+/**
+ * @file
+ * takotrace-v1: the on-disk binary memory-trace format.
+ *
+ * A trace file is a stream of memory-access records compact enough to
+ * hold billions of accesses and simple enough to decode at tens of
+ * millions of records per second. The layout (all integers little-
+ * endian; full byte-level spec in DESIGN.md Sec. 4.9):
+ *
+ *   FileHeader (32 bytes)
+ *     char[8] magic        "takotrc1"
+ *     u32     version      1
+ *     u32     flags        bit 0: records carry timestamps
+ *     u64     recordCount  total records in the file
+ *     u64     chunkCount   number of chunks that follow
+ *
+ *   chunkCount x Chunk:
+ *     ChunkHeader (24 bytes)
+ *       u32 magic          0x314b4843 ("CHK1")
+ *       u32 records        records encoded in this chunk
+ *       u32 payloadBytes   encoded payload size in bytes
+ *       u32 crc32          IEEE CRC-32 of the payload bytes
+ *       u64 firstIndex     file-wide index of the chunk's first record
+ *     payloadBytes of delta + LEB128 encoded records
+ *
+ * Record encoding. The per-chunk context (previous address, size,
+ * tenant, timestamp) resets at every chunk boundary so chunks decode
+ * independently and corruption is contained to one chunk. Each record:
+ *
+ *   head byte:  bits 0-2  op (TraceOp)
+ *               bit  3    explicit size follows (else: previous size)
+ *               bit  4    explicit tenant follows (else: previous)
+ *               bit  5    timestamp delta follows (file flag required)
+ *               bits 6-7  reserved, must be zero
+ *   LEB128      zigzag(addr - prevAddr)
+ *   [LEB128]    size in bytes                  (if bit 3)
+ *   [LEB128]    tenant id                      (if bit 4)
+ *   [LEB128]    ts - prevTs (ts non-decreasing) (if bit 5)
+ *
+ * Every structural violation — short file, bad magic, wrong version,
+ * chunk overrun, CRC mismatch, record-count mismatch, reserved head
+ * bits — is a hard decode error: corrupt or truncated traces fail
+ * loudly, never silently replay a prefix.
+ */
+
+#ifndef TAKO_TRACE_FORMAT_HH
+#define TAKO_TRACE_FORMAT_HH
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "sim/types.hh"
+
+namespace tako::trace
+{
+
+/** Operation of one trace record, mirroring the Guest access kinds. */
+enum class TraceOp : std::uint8_t
+{
+    Load = 0,
+    Store = 1,
+    StreamLoad = 2,  ///< use-once / non-temporal read
+    StreamStore = 3, ///< no-fetch / write-combining store
+    AtomicAdd = 4,
+    AtomicSwap = 5,
+};
+
+constexpr unsigned numTraceOps = 6;
+
+/** One decoded memory access. */
+struct TraceRecord
+{
+    Addr addr = 0;
+    std::uint32_t size = 8;   ///< bytes touched, starting at addr
+    TraceOp op = TraceOp::Load;
+    std::uint32_t tenant = 0; ///< origin stream (user/connection/thread)
+    std::uint64_t ts = 0;     ///< optional capture timestamp (cycles)
+
+    bool operator==(const TraceRecord &) const = default;
+};
+
+// ---- file constants ----------------------------------------------------
+
+constexpr std::array<char, 8> traceMagic = {'t', 'a', 'k', 'o',
+                                            't', 'r', 'c', '1'};
+constexpr std::uint32_t traceVersion = 1;
+constexpr std::uint32_t chunkMagic = 0x314b4843; // "CHK1"
+constexpr std::uint32_t flagTimestamps = 1u << 0;
+constexpr std::size_t fileHeaderBytes = 32;
+constexpr std::size_t chunkHeaderBytes = 24;
+
+/** Record-head-byte layout. */
+constexpr std::uint8_t headOpMask = 0x07;
+constexpr std::uint8_t headHasSize = 1u << 3;
+constexpr std::uint8_t headHasTenant = 1u << 4;
+constexpr std::uint8_t headHasTs = 1u << 5;
+constexpr std::uint8_t headReserved = 0xc0;
+
+// ---- LEB128 / zigzag ---------------------------------------------------
+
+inline void
+putVarint(std::vector<std::uint8_t> &out, std::uint64_t v)
+{
+    while (v >= 0x80) {
+        out.push_back(static_cast<std::uint8_t>(v) | 0x80);
+        v >>= 7;
+    }
+    out.push_back(static_cast<std::uint8_t>(v));
+}
+
+/**
+ * Decode one LEB128 value from [@p p, @p end). Advances @p p past the
+ * value. Returns false (leaving @p out unspecified) on truncation or a
+ * varint longer than 64 bits.
+ */
+inline bool
+getVarint(const std::uint8_t *&p, const std::uint8_t *end,
+          std::uint64_t &out)
+{
+    std::uint64_t v = 0;
+    unsigned shift = 0;
+    while (p != end && shift < 64) {
+        const std::uint8_t byte = *p++;
+        v |= static_cast<std::uint64_t>(byte & 0x7f) << shift;
+        if (!(byte & 0x80)) {
+            out = v;
+            return true;
+        }
+        shift += 7;
+    }
+    return false;
+}
+
+constexpr std::uint64_t
+zigzagEncode(std::int64_t v)
+{
+    return (static_cast<std::uint64_t>(v) << 1) ^
+           static_cast<std::uint64_t>(v >> 63);
+}
+
+constexpr std::int64_t
+zigzagDecode(std::uint64_t v)
+{
+    return static_cast<std::int64_t>(v >> 1) ^
+           -static_cast<std::int64_t>(v & 1);
+}
+
+// ---- CRC-32 (IEEE 802.3, reflected, poly 0xEDB88320) -------------------
+//
+// Matches zlib/binascii.crc32 so tools/validate_takotrace.py can verify
+// chunks with the Python standard library.
+
+namespace detail
+{
+
+constexpr std::array<std::uint32_t, 256>
+makeCrcTable()
+{
+    std::array<std::uint32_t, 256> t{};
+    for (std::uint32_t i = 0; i < 256; ++i) {
+        std::uint32_t c = i;
+        for (int k = 0; k < 8; ++k)
+            c = (c & 1) ? 0xedb88320u ^ (c >> 1) : c >> 1;
+        t[i] = c;
+    }
+    return t;
+}
+
+inline constexpr std::array<std::uint32_t, 256> crcTable = makeCrcTable();
+
+} // namespace detail
+
+inline std::uint32_t
+crc32(const std::uint8_t *data, std::size_t len,
+      std::uint32_t seed = 0)
+{
+    std::uint32_t c = seed ^ 0xffffffffu;
+    for (std::size_t i = 0; i < len; ++i)
+        c = detail::crcTable[(c ^ data[i]) & 0xff] ^ (c >> 8);
+    return c ^ 0xffffffffu;
+}
+
+/** Human-readable op name ("load", "store", ...). */
+const char *traceOpName(TraceOp op);
+
+} // namespace tako::trace
+
+#endif // TAKO_TRACE_FORMAT_HH

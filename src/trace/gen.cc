@@ -1,0 +1,254 @@
+#include "trace/gen.hh"
+
+#include <algorithm>
+
+#include "sim/random.hh"
+#include "trace/writer.hh"
+
+namespace tako::trace
+{
+
+namespace
+{
+
+/** Simulated address-space plan: one disjoint slab per structure per
+ *  tenant, far above the Arena base used by the synthetic workloads. */
+constexpr Addr kvBucketBase = 0x2000'0000;
+constexpr Addr kvValueBase = 0x4000'0000;
+constexpr Addr scanNodeBase = 0x8000'0000;
+constexpr Addr scanLeafBase = 0xa000'0000;
+constexpr Addr embedTableBase = 0xc000'0000;
+constexpr Addr embedDenseBase = 0xe000'0000;
+constexpr Addr embedOutBase = 0xf000'0000;
+constexpr Addr tenantStride = 0x0100'0000; ///< 16 MiB per tenant slab
+
+/** Shared generator state: one clock, one rng, the tenant sampler. */
+struct GenCtx
+{
+    GenCtx(const GenParams &p, TraceWriter &w)
+        : params(p), writer(w), rng(p.seed),
+          tenantZipf(p.tenants, p.theta)
+    {
+    }
+
+    void
+    emit(TraceOp op, Addr addr, std::uint32_t size, std::uint32_t tenant)
+    {
+        // Service time between records: a small deterministic jitter so
+        // timestamp deltas look like an inter-arrival process rather
+        // than a constant (and exercise the varint encoder).
+        ts += 1 + rng.below(8);
+        writer.append({addr, size, op, tenant,
+                       params.timestamps ? ts : 0});
+        ++emitted;
+    }
+
+    bool done() const { return emitted >= params.records; }
+
+    const GenParams &params;
+    TraceWriter &writer;
+    Rng rng;
+    ZipfianGenerator tenantZipf;
+    std::uint64_t ts = 0;
+    std::uint64_t emitted = 0;
+};
+
+/** Per-tenant key scatter: Zipf ranks map to distinct hot keys per
+ *  tenant so tenants do not share a working set by construction. */
+std::uint64_t
+scatterKey(std::uint64_t rank, std::uint32_t tenant, std::uint64_t keys)
+{
+    return (rank * 2654435761ull + tenant * 0x9e3779b9ull) % keys;
+}
+
+/**
+ * kv: each op is a hash-bucket probe (one word) then the value access;
+ * storeFraction of ops are SETs that rewrite the value.
+ */
+class KvGen
+{
+  public:
+    explicit KvGen(GenCtx &ctx)
+        : ctx_(ctx), keyZipf_(ctx.params.keys, ctx.params.theta)
+    {
+    }
+
+    void
+    step()
+    {
+        const auto tenant =
+            static_cast<std::uint32_t>(ctx_.tenantZipf(ctx_.rng));
+        const std::uint64_t key = scatterKey(
+            keyZipf_(ctx_.rng), tenant, ctx_.params.keys);
+        const Addr slab = static_cast<Addr>(tenant) * tenantStride;
+        // Bucket array: one 8-byte slot per key (chains elided).
+        ctx_.emit(TraceOp::Load, kvBucketBase + slab + key * 8, 8,
+                  tenant);
+        if (ctx_.done())
+            return;
+        const std::uint32_t vbytes = ctx_.params.valueBytes;
+        const Addr value = kvValueBase + slab + key * vbytes;
+        const bool isStore = ctx_.rng.chance(ctx_.params.storeFraction);
+        ctx_.emit(isStore ? TraceOp::Store : TraceOp::Load, value,
+                  vbytes, tenant);
+    }
+
+  private:
+    GenCtx &ctx_;
+    ZipfianGenerator keyZipf_;
+};
+
+/**
+ * scan: per-tenant pointer chase over a full-cycle LCG permutation of
+ * the node array (next depends on current: a dependent-load stream),
+ * with leafFraction of steps also reading a leaf payload.
+ */
+class ScanGen
+{
+  public:
+    explicit ScanGen(GenCtx &ctx) : ctx_(ctx)
+    {
+        cursor_.resize(ctx.params.tenants);
+        for (std::uint32_t t = 0; t < ctx.params.tenants; ++t)
+            cursor_[t] = ctx_.rng.below(ctx.params.nodes);
+    }
+
+    void
+    step()
+    {
+        const auto tenant =
+            static_cast<std::uint32_t>(ctx_.tenantZipf(ctx_.rng));
+        const std::uint64_t n = ctx_.params.nodes;
+        // Full-period LCG mod a power of two: multiplier ≡ 1 (mod 4),
+        // odd increment — visits every node before repeating.
+        std::uint64_t &cur = cursor_[tenant];
+        cur = (cur * 1103515245ull + 12345 + 2ull * tenant) % n;
+        const Addr slab = static_cast<Addr>(tenant) * tenantStride;
+        ctx_.emit(TraceOp::Load,
+                  scanNodeBase + slab + cur * lineBytes, lineBytes,
+                  tenant);
+        if (ctx_.done())
+            return;
+        if (ctx_.rng.chance(ctx_.params.leafFraction)) {
+            ctx_.emit(TraceOp::Load, scanLeafBase + slab + cur * 16, 16,
+                      tenant);
+        }
+    }
+
+  private:
+    GenCtx &ctx_;
+    std::vector<std::uint64_t> cursor_;
+};
+
+/**
+ * embed: one inference = a batch of Zipf-hot row gathers from the
+ * shared embedding table, a re-read of the tenant's dense working set,
+ * and a streamed activation write.
+ */
+class EmbedGen
+{
+  public:
+    explicit EmbedGen(GenCtx &ctx)
+        : ctx_(ctx), rowZipf_(ctx.params.rows, ctx.params.theta)
+    {
+    }
+
+    void
+    step()
+    {
+        const auto tenant =
+            static_cast<std::uint32_t>(ctx_.tenantZipf(ctx_.rng));
+        const std::uint32_t rbytes = ctx_.params.rowBytes;
+        for (std::uint32_t i = 0;
+             i < ctx_.params.batch && !ctx_.done(); ++i) {
+            const std::uint64_t row = rowZipf_(ctx_.rng);
+            ctx_.emit(TraceOp::Load, embedTableBase + row * rbytes,
+                      rbytes, tenant);
+        }
+        const Addr slab = static_cast<Addr>(tenant) * tenantStride;
+        // Dense-layer weights: small, hot, re-read every inference.
+        for (std::uint32_t i = 0; i < 4 && !ctx_.done(); ++i) {
+            ctx_.emit(TraceOp::Load,
+                      embedDenseBase + slab + i * lineBytes, lineBytes,
+                      tenant);
+        }
+        if (!ctx_.done()) {
+            out_ = (out_ + lineBytes) % tenantStride;
+            ctx_.emit(TraceOp::StreamStore, embedOutBase + slab + out_,
+                      lineBytes, tenant);
+        }
+    }
+
+  private:
+    GenCtx &ctx_;
+    ZipfianGenerator rowZipf_;
+    Addr out_ = 0;
+};
+
+} // namespace
+
+const std::vector<std::string> &
+genKinds()
+{
+    static const std::vector<std::string> kinds = {"kv", "scan", "embed",
+                                                   "mix"};
+    return kinds;
+}
+
+bool
+generateTrace(const GenParams &params, TraceWriter &writer,
+              std::string &err)
+{
+    if (std::find(genKinds().begin(), genKinds().end(), params.kind) ==
+        genKinds().end()) {
+        err = "unknown generator kind '" + params.kind + "'";
+        return false;
+    }
+    if (params.records == 0 || params.tenants == 0) {
+        err = "records and tenants must be nonzero";
+        return false;
+    }
+    if (params.keys == 0 || params.rows == 0 || params.batch == 0 ||
+        params.valueBytes == 0 || params.rowBytes == 0) {
+        err = "kv/embed dimensions must be nonzero";
+        return false;
+    }
+    if (!isPow2(params.nodes)) {
+        err = "nodes must be a power of two (full-cycle permutation)";
+        return false;
+    }
+    if (params.theta <= 0 || params.theta >= 1) {
+        err = "theta must be in (0, 1)";
+        return false;
+    }
+
+    GenCtx ctx(params, writer);
+    KvGen kv(ctx);
+    ScanGen scan(ctx);
+    EmbedGen embed(ctx);
+    if (params.kind == "mix") {
+        // Tenant id mod 3 selects the class, so a mix trace carries all
+        // three behaviors under one tenant population. Each step picks
+        // the class via one tenant draw (put back: the class generators
+        // draw their own tenant, preserving per-class skew).
+        while (!ctx.done()) {
+            switch (ctx.tenantZipf(ctx.rng) % 3) {
+              case 0: kv.step(); break;
+              case 1: scan.step(); break;
+              default: embed.step(); break;
+            }
+        }
+    } else if (params.kind == "kv") {
+        while (!ctx.done())
+            kv.step();
+    } else if (params.kind == "scan") {
+        while (!ctx.done())
+            scan.step();
+    } else {
+        while (!ctx.done())
+            embed.step();
+    }
+    return true;
+}
+
+} // namespace tako::trace

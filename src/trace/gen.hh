@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Synthetic production-shaped trace generators (the workload zoo).
+ *
+ * Each generator emits a deterministic record stream (pure function of
+ * GenParams, including the seed) modeled on a production traffic class:
+ *
+ *   kv     key-value / cache-server traffic: Zipf-skewed tenants each
+ *          issuing GET/SET over a Zipf-skewed key space, as a hash-
+ *          bucket probe followed by a value access (the ROADMAP's
+ *          millions-of-users scenario).
+ *   scan   pointer-chase database index scans: per-tenant full-cycle
+ *          permutation walks (dependent loads) with occasional leaf
+ *          payload reads.
+ *   embed  ML-inference embedding lookups: batched gathers of hot rows
+ *          from a large embedding table, a small dense working set
+ *          re-read every inference, and streamed activation writes.
+ *   mix    all three classes multiplexed across the tenant population
+ *          (tenant id mod 3 selects the class).
+ *
+ * Generators write through a TraceWriter so multi-hundred-million-record
+ * streams never materialize in memory.
+ */
+
+#ifndef TAKO_TRACE_GEN_HH
+#define TAKO_TRACE_GEN_HH
+
+#include <string>
+#include <vector>
+
+#include "trace/format.hh"
+
+namespace tako::trace
+{
+
+class TraceWriter;
+
+struct GenParams
+{
+    std::string kind = "kv"; ///< kv | scan | embed | mix
+    std::uint64_t records = 100'000; ///< records to emit (exact)
+    std::uint32_t tenants = 8;
+    std::uint64_t seed = 1;
+    double theta = 0.99;     ///< Zipf skew for tenants and keys/rows
+
+    // kv
+    std::uint64_t keys = 1 << 16;  ///< keys per tenant
+    std::uint32_t valueBytes = 128;
+    double storeFraction = 0.10;   ///< SET fraction of kv ops
+
+    // scan
+    std::uint64_t nodes = 1 << 14; ///< index nodes per tenant (pow2)
+    double leafFraction = 0.25;    ///< chance a step reads a leaf
+
+    // embed
+    std::uint64_t rows = 1 << 17;  ///< embedding-table rows (shared)
+    std::uint32_t rowBytes = 256;
+    std::uint32_t batch = 16;      ///< embedding gathers per inference
+
+    bool timestamps = true;
+};
+
+/** Known generator kinds, for CLI validation / error text. */
+const std::vector<std::string> &genKinds();
+
+/**
+ * Emit exactly params.records records into @p writer (already open with
+ * matching Options.timestamps; caller closes). Returns false on invalid
+ * params with @p err set.
+ */
+bool generateTrace(const GenParams &params, TraceWriter &writer,
+                   std::string &err);
+
+} // namespace tako::trace
+
+#endif // TAKO_TRACE_GEN_HH

@@ -1,0 +1,202 @@
+#include "trace/textio.hh"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdlib>
+#include <istream>
+#include <map>
+#include <ostream>
+#include <sstream>
+#include <vector>
+
+#include "trace/writer.hh"
+
+namespace tako::trace
+{
+
+namespace
+{
+
+/** Upper-case @p s (ASCII). */
+std::string
+upper(std::string s)
+{
+    std::transform(s.begin(), s.end(), s.begin(), [](unsigned char c) {
+        return static_cast<char>(std::toupper(c));
+    });
+    return s;
+}
+
+bool
+opFromToken(const std::string &tok, TraceOp &op)
+{
+    static const std::map<std::string, TraceOp> table = {
+        {"R", TraceOp::Load},          {"L", TraceOp::Load},
+        {"READ", TraceOp::Load},       {"LOAD", TraceOp::Load},
+        {"W", TraceOp::Store},         {"S", TraceOp::Store},
+        {"WRITE", TraceOp::Store},     {"STORE", TraceOp::Store},
+        {"SR", TraceOp::StreamLoad},   {"NTR", TraceOp::StreamLoad},
+        {"STREAMLOAD", TraceOp::StreamLoad},
+        {"STREAM-LOAD", TraceOp::StreamLoad},
+        {"SW", TraceOp::StreamStore},  {"NTW", TraceOp::StreamStore},
+        {"STREAMSTORE", TraceOp::StreamStore},
+        {"STREAM-STORE", TraceOp::StreamStore},
+        {"A", TraceOp::AtomicAdd},     {"ADD", TraceOp::AtomicAdd},
+        {"ATOMICADD", TraceOp::AtomicAdd},
+        {"ATOMIC-ADD", TraceOp::AtomicAdd},
+        {"X", TraceOp::AtomicSwap},    {"XCHG", TraceOp::AtomicSwap},
+        {"ATOMICSWAP", TraceOp::AtomicSwap},
+        {"ATOMIC-SWAP", TraceOp::AtomicSwap},
+    };
+    const auto it = table.find(upper(tok));
+    if (it == table.end())
+        return false;
+    op = it->second;
+    return true;
+}
+
+/** Parse hex (0x... or bare hex) or decimal into @p out. */
+bool
+parseAddr(const std::string &tok, std::uint64_t &out)
+{
+    if (tok.empty())
+        return false;
+    char *end = nullptr;
+    // Pin dumps bare hex ("7f5c3c0a1b80"); plain strtoull(,,0) would
+    // read that as decimal-with-junk. Try 0x / decimal first, then a
+    // full-token hex parse.
+    const int base =
+        tok.size() > 2 && tok[0] == '0' &&
+                (tok[1] == 'x' || tok[1] == 'X')
+            ? 16
+            : 10;
+    out = std::strtoull(tok.c_str(), &end, base);
+    if (end && *end == '\0')
+        return true;
+    out = std::strtoull(tok.c_str(), &end, 16);
+    return end && *end == '\0';
+}
+
+bool
+parseDec(const std::string &tok, std::uint64_t &out)
+{
+    if (tok.empty())
+        return false;
+    char *end = nullptr;
+    out = std::strtoull(tok.c_str(), &end, 10);
+    return end && *end == '\0';
+}
+
+} // namespace
+
+int
+parseTraceLine(const std::string &line, TraceRecord &out,
+               std::uint32_t &prevSize, std::string &err)
+{
+    std::vector<std::string> toks;
+    std::istringstream is(line);
+    std::string t;
+    while (is >> t)
+        toks.push_back(t);
+    if (toks.empty() || toks[0][0] == '#' || toks[0][0] == ';' ||
+        toks[0].rfind("//", 0) == 0)
+        return 0;
+
+    // Pin's pinatrace prefixes an instruction-pointer column ending in
+    // ':' ("0x7f..2: R 0x7f..80 8") — drop it.
+    std::size_t i = 0;
+    if (toks[0].back() == ':')
+        ++i;
+    if (i >= toks.size()) {
+        err = "missing op token";
+        return -1;
+    }
+    TraceRecord rec;
+    if (!opFromToken(toks[i], rec.op)) {
+        err = "unknown op '" + toks[i] + "'";
+        return -1;
+    }
+    if (++i >= toks.size()) {
+        err = "missing address";
+        return -1;
+    }
+    std::uint64_t v;
+    if (!parseAddr(toks[i], v)) {
+        err = "bad address '" + toks[i] + "'";
+        return -1;
+    }
+    rec.addr = v;
+    rec.size = prevSize;
+    ++i;
+    if (i < toks.size()) {
+        if (!parseDec(toks[i], v) || v == 0 || v > 0xffffffffull) {
+            err = "bad size '" + toks[i] + "'";
+            return -1;
+        }
+        rec.size = static_cast<std::uint32_t>(v);
+        ++i;
+    }
+    if (i < toks.size()) {
+        if (!parseDec(toks[i], v) || v > 0xffffffffull) {
+            err = "bad tenant '" + toks[i] + "'";
+            return -1;
+        }
+        rec.tenant = static_cast<std::uint32_t>(v);
+        ++i;
+    }
+    if (i < toks.size()) {
+        if (!parseDec(toks[i], v)) {
+            err = "bad timestamp '" + toks[i] + "'";
+            return -1;
+        }
+        rec.ts = v;
+        ++i;
+    }
+    if (i < toks.size()) {
+        err = "trailing token '" + toks[i] + "'";
+        return -1;
+    }
+    prevSize = rec.size;
+    out = rec;
+    return 1;
+}
+
+IngestResult
+ingestText(std::istream &in, TraceWriter &writer)
+{
+    IngestResult res;
+    std::string line;
+    std::uint32_t prevSize = 8;
+    std::uint64_t lineNo = 0;
+    while (std::getline(in, line)) {
+        ++lineNo;
+        TraceRecord rec;
+        std::string err;
+        const int got = parseTraceLine(line, rec, prevSize, err);
+        if (got < 0) {
+            res.error = "line " + std::to_string(lineNo) + ": " + err;
+            return res;
+        }
+        if (got == 0) {
+            ++res.skipped;
+            continue;
+        }
+        writer.append(rec);
+        ++res.records;
+    }
+    res.ok = true;
+    return res;
+}
+
+void
+formatTraceLine(std::ostream &os, const TraceRecord &rec,
+                bool timestamps)
+{
+    os << traceOpName(rec.op) << " 0x" << std::hex << rec.addr
+       << std::dec << " " << rec.size << " " << rec.tenant;
+    if (timestamps)
+        os << " " << rec.ts;
+    os << "\n";
+}
+
+} // namespace tako::trace

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Text-trace ingest (Pin-style) and dump for takotrace.
+ *
+ * The accepted line grammar covers the common Pin memory-trace pintool
+ * outputs plus optional takotrace extensions:
+ *
+ *   [#,;//...]                          comment / blank: skipped
+ *   <op> <addr> [size] [tenant] [ts]
+ *
+ * where <op> is one of (case-insensitive):
+ *   R, L, READ, LOAD          -> Load
+ *   W, S, WRITE, STORE        -> Store
+ *   SR, NTR, STREAMLOAD       -> StreamLoad
+ *   SW, NTW, STREAMSTORE      -> StreamStore
+ *   A, ADD, ATOMICADD         -> AtomicAdd
+ *   X, XCHG, ATOMICSWAP       -> AtomicSwap
+ *
+ * and <addr> is hex (0x-prefixed or bare hex digits) or decimal; size,
+ * tenant, and ts are decimal (size defaults to the previous record's,
+ * initial 8). Fields beyond ts are rejected. A leading instruction
+ * pointer column ("<ip>: R <addr> <size>", as emitted by Pin's pinatrace
+ * example tool) is detected by the trailing colon and skipped.
+ */
+
+#ifndef TAKO_TRACE_TEXTIO_HH
+#define TAKO_TRACE_TEXTIO_HH
+
+#include <iosfwd>
+#include <string>
+
+#include "trace/format.hh"
+
+namespace tako::trace
+{
+
+class TraceWriter;
+
+/** Result of one text ingest. */
+struct IngestResult
+{
+    std::uint64_t records = 0;   ///< records written
+    std::uint64_t skipped = 0;   ///< comment/blank lines
+    bool ok = false;
+    std::string error;           ///< "<line>: message" on failure
+};
+
+/**
+ * Parse one trace line into @p out. Returns 1 on a record, 0 on a
+ * comment/blank line, -1 on a malformed line (@p err set). @p prevSize
+ * supplies and receives the running default size.
+ */
+int parseTraceLine(const std::string &line, TraceRecord &out,
+                   std::uint32_t &prevSize, std::string &err);
+
+/**
+ * Ingest the text trace @p in into @p writer (already open; caller
+ * closes). Timestamps in the text are honored only if the writer was
+ * opened with timestamps enabled. Stops at the first malformed line.
+ */
+IngestResult ingestText(std::istream &in, TraceWriter &writer);
+
+/** Write @p rec as one canonical text line ("load 0x1000 8 0 42"). */
+void formatTraceLine(std::ostream &os, const TraceRecord &rec,
+                     bool timestamps);
+
+} // namespace tako::trace
+
+#endif // TAKO_TRACE_TEXTIO_HH

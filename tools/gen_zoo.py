@@ -1,0 +1,63 @@
+#!/usr/bin/env python3
+"""Generate the canonical takotrace workload zoo.
+
+The zoo is the fixed set of synthetic production-shaped traces that
+specs/zoo.json (and the trace runs in specs/quick.json) replay. Every
+trace is a pure function of the parameters pinned below — regenerating
+on any machine yields byte-identical files, so goldens stay valid
+without checking trace binaries into the repo.
+
+Usage: gen_zoo.py [--gen build/tools/takotracegen] [--out-dir zoo]
+"""
+
+import argparse
+import pathlib
+import subprocess
+import sys
+
+# name -> takotracegen arguments. Names are load-bearing: specs refer to
+# zoo/<name>.takotrace. Append new entries; never re-seed existing ones
+# without re-harvesting every golden pinned against them.
+ZOO = [
+    ("kv", ["--kind=kv", "--records=100000", "--tenants=16",
+            "--seed=7"]),
+    ("scan", ["--kind=scan", "--records=100000", "--tenants=12",
+              "--seed=11"]),
+    ("embed", ["--kind=embed", "--records=100000", "--tenants=8",
+               "--seed=13"]),
+    ("mix", ["--kind=mix", "--records=100000", "--tenants=24",
+             "--seed=17"]),
+]
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser(
+        description="generate the canonical takotrace workload zoo"
+    )
+    ap.add_argument(
+        "--gen",
+        default="build/tools/takotracegen",
+        help="takotracegen binary (default: %(default)s)",
+    )
+    ap.add_argument(
+        "--out-dir",
+        default="zoo",
+        help="directory for the .takotrace files (default: %(default)s)",
+    )
+    args = ap.parse_args()
+
+    out_dir = pathlib.Path(args.out_dir)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    for name, flags in ZOO:
+        out = out_dir / f"{name}.takotrace"
+        cmd = [args.gen, *flags, f"--out={out}"]
+        proc = subprocess.run(cmd)
+        if proc.returncode != 0:
+            print(f"gen_zoo: '{' '.join(cmd)}' failed", file=sys.stderr)
+            return 1
+        print(f"gen_zoo: {out} ({out.stat().st_size} bytes)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -124,6 +124,50 @@ def run_shard_ensemble(bin_dir, quick):
     }
 
 
+def run_trace_codec(bin_dir, quick):
+    """Trace-frontend throughput: takotracegen encode, decode (dump to
+    /dev/null), and full replay through the memory hierarchy, all in
+    records/sec on a generated kv trace. Informational — the artifact
+    gives the decoder a trajectory; no gate, since the codec is nowhere
+    near the simulation bottleneck.
+    """
+    gen = os.path.join(bin_dir, "tools", "takotracegen")
+    sim = os.path.join(bin_dir, "tools", "takosim")
+    trace = os.path.join(bin_dir, "perf_smoke_trace.takotrace")
+    records = 50_000 if quick else 500_000
+
+    start = time.monotonic()
+    subprocess.run(
+        [gen, "--kind=kv", f"--records={records}", "--tenants=16",
+         f"--out={trace}"],
+        check=True, stderr=subprocess.DEVNULL)
+    encode_sec = time.monotonic() - start
+
+    start = time.monotonic()
+    subprocess.run([gen, f"--dump={trace}"], check=True,
+                   stdout=subprocess.DEVNULL)
+    decode_sec = time.monotonic() - start
+
+    stats = os.path.join(bin_dir, "perf_smoke_trace_stats.json")
+    start = time.monotonic()
+    subprocess.run(
+        [sim, f"--trace={trace}", f"--stats-json={stats}"],
+        check=True, stdout=subprocess.DEVNULL)
+    replay_sec = time.monotonic() - start
+
+    return {
+        "kind": "kv",
+        "records": records,
+        "file_bytes": os.path.getsize(trace),
+        "encode_records_per_sec":
+            records / encode_sec if encode_sec > 0 else 0.0,
+        "decode_records_per_sec":
+            records / decode_sec if decode_sec > 0 else 0.0,
+        "replay_records_per_sec":
+            records / replay_sec if replay_sec > 0 else 0.0,
+    }
+
+
 def main():
     ap = argparse.ArgumentParser()
     ap.add_argument("--bin-dir", default="build")
@@ -135,6 +179,7 @@ def main():
     context, benches = run_microbench(args.bin_dir, args.quick)
     takosim, prof_path = run_takosim(args.bin_dir, args.quick)
     shard = run_shard_ensemble(args.bin_dir, args.quick)
+    trace = run_trace_codec(args.bin_dir, args.quick)
 
     new = benches.get("BM_EventQueueSchedule", {}).get("items_per_second", 0)
     old = benches.get("BM_EventQueueScheduleLegacy", {}) \
@@ -154,6 +199,7 @@ def main():
         "event_queue_speedup_vs_legacy": speedup,
         "takosim": takosim,
         "shard_ensemble": shard,
+        "trace_codec": trace,
     }
     with open(args.out, "w") as f:
         json.dump(report, f, indent=2)
@@ -169,6 +215,10 @@ def main():
           f"{shard['wall_sec_shards1']:.2f}s at 1 lane, "
           f"{shard['wall_sec_shards4']:.2f}s at 4 lanes "
           f"({shard['speedup']:.2f}x, {shard['host_cpus']} host CPUs)")
+    print(f"perf_smoke: trace codec ({trace['records']} kv records) "
+          f"encode {trace['encode_records_per_sec'] / 1e6:.1f} M/s, "
+          f"decode {trace['decode_records_per_sec'] / 1e6:.1f} M/s, "
+          f"replay {trace['replay_records_per_sec'] / 1e3:.0f} K/s")
     if speedup < MIN_SPEEDUP:
         print(f"perf_smoke: FAIL: event-queue speedup {speedup:.2f}x "
               f"< required {MIN_SPEEDUP}x", file=sys.stderr)

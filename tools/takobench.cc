@@ -229,7 +229,8 @@ buildCommand(const RunSpec &run, const Options &o,
 
     cmd.argv.push_back(resolveBinary(run, o.binDir));
     if (run.kind == RunKind::Takosim) {
-        cmd.argv.push_back("--workload=" + run.target);
+        cmd.argv.push_back(
+            (run.traceRun ? "--trace=" : "--workload=") + run.target);
         for (const auto &[k, v] : run.args)
             cmd.argv.push_back("--" + k + "=" + v);
         // Pass-throughs go after the spec's own args so a sweep (e.g.

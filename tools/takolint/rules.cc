@@ -745,9 +745,10 @@ ruleDescriptions()
 bool
 isModelPath(const std::string &path)
 {
-    static const std::array<const char *, 6> dirs = {
+    static const std::array<const char *, 7> dirs = {
         "src/mem/", "src/tako/", "src/noc/",
         "src/sim/", "src/morphs/", "src/prof/",
+        "src/trace/",
     };
     std::string p = path;
     std::replace(p.begin(), p.end(), '\\', '/');

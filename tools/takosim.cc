@@ -11,6 +11,7 @@
  *   takosim --workload=hats --variant=ideal --vertices=16384 --stats
  *   takosim --workload=nvm --variant=tako --txbytes=32768
  *   takosim --workload=primeprobe --variant=tako
+ *   takosim --trace=zoo/kv.takotrace --stats
  */
 
 #include <algorithm>
@@ -27,12 +28,7 @@
 #include "prof/profiler.hh"
 #include "sim/shard.hh"
 #include "sim/tracesink.hh"
-#include "workloads/aos_soa.hh"
-#include "workloads/decompress.hh"
-#include "workloads/nvm_tx.hh"
-#include "workloads/pagerank_pull.hh"
-#include "workloads/pagerank_push.hh"
-#include "workloads/prime_probe.hh"
+#include "workloads/registry.hh"
 
 using namespace tako;
 
@@ -43,6 +39,10 @@ struct Options
 {
     std::string workload = "decompress";
     std::string variant = "tako";
+    bool workloadSet = false; ///< --workload given explicitly
+    bool variantSet = false;  ///< --variant given explicitly
+    std::string trace;        ///< takotrace file to replay
+    std::string traceRecord;  ///< re-record the replayed stream here
     unsigned cores = 16;
     std::uint64_t l1 = 0, l2 = 0, l3bank = 0; // 0 = default
     std::uint64_t vertices = 1 << 14;
@@ -65,21 +65,6 @@ struct Options
     unsigned replicate = 1;
 };
 
-/** Workload -> valid variants, for --list-workloads and error text. */
-const std::vector<std::pair<const char *, const char *>> &
-workloadTable()
-{
-    static const std::vector<std::pair<const char *, const char *>> t = {
-        {"decompress", "baseline precompute ndc tako ideal"},
-        {"phi", "baseline ub tako ideal"},
-        {"hats", "baseline sw-bdfs tako ideal"},
-        {"nvm", "baseline tako ideal"},
-        {"primeprobe", "baseline tako"},
-        {"aossoa", "srrip tako"},
-    };
-    return t;
-}
-
 [[noreturn]] void
 usage(int code)
 {
@@ -88,6 +73,7 @@ usage(int code)
         "usage: takosim [--workload=decompress|phi|hats|nvm|primeprobe|"
         "aossoa]\n"
         "               [--variant=baseline|...|tako|ideal] [--cores=N]\n"
+        "               [--trace=FILE] [--trace-record=FILE]\n"
         "               [--l1=BYTES] [--l2=BYTES] [--l3bank=BYTES]\n"
         "               [--vertices=N] [--txbytes=N] [--seed=N]\n"
         "               [--stats] [--stats-json=FILE] [--profile=FILE]\n"
@@ -96,6 +82,14 @@ usage(int code)
         "               [--sample-every=N] [--sample=PAT[,PAT...]]\n"
         "               [--shards=N] [--replicate=N]\n"
         "\n"
+        "  --trace=FILE       replay a takotrace-v1 binary memory trace\n"
+        "                     through the full memory system (selects\n"
+        "                     the trace frontend; incompatible with an\n"
+        "                     explicit --workload/--variant)\n"
+        "  --trace-record=FILE\n"
+        "                     while replaying, re-record the normalized\n"
+        "                     stream as a fresh takotrace file\n"
+        "                     (requires --trace)\n"
         "  --stats            dump every counter and histogram as text\n"
         "  --stats-json=FILE  write counters, histograms, and the sampled\n"
         "                     time series as JSON ('-' for stdout)\n"
@@ -134,8 +128,15 @@ usage(int code)
 listWorkloads(int code = 0)
 {
     std::FILE *out = code ? stderr : stdout;
-    for (const auto &[name, variants] : workloadTable())
-        std::fprintf(out, "%-12s variants: %s\n", name, variants);
+    for (const WorkloadEntry &e : workloadRegistry()) {
+        if (e.variants.empty())
+            std::fprintf(out, "%-12s (no variants; give the file via "
+                              "--trace=FILE)\n",
+                         e.name.c_str());
+        else
+            std::fprintf(out, "%-12s variants: %s\n", e.name.c_str(),
+                         e.variantHelp().c_str());
+    }
     std::exit(code);
 }
 
@@ -162,10 +163,16 @@ parse(int argc, char **argv)
             std::exit(0);
         } else if (key == "--list-workloads")
             listWorkloads();
-        else if (key == "--workload")
+        else if (key == "--workload") {
             o.workload = val;
-        else if (key == "--variant")
+            o.workloadSet = true;
+        } else if (key == "--variant") {
             o.variant = val;
+            o.variantSet = true;
+        } else if (key == "--trace")
+            o.trace = val;
+        else if (key == "--trace-record")
+            o.traceRecord = val;
         else if (key == "--cores")
             o.cores = static_cast<unsigned>(parseNum(val));
         else if (key == "--l1")
@@ -227,25 +234,26 @@ parse(int argc, char **argv)
             usage(2);
         }
     }
-    return o;
-}
 
-/** Fail with the valid variants for @p workload. */
-[[noreturn]] void
-badVariant(const std::string &workload, const std::string &variant)
-{
-    for (const auto &[name, variants] : workloadTable()) {
-        if (workload == name) {
-            std::fprintf(stderr,
-                         "takosim: unknown variant '%s' for workload "
-                         "'%s' (valid: %s)\n",
-                         variant.c_str(), workload.c_str(), variants);
-            std::exit(2);
-        }
+    // Flag hygiene: the trace file *is* the workload, so combining it
+    // with an explicit --workload/--variant is a contradiction, not a
+    // precedence puzzle.
+    if (!o.trace.empty() && (o.workloadSet || o.variantSet)) {
+        std::fprintf(stderr,
+                     "takosim: --trace=FILE selects the trace-replay "
+                     "frontend and cannot be combined with an explicit "
+                     "--workload/--variant\n");
+        std::exit(2);
     }
-    std::fprintf(stderr, "takosim: unknown workload '%s'\n",
-                 workload.c_str());
-    std::exit(2);
+    if (!o.traceRecord.empty() && o.trace.empty()) {
+        std::fprintf(stderr,
+                     "takosim: --trace-record=FILE requires --trace=FILE "
+                     "(it re-records the replayed stream)\n");
+        std::exit(2);
+    }
+    if (!o.trace.empty())
+        o.workload = "trace";
+    return o;
 }
 
 /**
@@ -256,73 +264,41 @@ badVariant(const std::string &workload, const std::string &variant)
  * than one replica runs).
  */
 RunMetrics
-runOne(const Options &o, SystemConfig sys, std::uint64_t seed,
-       PrimeProbeResult *pp)
+runOne(const Options &o, SystemConfig sys, std::uint64_t seed)
 {
     sys.seed = seed;
-    if (o.workload == "decompress") {
-        DecompressConfig cfg;
-        cfg.seed = seed;
-        std::map<std::string, DecompressVariant> v{
-            {"baseline", DecompressVariant::Baseline},
-            {"precompute", DecompressVariant::Precompute},
-            {"ndc", DecompressVariant::Ndc},
-            {"tako", DecompressVariant::Tako},
-            {"ideal", DecompressVariant::TakoIdeal}};
-        if (!v.count(o.variant))
-            badVariant(o.workload, o.variant);
-        return runDecompress(v[o.variant], cfg, sys);
-    } else if (o.workload == "phi") {
-        PagerankPushConfig cfg;
-        cfg.graph.numVertices = o.vertices;
-        cfg.graph.seed = seed;
-        cfg.threads = o.cores;
-        cfg.regionVertices = 256;
-        std::map<std::string, PushVariant> v{
-            {"baseline", PushVariant::Baseline},
-            {"ub", PushVariant::UpdateBatching},
-            {"tako", PushVariant::Phi},
-            {"ideal", PushVariant::PhiIdeal}};
-        if (!v.count(o.variant))
-            badVariant(o.workload, o.variant);
-        return runPagerankPush(v[o.variant], cfg, sys);
-    } else if (o.workload == "hats") {
-        PagerankPullConfig cfg;
-        cfg.graph.numVertices = o.vertices;
-        cfg.graph.seed = seed;
-        std::map<std::string, PullVariant> v{
-            {"baseline", PullVariant::VertexOrdered},
-            {"sw-bdfs", PullVariant::SoftwareBdfs},
-            {"tako", PullVariant::Hats},
-            {"ideal", PullVariant::HatsIdeal}};
-        if (!v.count(o.variant))
-            badVariant(o.workload, o.variant);
-        return runPagerankPull(v[o.variant], cfg, sys);
-    } else if (o.workload == "nvm") {
-        NvmTxConfig cfg;
-        cfg.txBytes = o.txBytes;
-        std::map<std::string, NvmVariant> v{
-            {"baseline", NvmVariant::Journaling},
-            {"tako", NvmVariant::Tako},
-            {"ideal", NvmVariant::TakoIdeal}};
-        if (!v.count(o.variant))
-            badVariant(o.workload, o.variant);
-        return runNvmTx(v[o.variant], cfg, sys);
-    } else if (o.workload == "primeprobe") {
-        PrimeProbeConfig cfg;
-        cfg.seed = seed;
-        PrimeProbeResult r = runPrimeProbe(o.variant == "tako", cfg, sys);
-        if (pp)
-            *pp = r;
-        return r.metrics;
-    } else if (o.workload == "aossoa") {
-        AosSoaConfig cfg;
-        cfg.seed = seed;
-        return runAosSoa(o.variant != "srrip", cfg, sys);
+    const WorkloadEntry *w = findWorkload(o.workload);
+    if (!w) {
+        std::fprintf(stderr, "takosim: unknown workload '%s'\n\n",
+                     o.workload.c_str());
+        listWorkloads(2);
     }
-    std::fprintf(stderr, "takosim: unknown workload '%s'\n\n",
-                 o.workload.c_str());
-    listWorkloads(2);
+    if (!w->variants.empty() &&
+        std::find(w->variants.begin(), w->variants.end(), o.variant) ==
+            w->variants.end()) {
+        std::fprintf(stderr,
+                     "takosim: unknown variant '%s' for workload '%s' "
+                     "(valid: %s)\n",
+                     o.variant.c_str(), o.workload.c_str(),
+                     w->variantHelp().c_str());
+        std::exit(2);
+    }
+
+    WorkloadRequest req;
+    req.variant = o.variant;
+    req.seed = seed;
+    req.cores = o.cores;
+    req.vertices = o.vertices;
+    req.txBytes = o.txBytes;
+    req.tracePath = o.trace;
+    req.traceRecordPath = o.traceRecord;
+    std::string err;
+    RunMetrics m = w->run(req, sys, err);
+    if (!err.empty()) {
+        std::fprintf(stderr, "takosim: %s\n", err.c_str());
+        std::exit(1);
+    }
+    return m;
 }
 
 void
@@ -368,12 +344,13 @@ main(int argc, char **argv)
     sys.shards = o.shards;
     if (o.replicate > 1 &&
         (sys.profile || !o.traceOut.empty() || o.sampleEvery > 0 ||
-         !o.samplePatterns.empty())) {
+         !o.samplePatterns.empty() || !o.traceRecord.empty())) {
         std::fprintf(stderr,
                      "takosim: --replicate=%u is incompatible with "
                      "--profile/--folded/--trace-out/--sample-every/"
-                     "--sample (they write through process-global "
-                     "sinks; replicas run concurrently)\n",
+                     "--sample/--trace-record (they write through "
+                     "process-global or single-file sinks; replicas "
+                     "run concurrently)\n",
                      o.replicate);
         return 2;
     }
@@ -427,12 +404,13 @@ main(int argc, char **argv)
 
     RunMetrics m;
     if (o.replicate == 1) {
-        PrimeProbeResult pp;
-        m = runOne(o, sys, o.seed, &pp);
+        m = runOne(o, sys, o.seed);
         if (o.workload == "primeprobe") {
             std::printf("detected      : %s\n",
-                        pp.detected ? "yes" : "no");
-            std::printf("bits recovered: %u\n", pp.trueLeaks);
+                        m.extra["primeprobe.detected"] != 0 ? "yes"
+                                                            : "no");
+            std::printf("bits recovered: %.0f\n",
+                        m.extra["primeprobe.bits_recovered"]);
         }
     } else {
         // Seed-offset ensemble across host lanes. Each replica runs
@@ -446,7 +424,7 @@ main(int argc, char **argv)
         std::vector<std::function<void()>> jobs;
         for (unsigned i = 0; i < o.replicate; ++i) {
             jobs.push_back([&o, &repSys, &reps, i] {
-                reps[i] = runOne(o, repSys, o.seed + i, nullptr);
+                reps[i] = runOne(o, repSys, o.seed + i);
             });
         }
         runLanes(std::min(o.shards, o.replicate), jobs);
