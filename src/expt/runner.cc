@@ -34,7 +34,47 @@ struct Child
     unsigned attempt = 1;
     Clock::time_point started;
     bool killed = false; ///< we delivered SIGKILL (timeout)
+    long logOffset = 0;  ///< heartbeat tail cursor into the log file
 };
+
+/**
+ * Tail @p c's log from its cursor, forwarding every complete new
+ * "takomon: progress" line through @p pulse. The cursor only advances
+ * past whole lines, so a line caught mid-write is picked up complete on
+ * the next pass.
+ */
+void
+pumpHeartbeats(const RunCommand &cmd, Child &c,
+               const std::function<void(const std::string &,
+                                        const std::string &)> &pulse)
+{
+    if (cmd.logPath.empty())
+        return;
+    std::FILE *f = std::fopen(cmd.logPath.c_str(), "rb");
+    if (!f)
+        return;
+    std::string chunk;
+    if (std::fseek(f, c.logOffset, SEEK_SET) == 0) {
+        char buf[4096];
+        std::size_t n;
+        while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0)
+            chunk.append(buf, n);
+    }
+    std::fclose(f);
+    const auto lastNl = chunk.rfind('\n');
+    if (lastNl == std::string::npos)
+        return;
+    chunk.resize(lastNl + 1);
+    c.logOffset += static_cast<long>(chunk.size());
+    std::size_t pos = 0;
+    while (pos < chunk.size()) {
+        const auto nl = chunk.find('\n', pos);
+        const std::string line = chunk.substr(pos, nl - pos);
+        if (line.rfind("takomon: progress", 0) == 0)
+            pulse(cmd.name, line);
+        pos = nl + 1;
+    }
+}
 
 bool
 isExecutable(const std::string &path)
@@ -105,7 +145,9 @@ runStatusName(RunStatus s)
 std::vector<RunOutcome>
 runAll(const std::vector<RunCommand> &cmds, unsigned jobs,
        const std::function<void(const RunOutcome &, unsigned done,
-                                unsigned total)> &progress)
+                                unsigned total)> &progress,
+       const std::function<void(const std::string &runName,
+                                const std::string &line)> &pulse)
 {
     if (jobs == 0)
         jobs = 1;
@@ -124,6 +166,7 @@ runAll(const std::vector<RunCommand> &cmds, unsigned jobs,
     std::vector<double> accumWall(cmds.size(), 0.0);
     std::size_t next = 0; ///< next command index to launch
     unsigned done = 0;
+    Clock::time_point lastPulseScan = Clock::now();
 
     auto finish = [&](std::size_t idx, RunStatus status, int code,
                       unsigned attempt) {
@@ -163,7 +206,14 @@ runAll(const std::vector<RunCommand> &cmds, unsigned jobs,
                 finish(idx, RunStatus::Crashed, err, attempt);
             return;
         }
-        running[pid] = Child{pid, idx, attempt, Clock::now(), false};
+        Child c{pid, idx, attempt, Clock::now(), false, 0};
+        // Logs append across retries: the heartbeat tail starts where
+        // this attempt's output begins, not at the predecessor's lines.
+        struct stat st;
+        if (!cmd.logPath.empty() &&
+            ::stat(cmd.logPath.c_str(), &st) == 0)
+            c.logOffset = static_cast<long>(st.st_size);
+        running[pid] = c;
     };
 
     while (next < cmds.size() || !running.empty() ||
@@ -197,8 +247,10 @@ runAll(const std::vector<RunCommand> &cmds, unsigned jobs,
                          static_cast<int>(pid), wstatus);
         }
         if (pid > 0 && running.count(pid)) {
-            const Child c = running[pid];
+            Child c = running[pid];
             running.erase(pid);
+            if (pulse)
+                pumpHeartbeats(cmds[c.index], c, pulse); // final lines
             const RunCommand &cmd = cmds[c.index];
             const double wall = secondsSince(c.started);
             accumWall[c.index] += wall;
@@ -236,6 +288,13 @@ runAll(const std::vector<RunCommand> &cmds, unsigned jobs,
                 ::kill(-cpid, SIGKILL); // whole process group
                 ::kill(cpid, SIGKILL);  // in case setpgid lost the race
             }
+        }
+        // Multiplex the children's heartbeats, throttled so the tailing
+        // stays invisible next to the 2ms reaping cadence.
+        if (pulse && secondsSince(lastPulseScan) > 0.25) {
+            lastPulseScan = Clock::now();
+            for (auto &[cpid, c] : running)
+                pumpHeartbeats(cmds[c.index], c, pulse);
         }
         // 2ms keeps timeout detection sharp without measurable load;
         // children run for seconds to minutes.

@@ -72,11 +72,20 @@ void setSpawnFailureHook(
  *
  * @p progress (optional) is called from the scheduling loop once per
  * finished run, in completion order, for live output.
+ *
+ * @p pulse (optional) multiplexes the children's takomon heartbeats:
+ * the scheduling loop tails each running child's log file and forwards
+ * every new "takomon: progress" line, tagged with the run's name, in
+ * arrival order. Purely observational — the children are not probed,
+ * their logs are read-only tailed — and unused when no child was asked
+ * to beat (takosim --progress).
  */
 std::vector<RunOutcome>
 runAll(const std::vector<RunCommand> &cmds, unsigned jobs,
        const std::function<void(const RunOutcome &, unsigned done,
-                                unsigned total)> &progress = {});
+                                unsigned total)> &progress = {},
+       const std::function<void(const std::string &runName,
+                                const std::string &line)> &pulse = {});
 
 } // namespace tako::expt
 

@@ -1,0 +1,241 @@
+#include "mon/sink.hh"
+
+#include <chrono>
+#include <cstdio>
+
+namespace tako::mon
+{
+
+namespace
+{
+
+/** Host wall clock in seconds; feeds host.*-exempt heartbeat fields
+ *  only, never a sampled series. */
+double
+hostNow()
+{
+    // takolint: ok(D2, heartbeat throughput is host.* observability)
+    const auto now = std::chrono::steady_clock::now();
+    return std::chrono::duration<double>(now.time_since_epoch())
+        .count();
+}
+
+} // namespace
+
+void
+printProgressBeat(const ProgressBeat &b)
+{
+    char tail[64] = "";
+    if (b.fractionDone >= 0) {
+        const double eta =
+            b.fractionDone > 0
+                ? b.hostSeconds * (1 - b.fractionDone) / b.fractionDone
+                : -1;
+        if (eta >= 0)
+            std::snprintf(tail, sizeof(tail), " %5.1f%% eta=%.1fs",
+                          b.fractionDone * 100, eta);
+        else
+            std::snprintf(tail, sizeof(tail), " %5.1f%%",
+                          b.fractionDone * 100);
+    }
+    std::fprintf(stderr,
+                 "takomon: progress tick=%llu events=%llu "
+                 "ev/s=%.3gM%s\n",
+                 (unsigned long long)b.tick,
+                 (unsigned long long)b.events, b.eventsPerSec / 1e6,
+                 tail);
+}
+
+TimeSeriesSink::TimeSeriesSink(EventQueue &eq, StatsRegistry &stats,
+                               Options opt)
+    : eq_(eq), stats_(stats), opt_(std::move(opt))
+{
+    panic_if(opt_.sampleEvery == 0 && opt_.progressEvery == 0,
+             "takomon sink with no cadence (sampleEvery and "
+             "progressEvery both zero)");
+    fatal_if(!opt_.monPath.empty() && opt_.sampleEvery == 0,
+             "a takomon output file needs a sampling interval");
+
+    if (opt_.sampleEvery > 0) {
+        buildSeries(opt_.patterns);
+        StatsTimeSeries &ts = stats_.timeSeries();
+        ts.interval = opt_.sampleEvery;
+        ts.names.clear();
+        for (const SeriesDesc &d : series_)
+            ts.names.push_back(d.name);
+        nextSample_ = eq_.now() + opt_.sampleEvery;
+    }
+    if (!opt_.monPath.empty()) {
+        MonWriter::Options wopt;
+        wopt.chunkSamples = opt_.chunkSamples;
+        fatal_if(!writer_.open(opt_.monPath, opt_.sampleEvery, series_,
+                               wopt),
+                 "%s", writer_.error().c_str());
+        writing_ = true;
+    }
+    if (opt_.progressEvery > 0) {
+        nextBeat_ = eq_.now() + opt_.progressEvery;
+        firstBeatHostTime_ = hostNow();
+    }
+    eq_.setAdvanceHook([this](Tick to) { return onAdvance(to); },
+                       nextWatermark());
+}
+
+TimeSeriesSink::TimeSeriesSink(EventQueue &eq, StatsRegistry &stats,
+                               Tick interval,
+                               const std::vector<std::string> &patterns)
+    : TimeSeriesSink(eq, stats, [&] {
+          panic_if(interval == 0, "sampler interval must be nonzero");
+          Options o;
+          o.sampleEvery = interval;
+          o.patterns = patterns;
+          return o;
+      }())
+{
+}
+
+TimeSeriesSink::~TimeSeriesSink()
+{
+    eq_.clearAdvanceHook();
+    if (writing_ && !finish())
+        warn("%s", writer_.error().c_str());
+}
+
+bool
+TimeSeriesSink::finish()
+{
+    if (!writing_)
+        return error().empty();
+    writing_ = false;
+    return writer_.close();
+}
+
+void
+TimeSeriesSink::buildSeries(const std::vector<std::string> &patterns)
+{
+    // Fix the series set and order (registry map order = sorted by
+    // name) at construction; host.* is excluded by design — those
+    // gauges are host-timing-dependent and would break the format's
+    // bit-identity contract.
+    auto addCounter = [this](const std::string &name) {
+        if (name.rfind("host.", 0) == 0)
+            return;
+        series_.push_back({name, SeriesKind::Counter});
+        Source src;
+        src.counter = &stats_.counters().at(name);
+        src.kind = SeriesKind::Counter;
+        sources_.push_back(src);
+    };
+    auto addHistogram = [this](const std::string &name) {
+        if (name.rfind("host.", 0) == 0)
+            return;
+        const Histogram *h = &stats_.histograms().at(name);
+        for (SeriesKind k : {SeriesKind::HistCount, SeriesKind::HistSum,
+                             SeriesKind::HistMax}) {
+            series_.push_back({name + seriesKindSuffix(k), k});
+            Source src;
+            src.hist = h;
+            src.kind = k;
+            sources_.push_back(src);
+        }
+    };
+
+    if (patterns.empty()) {
+        for (const auto &kv : stats_.counters())
+            addCounter(kv.first);
+        for (const auto &kv : stats_.histograms())
+            addHistogram(kv.first);
+    } else {
+        for (const std::string &p : patterns) {
+            for (const std::string &n : stats_.counterNamesMatching(p))
+                addCounter(n);
+            for (const std::string &n :
+                 stats_.histogramNamesMatching(p))
+                addHistogram(n);
+        }
+    }
+    row_.resize(series_.size());
+}
+
+double
+TimeSeriesSink::readSource(const Source &s) const
+{
+    switch (s.kind) {
+      case SeriesKind::Counter:
+        return s.counter->value();
+      case SeriesKind::HistCount:
+        return static_cast<double>(s.hist->count());
+      case SeriesKind::HistSum:
+        return s.hist->sum();
+      case SeriesKind::HistMax:
+        return static_cast<double>(s.hist->max());
+    }
+    return 0;
+}
+
+Tick
+TimeSeriesSink::nextWatermark() const
+{
+    Tick wm = ~Tick{0};
+    if (nextSample_ > 0 && nextSample_ < wm)
+        wm = nextSample_;
+    if (nextBeat_ > 0 && nextBeat_ < wm)
+        wm = nextBeat_;
+    return wm;
+}
+
+Tick
+TimeSeriesSink::onAdvance(Tick to)
+{
+    // Replay every boundary up to (and including) the tick being
+    // advanced to, in tick order; a sample and a beat landing on the
+    // same tick emit the sample first (only host-side output ordering
+    // is at stake — the series never sees beats).
+    while (true) {
+        const bool sampleDue = nextSample_ > 0 && nextSample_ <= to;
+        const bool beatDue = nextBeat_ > 0 && nextBeat_ <= to;
+        if (!sampleDue && !beatDue)
+            break;
+        if (sampleDue && (!beatDue || nextSample_ <= nextBeat_)) {
+            takeSample(nextSample_);
+            nextSample_ += opt_.sampleEvery;
+        } else {
+            emitBeat(nextBeat_);
+            nextBeat_ += opt_.progressEvery;
+        }
+    }
+    return nextWatermark();
+}
+
+void
+TimeSeriesSink::takeSample(Tick at)
+{
+    for (std::size_t i = 0; i < sources_.size(); ++i)
+        row_[i] = readSource(sources_[i]);
+    StatsTimeSeries &ts = stats_.timeSeries();
+    ts.ticks.push_back(at);
+    ts.samples.push_back(row_);
+    if (writing_)
+        writer_.addSample(at, row_);
+    ++samplesTaken_;
+}
+
+void
+TimeSeriesSink::emitBeat(Tick at)
+{
+    ProgressBeat b;
+    b.tick = at;
+    b.events = eq_.eventsFired();
+    b.hostSeconds = hostNow() - firstBeatHostTime_;
+    b.eventsPerSec = b.hostSeconds > 0
+                         ? static_cast<double>(b.events) / b.hostSeconds
+                         : 0;
+    if (fractionDone_)
+        b.fractionDone = fractionDone_();
+    if (opt_.onBeat)
+        opt_.onBeat(b);
+    else
+        printProgressBeat(b);
+}
+
+} // namespace tako::mon

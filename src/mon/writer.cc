@@ -1,0 +1,246 @@
+#include "mon/writer.hh"
+
+#include <cmath>
+#include <cstring>
+#include <limits>
+
+namespace tako::mon
+{
+
+namespace
+{
+
+void
+put32(std::uint8_t *p, std::uint32_t v)
+{
+    p[0] = static_cast<std::uint8_t>(v);
+    p[1] = static_cast<std::uint8_t>(v >> 8);
+    p[2] = static_cast<std::uint8_t>(v >> 16);
+    p[3] = static_cast<std::uint8_t>(v >> 24);
+}
+
+void
+put64(std::uint8_t *p, std::uint64_t v)
+{
+    put32(p, static_cast<std::uint32_t>(v));
+    put32(p + 4, static_cast<std::uint32_t>(v >> 32));
+}
+
+/** True iff @p v is an exact integer representable as int64. */
+bool
+isIntegral(double v)
+{
+    // 2^63 itself is exactly representable but overflows int64; keep
+    // strictly inside the representable window on both sides.
+    return std::nearbyint(v) == v &&
+           v >= -9223372036854775808.0 && v < 9223372036854775808.0;
+}
+
+} // namespace
+
+const char *
+seriesKindSuffix(SeriesKind kind)
+{
+    switch (kind) {
+      case SeriesKind::Counter: return "";
+      case SeriesKind::HistCount: return ".count";
+      case SeriesKind::HistSum: return ".sum";
+      case SeriesKind::HistMax: return ".max";
+    }
+    return "?";
+}
+
+MonWriter::~MonWriter()
+{
+    if (file_) {
+        // Abandoned without close(): leave the invalid placeholder
+        // header in place so readers reject the file.
+        std::fclose(file_);
+        file_ = nullptr;
+    }
+}
+
+bool
+MonWriter::open(const std::string &path, Tick interval,
+                std::vector<SeriesDesc> series, Options opt)
+{
+    if (file_) {
+        setError("open() on an already-open writer");
+        return false;
+    }
+    if (interval == 0) {
+        setError("sampling interval must be nonzero");
+        return false;
+    }
+    if (opt.chunkSamples == 0)
+        opt.chunkSamples = 1;
+    file_ = std::fopen(path.c_str(), "wb");
+    if (!file_) {
+        setError("cannot create '" + path + "'");
+        return false;
+    }
+    opt_ = opt;
+    error_.clear();
+    seriesCount_ = series.size();
+    samples_ = chunkFirstIndex_ = 0;
+    lastTick_ = 0;
+    anySample_ = false;
+    ticks_.clear();
+    rows_.clear();
+
+    std::vector<std::uint8_t> dir;
+    for (const SeriesDesc &s : series) {
+        dir.push_back(static_cast<std::uint8_t>(s.kind));
+        putVarint(dir, s.name.size());
+        dir.insert(dir.end(), s.name.begin(), s.name.end());
+    }
+
+    // Placeholder header: sampleCount carries the impossible sentinel
+    // until close() patches the real value in, so an abandoned file is
+    // rejected even when no chunk was ever flushed.
+    std::uint8_t hdr[monFileHeaderBytes] = {};
+    std::memcpy(hdr, monMagic.data(), monMagic.size());
+    put32(hdr + 8, monVersion);
+    put32(hdr + 12, 0); // flags
+    put64(hdr + 16, interval);
+    put32(hdr + 24, static_cast<std::uint32_t>(series.size()));
+    put32(hdr + 28, static_cast<std::uint32_t>(dir.size()));
+    put64(hdr + 32, monUnpatchedCount); // patched on close
+    std::uint8_t dirCrc[4];
+    put32(dirCrc, crc32(dir.data(), dir.size()));
+    if (std::fwrite(hdr, 1, sizeof(hdr), file_) != sizeof(hdr) ||
+        std::fwrite(dir.data(), 1, dir.size(), file_) != dir.size() ||
+        std::fwrite(dirCrc, 1, sizeof(dirCrc), file_) !=
+            sizeof(dirCrc)) {
+        setError("header write failed");
+        return false;
+    }
+    return true;
+}
+
+void
+MonWriter::addSample(Tick tick, const std::vector<double> &values)
+{
+    if (!file_ || !error_.empty())
+        return; // sticky error; close() reports it
+    if (values.size() != seriesCount_) {
+        setError("row arity " + std::to_string(values.size()) +
+                 " != " + std::to_string(seriesCount_) + " series");
+        return;
+    }
+    if (anySample_ && tick <= lastTick_) {
+        setError("non-increasing tick at sample " +
+                 std::to_string(samples_));
+        return;
+    }
+    lastTick_ = tick;
+    anySample_ = true;
+    ticks_.push_back(tick);
+    rows_.insert(rows_.end(), values.begin(), values.end());
+    ++samples_;
+    if (ticks_.size() >= opt_.chunkSamples)
+        flushChunk();
+}
+
+void
+MonWriter::flushChunk()
+{
+    const std::size_t n = ticks_.size();
+    if (n == 0)
+        return;
+
+    std::vector<std::uint8_t> payload;
+    // Tick column: delta context resets at the chunk boundary, so the
+    // first value is the absolute tick and chunks decode independently.
+    Tick prev = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+        putVarint(payload, ticks_[i] - prev);
+        prev = ticks_[i];
+    }
+    // Value columns, in directory order. A column uses integer deltas
+    // only when every value it holds in this chunk is integral — the
+    // tag is a pure function of the sampled values, never of the host.
+    for (std::size_t s = 0; s < seriesCount_; ++s) {
+        bool integral = true;
+        for (std::size_t i = 0; i < n; ++i) {
+            if (!isIntegral(rows_[i * seriesCount_ + s])) {
+                integral = false;
+                break;
+            }
+        }
+        payload.push_back(integral ? colIntDeltas : colRawDoubles);
+        if (integral) {
+            std::uint64_t prevBits = 0;
+            for (std::size_t i = 0; i < n; ++i) {
+                const auto v = static_cast<std::uint64_t>(
+                    static_cast<std::int64_t>(
+                        rows_[i * seriesCount_ + s]));
+                // Wrapping difference: lossless for any int64 pair.
+                putVarint(payload,
+                          zigzagEncode(static_cast<std::int64_t>(
+                              v - prevBits)));
+                prevBits = v;
+            }
+        } else {
+            for (std::size_t i = 0; i < n; ++i) {
+                std::uint64_t bits;
+                static_assert(sizeof(bits) ==
+                              sizeof(rows_[i * seriesCount_ + s]));
+                std::memcpy(&bits, &rows_[i * seriesCount_ + s],
+                            sizeof(bits));
+                std::uint8_t raw[8];
+                put64(raw, bits);
+                payload.insert(payload.end(), raw, raw + 8);
+            }
+        }
+    }
+
+    std::uint8_t hdr[monChunkHeaderBytes];
+    put32(hdr, monChunkMagic);
+    put32(hdr + 4, static_cast<std::uint32_t>(n));
+    put32(hdr + 8, static_cast<std::uint32_t>(payload.size()));
+    put32(hdr + 12, crc32(payload.data(), payload.size()));
+    put64(hdr + 16, chunkFirstIndex_);
+    if (std::fwrite(hdr, 1, sizeof(hdr), file_) != sizeof(hdr) ||
+        std::fwrite(payload.data(), 1, payload.size(), file_) !=
+            payload.size()) {
+        setError("chunk write failed");
+        return;
+    }
+    chunkFirstIndex_ = samples_;
+    ticks_.clear();
+    rows_.clear();
+}
+
+bool
+MonWriter::close()
+{
+    if (!file_) {
+        if (error_.empty())
+            setError("close() without open()");
+        return false;
+    }
+    flushChunk();
+    if (error_.empty()) {
+        std::uint8_t count[8];
+        put64(count, samples_);
+        if (std::fseek(file_, 32, SEEK_SET) != 0 ||
+            std::fwrite(count, 1, sizeof(count), file_) !=
+                sizeof(count))
+            setError("header patch failed");
+    }
+    const bool flushOk = std::fclose(file_) == 0;
+    file_ = nullptr;
+    if (!flushOk && error_.empty())
+        setError("final flush failed");
+    return error_.empty();
+}
+
+void
+MonWriter::setError(const std::string &msg)
+{
+    if (error_.empty())
+        error_ = "takomon write: " + msg;
+}
+
+} // namespace tako::mon

@@ -1,7 +1,9 @@
 #include "sim/logging.hh"
 
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
+#include <mutex>
 #include <vector>
 
 namespace tako
@@ -9,8 +11,113 @@ namespace tako
 
 namespace
 {
+
 bool verboseFlag = true;
+
+// Structured run log. One global sink mirrors every logging call site
+// without threading a handle through the simulator; a mutex keeps lines
+// whole when worker threads warn concurrently.
+std::mutex jsonLogMutex;
+std::FILE *jsonLogFile = nullptr;
+
+/** Append a JSON string literal (quoted, escaped) to @p out. */
+void
+appendJsonString(std::string &out, const std::string &s)
+{
+    out += '"';
+    for (const char c : s) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\r': out += "\\r"; break;
+          case '\t': out += "\\t"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    out += '"';
+}
+
+void
+jsonLogLine(const char *sev, const std::string &msg, const char *file,
+            int line)
+{
+    std::vector<std::pair<std::string, std::string>> str = {
+        {"sev", sev}, {"msg", msg}};
+    std::vector<std::pair<std::string, double>> num;
+    if (file) {
+        str.emplace_back("file", file);
+        num.emplace_back("line", line);
+    }
+    jsonLogEvent("log", str, num);
+}
+
 } // namespace
+
+bool
+setJsonLog(const std::string &path)
+{
+    std::lock_guard<std::mutex> lk(jsonLogMutex);
+    if (jsonLogFile) {
+        std::fclose(jsonLogFile);
+        jsonLogFile = nullptr;
+    }
+    if (path.empty())
+        return true;
+    jsonLogFile = std::fopen(path.c_str(), "wb");
+    return jsonLogFile != nullptr;
+}
+
+bool
+jsonLogEnabled()
+{
+    std::lock_guard<std::mutex> lk(jsonLogMutex);
+    return jsonLogFile != nullptr;
+}
+
+void
+jsonLogEvent(
+    const std::string &event,
+    const std::vector<std::pair<std::string, std::string>> &strFields,
+    const std::vector<std::pair<std::string, double>> &numFields)
+{
+    std::lock_guard<std::mutex> lk(jsonLogMutex);
+    if (!jsonLogFile)
+        return;
+    std::string out = "{\"event\":";
+    appendJsonString(out, event);
+    for (const auto &[k, v] : strFields) {
+        out += ',';
+        appendJsonString(out, k);
+        out += ':';
+        appendJsonString(out, v);
+    }
+    for (const auto &[k, v] : numFields) {
+        out += ',';
+        appendJsonString(out, k);
+        out += ':';
+        char buf[40];
+        if (std::nearbyint(v) == v && std::fabs(v) < 1e15)
+            std::snprintf(buf, sizeof(buf), "%lld",
+                          static_cast<long long>(v));
+        else
+            std::snprintf(buf, sizeof(buf), "%.17g", v);
+        out += buf;
+    }
+    out += "}\n";
+    std::fwrite(out.data(), 1, out.size(), jsonLogFile);
+    // Line-buffered on purpose: the run log is the thing humans tail
+    // while a long simulation spins, and the crash lines (panic/fatal)
+    // must already be on disk when the process dies.
+    std::fflush(jsonLogFile);
+}
 
 void
 setVerbose(bool verbose)
@@ -46,6 +153,7 @@ strprintf(const char *fmt, ...)
 void
 panicImpl(const char *file, int line, const std::string &msg)
 {
+    jsonLogLine("panic", msg, file, line);
     std::fprintf(stderr, "panic: %s\n  @ %s:%d\n", msg.c_str(), file, line);
     std::abort();
 }
@@ -53,6 +161,7 @@ panicImpl(const char *file, int line, const std::string &msg)
 void
 fatalImpl(const char *file, int line, const std::string &msg)
 {
+    jsonLogLine("fatal", msg, file, line);
     std::fprintf(stderr, "fatal: %s\n  @ %s:%d\n", msg.c_str(), file, line);
     std::exit(1);
 }
@@ -60,12 +169,14 @@ fatalImpl(const char *file, int line, const std::string &msg)
 void
 warnImpl(const std::string &msg)
 {
+    jsonLogLine("warn", msg, nullptr, 0);
     std::fprintf(stderr, "warn: %s\n", msg.c_str());
 }
 
 void
 informImpl(const std::string &msg)
 {
+    jsonLogLine("info", msg, nullptr, 0);
     if (verboseFlag)
         std::fprintf(stderr, "info: %s\n", msg.c_str());
 }

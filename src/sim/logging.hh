@@ -6,6 +6,13 @@
  * fatal()  - user/configuration error; exits with status 1.
  * warn()   - something questionable but survivable.
  * inform() - status messages.
+ *
+ * Every call can additionally be mirrored as one severity-tagged JSON
+ * line to a structured run log (setJsonLog): {"event":"log","sev":...,
+ * "msg":...}, plus "file"/"line" for panic/fatal. Tools append their
+ * own structured events (progress beats, run markers) through
+ * jsonLogEvent(). The log is host-side observability — it never feeds
+ * back into simulation state.
  */
 
 #ifndef TAKO_SIM_LOGGING_HH
@@ -13,6 +20,8 @@
 
 #include <cstdarg>
 #include <string>
+#include <utility>
+#include <vector>
 
 namespace tako
 {
@@ -29,6 +38,23 @@ void informImpl(const std::string &msg);
 /** Enable/disable inform() output (benches silence it). */
 void setVerbose(bool verbose);
 bool verbose();
+
+/**
+ * Mirror panic/fatal/warn/inform to @p path as JSON lines (truncates;
+ * empty path closes the log). Returns false if the file cannot be
+ * created. Thread-safe: each line is written whole under one lock.
+ */
+bool setJsonLog(const std::string &path);
+bool jsonLogEnabled();
+
+/**
+ * Append one structured event: {"event":@p event, ...string fields,
+ * ...number fields} as a single JSON line. No-op when no log is set.
+ */
+void jsonLogEvent(
+    const std::string &event,
+    const std::vector<std::pair<std::string, std::string>> &strFields,
+    const std::vector<std::pair<std::string, double>> &numFields = {});
 
 } // namespace tako
 

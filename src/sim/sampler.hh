@@ -1,81 +1,24 @@
 /**
  * @file
- * Periodic stats sampler: snapshots selected counters into the registry's
- * time series every N simulated ticks, so benches can plot trajectories
- * (e.g., DRAM traffic per phase over time) instead of end-of-run totals.
+ * Compatibility shim: the PR-1 StatsSampler was unified into takomon's
+ * mon::TimeSeriesSink (src/mon/sink.hh), which keeps the same advance-
+ * hook sampling semantics and adds takomon-v1 file output, histogram-
+ * derived series, and progress heartbeats behind one hook.
  *
- * The sampler rides the EventQueue's advance hook rather than scheduling
- * its own events: it never keeps the queue from draining, never extends
- * the simulation past its last real event, and costs nothing when no
- * sampler is installed. Samples are taken when simulated time first
- * reaches each interval boundary, before the events at that tick run, so
- * a sample at tick T reflects everything that completed strictly before T.
+ * Deprecated: include "mon/sink.hh" and use mon::TimeSeriesSink in new
+ * code. The alias (and the back-compat constructor it resolves to)
+ * stays so existing call sites and tests keep compiling unchanged.
  */
 
 #ifndef TAKO_SIM_SAMPLER_HH
 #define TAKO_SIM_SAMPLER_HH
 
-#include <string>
-#include <vector>
-
-#include "sim/event_queue.hh"
-#include "sim/stats.hh"
+#include "mon/sink.hh"
 
 namespace tako
 {
 
-class StatsSampler
-{
-  public:
-    /**
-     * Sample counters matching @p patterns ("prefix*suffix" wildcards;
-     * empty means every counter registered so far) every @p interval
-     * ticks. Installs itself as @p eq's advance hook; at most one
-     * sampler per queue.
-     */
-    StatsSampler(EventQueue &eq, StatsRegistry &stats, Tick interval,
-                 const std::vector<std::string> &patterns = {})
-        : eq_(eq), stats_(stats), interval_(interval),
-          next_(eq.now() + interval)
-    {
-        panic_if(interval_ == 0, "sampler interval must be nonzero");
-        StatsTimeSeries &ts = stats_.timeSeries();
-        ts.interval = interval_;
-        if (patterns.empty()) {
-            for (const auto &kv : stats_.counters())
-                ts.names.push_back(kv.first);
-        } else {
-            for (const std::string &p : patterns) {
-                for (std::string &n : stats_.counterNamesMatching(p))
-                    ts.names.push_back(std::move(n));
-            }
-        }
-        eq_.setAdvanceHook([this](Tick to) { return onAdvance(to); },
-                           next_);
-    }
-
-    ~StatsSampler() { eq_.clearAdvanceHook(); }
-
-    StatsSampler(const StatsSampler &) = delete;
-    StatsSampler &operator=(const StatsSampler &) = delete;
-
-  private:
-    /** Returns the next boundary, which becomes the queue's watermark. */
-    Tick
-    onAdvance(Tick to)
-    {
-        while (next_ <= to) {
-            stats_.recordSample(next_);
-            next_ += interval_;
-        }
-        return next_;
-    }
-
-    EventQueue &eq_;
-    StatsRegistry &stats_;
-    Tick interval_;
-    Tick next_;
-};
+using StatsSampler = mon::TimeSeriesSink;
 
 } // namespace tako
 

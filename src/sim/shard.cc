@@ -1,6 +1,7 @@
 #include "sim/shard.hh"
 
 #include <algorithm>
+#include <chrono>
 #include <thread>
 
 #include "sim/logging.hh"
@@ -45,6 +46,17 @@ ShardedExecutor::ShardedExecutor(std::vector<EventQueue *> domains,
     for (std::size_t i = 0; i < std::size_t{n} * n; ++i)
         mail_.push_back(std::make_unique<SpscMailbox<ShardEvent>>());
     sendSeq_.resize(n);
+    profiles_.resize(n);
+    barrierWait_.resize(threads_);
+}
+
+double
+ShardedExecutor::barrierWaitSeconds() const
+{
+    double total = 0;
+    for (const PaddedSeconds &w : barrierWait_)
+        total += w.value;
+    return total;
 }
 
 void
@@ -86,9 +98,12 @@ ShardedExecutor::drainInbox(unsigned shard, Tick windowStart)
     };
     std::vector<Incoming> batch;
     ShardEvent ev;
+    DomainProfile &prof = profiles_[shard];
     for (unsigned src = 0; src < n; ++src) {
         SpscMailbox<ShardEvent> &mb = *mail_[std::size_t{src} * n + shard];
+        std::uint64_t depth = 0;
         while (mb.tryPop(ev)) {
+            ++depth;
             panic_if(ev.when < windowStart,
                      "cross-shard event for shard %u at tick %llu "
                      "arrived in the window starting at %llu: the "
@@ -99,6 +114,10 @@ ShardedExecutor::drainInbox(unsigned shard, Tick windowStart)
             batch.push_back({ev.when, static_cast<int>(ev.priority), src,
                              ev.srcSeq, std::move(ev.fn)});
         }
+        // Drains empty the ring, so the pop count IS the depth this
+        // mailbox reached during the finished window.
+        if (depth > prof.maxInboxDepth)
+            prof.maxInboxDepth = depth;
     }
     if (batch.empty())
         return;
@@ -120,6 +139,7 @@ ShardedExecutor::drainInbox(unsigned shard, Tick windowStart)
         domains_[shard]->scheduleAbs(in.when, std::move(in.fn),
                                      static_cast<EventPriority>(in.prio));
     }
+    prof.received += batch.size();
     delivered_.fetch_add(batch.size(), std::memory_order_relaxed);
 }
 
@@ -133,11 +153,17 @@ ShardedExecutor::runSolo(unsigned shard)
     // future work, and lockstep windows resume from this domain's
     // current position.
     const std::uint64_t sentBefore = sendSeq_[shard].value;
+    const std::uint64_t firedBefore = q.eventsFired();
     while (sendSeq_[shard].value == sentBefore && q.step()) {}
+    const std::uint64_t fired = q.eventsFired() - firedBefore;
+    DomainProfile &prof = profiles_[shard];
+    prof.executed += fired;
+    if (fired > prof.maxRoundEvents)
+        prof.maxRoundEvents = fired;
 }
 
 ShardedExecutor::RoundState
-ShardedExecutor::barrierSync(bool completion)
+ShardedExecutor::barrierSync(unsigned worker, bool completion)
 {
     std::unique_lock<std::mutex> lk(barrierMutex_);
     if (++waiting_ == threads_) {
@@ -148,7 +174,16 @@ ShardedExecutor::barrierSync(bool completion)
         barrierCv_.notify_all();
     } else {
         const std::uint64_t g = generation_;
+        // Host stall accounting: how long this worker sat parked while
+        // the round's stragglers finished. Feeds the load-imbalance
+        // report's host.* side only — simulation state never sees it.
+        // takolint: ok(D2, barrier stall time feeds only host.* gauges)
+        const auto t0 = std::chrono::steady_clock::now();
         barrierCv_.wait(lk, [&] { return generation_ != g; });
+        // takolint: ok(D2, barrier stall time feeds only host.* gauges)
+        const auto t1 = std::chrono::steady_clock::now();
+        barrierWait_[worker].value +=
+            std::chrono::duration<double>(t1 - t0).count();
     }
     return RoundState{windowStart_, soloDomain_, done_};
 }
@@ -197,8 +232,10 @@ ShardedExecutor::advanceRound()
     // With a single busy domain there is nothing to synchronize against
     // until it sends, so let it run free.
     windowStart_ = minNext;
-    if (pendingDomains == 1)
+    if (pendingDomains == 1) {
         soloDomain_ = pendingIdx;
+        ++soloRounds_;
+    }
 }
 
 void
@@ -214,10 +251,20 @@ ShardedExecutor::workerLoop(unsigned worker)
             if (solo % threads_ == worker)
                 runSolo(solo);
         } else {
-            for (unsigned s = worker; s < n; s += threads_)
-                domains_[s]->runThrough(start + quantum_ - 1);
+            for (unsigned s = worker; s < n; s += threads_) {
+                EventQueue &q = *domains_[s];
+                const std::uint64_t before = q.eventsFired();
+                q.runThrough(start + quantum_ - 1);
+                const std::uint64_t fired = q.eventsFired() - before;
+                DomainProfile &prof = profiles_[s];
+                prof.executed += fired;
+                if (fired > prof.maxRoundEvents)
+                    prof.maxRoundEvents = fired;
+                if (fired == 0)
+                    ++prof.idleRounds;
+            }
         }
-        const RoundState rs = barrierSync(true);
+        const RoundState rs = barrierSync(worker, true);
         if (rs.done)
             return;
         // Drain phase: deliver the barrier snapshot of every inbox for
@@ -228,7 +275,7 @@ ShardedExecutor::workerLoop(unsigned worker)
             for (unsigned s = worker; s < n; s += threads_)
                 drainInbox(s, rs.start);
         }
-        barrierSync(false);
+        barrierSync(worker, false);
         start = rs.start;
         solo = rs.solo;
     }

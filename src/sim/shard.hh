@@ -185,10 +185,56 @@ class ShardedExecutor
         return delivered_.load(std::memory_order_relaxed);
     }
 
+    /**
+     * Per-domain execution profile, valid after run(). Every field is a
+     * pure function of simulation state (which events ran in which
+     * lockstep window), so the whole struct is bit-identical at any
+     * worker thread count — it feeds the deterministic shard.* stat
+     * namespace. Each domain's entry is written only by the one worker
+     * that owns the domain (s % threads == worker); the padding keeps
+     * the owners off each other's cache lines.
+     */
+    struct alignas(64) DomainProfile
+    {
+        std::uint64_t executed = 0;  ///< events fired across all rounds
+        std::uint64_t maxRoundEvents = 0; ///< busiest single round
+        std::uint64_t idleRounds = 0; ///< lockstep rounds with no events
+        std::uint64_t received = 0;   ///< cross-shard events delivered in
+        std::uint64_t maxInboxDepth = 0; ///< deepest single-mailbox drain
+    };
+
+    const std::vector<DomainProfile> &
+    domainProfiles() const
+    {
+        return profiles_;
+    }
+
+    /** Events sent cross-shard by @p src (its mailbox sequence count). */
+    std::uint64_t
+    eventsSent(unsigned src) const
+    {
+        return sendSeq_[src].value;
+    }
+
+    /** Rounds where a single busy domain ran free (skip-ahead). */
+    std::uint64_t soloRounds() const { return soloRounds_; }
+
+    /**
+     * Host seconds workers spent parked at quantum barriers, summed over
+     * workers. Host-timing-dependent by nature: report it only under the
+     * determinism-exempt host.* namespace.
+     */
+    double barrierWaitSeconds() const;
+
   private:
     struct alignas(64) PaddedCounter
     {
         std::uint64_t value = 0;
+    };
+
+    struct alignas(64) PaddedSeconds
+    {
+        double value = 0;
     };
 
     /** Snapshot of the next round, taken under the barrier mutex. */
@@ -205,7 +251,7 @@ class ShardedExecutor
     void drainInbox(unsigned shard, Tick windowStart);
     void runSolo(unsigned shard);
     void advanceRound();
-    RoundState barrierSync(bool completion);
+    RoundState barrierSync(unsigned worker, bool completion);
 
     std::vector<EventQueue *> domains_;
     Tick quantum_;
@@ -226,7 +272,11 @@ class ShardedExecutor
     bool done_ = false;
 
     std::uint64_t rounds_ = 0;
+    std::uint64_t soloRounds_ = 0;
     std::atomic<std::uint64_t> delivered_{0};
+
+    std::vector<DomainProfile> profiles_;    ///< one per domain
+    std::vector<PaddedSeconds> barrierWait_; ///< one per worker (host.*)
 };
 
 /**

@@ -107,6 +107,17 @@ StatsRegistry::counterNamesMatching(const std::string &pattern) const
     return names;
 }
 
+std::vector<std::string>
+StatsRegistry::histogramNamesMatching(const std::string &pattern) const
+{
+    std::vector<std::string> names;
+    for (const auto &kv : histograms_) {
+        if (matches(kv.first, pattern))
+            names.push_back(kv.first);
+    }
+    return names;
+}
+
 void
 StatsRegistry::recordSample(Tick tick)
 {

@@ -6,7 +6,7 @@
  * name ("tile3.l2.misses"), optionally attaching a unit and description at
  * registration. Benches read them back by name, dump all as text, or dump
  * machine-readable JSON (dumpJson). A registry can also carry a sampled
- * time series of selected counters (see sampler.hh) so benches can plot
+ * time series of selected counters (see mon/sink.hh) so benches can plot
  * trajectories instead of end-of-run totals.
  */
 
@@ -105,8 +105,9 @@ struct StatMeta
 };
 
 /**
- * Time series of selected counters, filled by a StatsSampler during the
- * run: samples[i][j] is the value of names[j] at simulated tick ticks[i].
+ * Time series of selected counters, filled by a mon::TimeSeriesSink
+ * during the run: samples[i][j] is the value of names[j] at simulated
+ * tick ticks[i].
  */
 struct StatsTimeSeries
 {
@@ -221,6 +222,10 @@ class StatsRegistry
     /** Names of all counters matching "prefix*suffix" (sorted). */
     std::vector<std::string>
     counterNamesMatching(const std::string &pattern) const;
+
+    /** Names of all histograms matching "prefix*suffix" (sorted). */
+    std::vector<std::string>
+    histogramNamesMatching(const std::string &pattern) const;
 
     /** Metadata for @p name; nullptr if none was registered. */
     const StatMeta *

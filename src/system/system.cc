@@ -73,10 +73,21 @@ System::System(const SystemConfig &config) : config_(config), rng_(config.seed)
     });
 
     // Last: every component above has registered its counters, so an
-    // empty pattern list ("sample everything") sees all of them.
-    if (config_.sampleInterval > 0) {
-        sampler_ = std::make_unique<StatsSampler>(
-            eq_, stats_, config_.sampleInterval, config_.samplePatterns);
+    // empty pattern list ("sample everything") sees all of them. The
+    // post-run namespaces (host.*, shard.*) are not registered yet and
+    // so can never enter the sampled series.
+    if (config_.sampleInterval > 0 || config_.progressEvery > 0) {
+        mon::TimeSeriesSink::Options mo;
+        mo.sampleEvery = config_.sampleInterval;
+        mo.patterns = config_.samplePatterns;
+        mo.monPath = config_.monPath;
+        mo.progressEvery = config_.progressEvery;
+        mo.onBeat = config_.onBeat;
+        monitor_ = std::make_unique<mon::TimeSeriesSink>(eq_, stats_,
+                                                         std::move(mo));
+    } else {
+        fatal_if(!config_.monPath.empty(),
+                 "a takomon output file needs a sampling interval");
     }
 }
 
@@ -95,9 +106,119 @@ System::runFor(Tick limit)
         cores_[core]->run(std::move(fn));
     pending_.clear();
     eq_.runUntil(start + limit);
+    finishMonitor();
+    stampShardStats(nullptr, nullptr);
     stampHostStats(host_start);
     finalizeProfiler();
     return eq_.now() - start;
+}
+
+void
+System::finishMonitor()
+{
+    fatal_if(monitor_ && !monitor_->finish(), "%s",
+             monitor_->error().c_str());
+}
+
+void
+System::stampShardStats(const ShardPlan *plan,
+                        const ShardedExecutor *exec)
+{
+    // Deterministic sharded-execution observability. Everything under
+    // shard.* is a pure function of simulation state — CI diffs these
+    // counters between host thread counts at a fixed shard count. Only
+    // the barrier-stall gauge is host-timing-dependent, and it lives
+    // under host.* accordingly. Monolithic runs stamp the degenerate
+    // single-domain shape so benches always find the same extras.
+    const unsigned n = plan ? plan->shards : 1;
+    stats_
+        .counter("shard.domains", "",
+                 "event-queue domains in the sharded run (1 = monolithic)")
+        .set(n);
+    stats_
+        .counter("shard.quantum", "cycles",
+                 "conservative lookahead window between quantum barriers")
+        .set(plan ? static_cast<double>(plan->quantum) : 0.0);
+    stats_
+        .counter("shard.boundary_links", "",
+                 "directed mesh links crossing a shard cut")
+        .set(plan ? plan->boundaryLinks : 0.0);
+    stats_
+        .counter("shard.rounds", "",
+                 "quantum rounds completed by the sharded executor")
+        .set(exec ? static_cast<double>(exec->rounds()) : 0.0);
+    stats_
+        .counter("shard.solo_rounds", "",
+                 "rounds where one busy domain ran free (skip-ahead)")
+        .set(exec ? static_cast<double>(exec->soloRounds()) : 0.0);
+    stats_
+        .counter("shard.cross_msgs", "events",
+                 "cross-shard events delivered through mailboxes")
+        .set(exec ? static_cast<double>(exec->crossShardEvents()) : 0.0);
+
+    std::uint64_t maxEvents = 0;
+    std::uint64_t totalEvents = 0;
+    for (unsigned s = 0; s < n; ++s) {
+        ShardedExecutor::DomainProfile prof;
+        std::uint64_t sent = 0;
+        if (exec) {
+            prof = exec->domainProfiles()[s];
+            sent = exec->eventsSent(s);
+        } else {
+            prof.executed = eq_.eventsFired();
+            prof.maxRoundEvents = eq_.eventsFired();
+        }
+        const std::string d = "shard.d" + std::to_string(s);
+        stats_
+            .counter(d + ".events", "events",
+                     "events this domain executed across all rounds")
+            .set(static_cast<double>(prof.executed));
+        stats_
+            .counter(d + ".max_round_events", "events",
+                     "events this domain executed in its busiest round")
+            .set(static_cast<double>(prof.maxRoundEvents));
+        stats_
+            .counter(d + ".idle_rounds", "",
+                     "lockstep rounds where this domain had no events")
+            .set(static_cast<double>(prof.idleRounds));
+        stats_
+            .counter(d + ".sent", "events",
+                     "cross-shard events this domain sent")
+            .set(static_cast<double>(sent));
+        stats_
+            .counter(d + ".received", "events",
+                     "cross-shard events delivered to this domain")
+            .set(static_cast<double>(prof.received));
+        stats_
+            .counter(d + ".max_inbox_depth", "events",
+                     "deepest single-mailbox drain this domain saw")
+            .set(static_cast<double>(prof.maxInboxDepth));
+        maxEvents = std::max(maxEvents, prof.executed);
+        totalEvents += prof.executed;
+    }
+
+    // Load-imbalance report: how unevenly the executed events spread
+    // over domains. 1.0 = perfectly balanced; N = one domain did all
+    // the work of N.
+    const double mean = static_cast<double>(totalEvents) / n;
+    stats_
+        .counter("shard.events_max", "events",
+                 "events executed by the busiest domain")
+        .set(static_cast<double>(maxEvents));
+    stats_
+        .counter("shard.events_mean", "events",
+                 "mean events executed per domain")
+        .set(mean);
+    stats_
+        .counter("shard.load_imbalance", "",
+                 "busiest domain / mean events per domain")
+        .set(mean > 0 ? static_cast<double>(maxEvents) / mean : 0.0);
+
+    stats_
+        .counter("host.shard.barrier_wait_seconds", "s",
+                 "host time workers spent parked at quantum barriers "
+                 "(host-timing-dependent; determinism-exempt)")
+        .set(exec ? exec->barrierWaitSeconds() : 0.0);
 }
 
 void
@@ -155,6 +276,8 @@ System::run()
     pending_.clear();
 
     eq_.run();
+    finishMonitor();
+    stampShardStats(nullptr, nullptr);
     stampHostStats(host_start);
 
     unsigned blocked = 0;
@@ -209,6 +332,8 @@ System::runSharded()
     ShardedExecutor exec(domains, plan.quantum);
     exec.run();
 
+    finishMonitor();
+    stampShardStats(&plan, &exec);
     stampHostStats(host_start);
 
     unsigned blocked = 0;

@@ -16,17 +16,20 @@
 #include "core/core.hh"
 #include "energy/energy.hh"
 #include "mem/memory_system.hh"
+#include "mon/sink.hh"
 #include "noc/mesh.hh"
 #include "prof/profiler.hh"
 #include "sim/event_queue.hh"
 #include "sim/random.hh"
-#include "sim/sampler.hh"
 #include "sim/stats.hh"
 #include "tako/engine.hh"
 #include "tako/registry.hh"
 
 namespace tako
 {
+
+struct ShardPlan;
+class ShardedExecutor;
 
 struct SystemConfig
 {
@@ -52,6 +55,18 @@ struct SystemConfig
      *  select which counters (wildcards allowed; empty = all). */
     Tick sampleInterval = 0;
     std::vector<std::string> samplePatterns;
+
+    /** takomon-v1 binary telemetry output path (empty disables).
+     *  Requires sampleInterval > 0; the file holds the same rows as the
+     *  in-memory time series and is bit-identical across host thread
+     *  counts and shard counts (CI gates on it). */
+    std::string monPath;
+
+    /** Progress heartbeat cadence in cycles (0 disables). Beats fire at
+     *  deterministic sim ticks but carry host-side throughput; they go
+     *  to @c onBeat (or one stderr line each), never into stats. */
+    Tick progressEvery = 0;
+    std::function<void(const mon::ProgressBeat &)> onBeat;
 
     /**
      * Shard the run across a ShardPlan partition (1 = monolithic,
@@ -110,6 +125,11 @@ class System
     prof::Profiler *profiler() { return prof_.get(); }
     std::shared_ptr<prof::Profiler> profilerShared() const { return prof_; }
 
+    /** The takomon sink (null unless sampling or progress beats are
+     *  configured). Callers may install a done-fraction provider for
+     *  heartbeat ETAs (see mon::TimeSeriesSink::setFractionDone). */
+    mon::TimeSeriesSink *monitor() { return monitor_.get(); }
+
   private:
     /** run() body for config.shards > 1: domain 0 (the whole model, for
      *  now) executes on a ShardedExecutor worker under quantum
@@ -123,6 +143,20 @@ class System
     /** Set the host.* wall-clock/throughput gauges after a run. */
     void stampHostStats(std::chrono::steady_clock::time_point host_start);
 
+    /**
+     * Register the deterministic shard.* execution/load-imbalance
+     * counters after a run. Registered post-run (like host.*) so the
+     * takomon series set — fixed at construction — never depends on the
+     * shard topology; the values themselves are deterministic and CI
+     * diffs them across host thread counts. @p exec is null for
+     * monolithic runs, which stamp the degenerate single-domain shape.
+     */
+    void stampShardStats(const ShardPlan *plan,
+                         const ShardedExecutor *exec);
+
+    /** Close the takomon file (if any); write errors are fatal. */
+    void finishMonitor();
+
     SystemConfig config_;
     EventQueue eq_;
     StatsRegistry stats_;
@@ -134,7 +168,7 @@ class System
     std::unique_ptr<EngineCluster> engines_;
     std::shared_ptr<prof::Profiler> prof_;
     std::vector<std::unique_ptr<Core>> cores_;
-    std::unique_ptr<StatsSampler> sampler_;
+    std::unique_ptr<mon::TimeSeriesSink> monitor_;
     std::vector<std::pair<int, std::function<Task<>(Guest &)>>> pending_;
     double hostSeconds_ = 0.0;
 };

@@ -223,6 +223,16 @@ runTraceReplay(const TraceReplayConfig &cfg, SystemConfig sys_cfg)
 
     System sys(sys_cfg);
     ReplayStats stats(sys.stats());
+    // The replay frontend knows its total work up front (res.records
+    // decoded above), so progress heartbeats can carry a done-fraction
+    // and an ETA. Reads a deterministic counter at deterministic beat
+    // ticks — observability only, nothing feeds back into the run.
+    if (sys.monitor()) {
+        Counter *done = stats.records;
+        const double total = static_cast<double>(res.records);
+        sys.monitor()->setFractionDone(
+            [done, total] { return done->value() / total; });
+    }
     for (unsigned c = 0; c < cores; ++c) {
         if (perCore[c].empty())
             continue;

@@ -2,6 +2,7 @@
 """Diff the per-run metrics of two takobench suite reports.
 
 Usage: diff_metrics.py BASELINE.json CANDIDATE.json
+       diff_metrics.py --series A.takomon B.takomon
 
 Compares every run the two reports share, metric by metric, and exits
 nonzero if any non-host metric differs *at all* — the simulator's
@@ -10,6 +11,19 @@ Host-side throughput gauges (the ``host.*`` counter namespace and the
 ``host_*`` report headers) are exempt by contract: they measure the
 machine, not the model.
 
+``--exempt-prefix=P`` (repeatable) additionally exempts every metric
+whose dotted path starts with P. CI's cross-topology gates pass
+``--exempt-prefix=shard.``: the shard.* observability counters are
+deterministic for a fixed topology but describe the topology itself
+(domain count, per-domain event shares), so a shards=4 run legitimately
+differs from the monolithic baseline there. The same-topology gate
+(-j8 vs -j1) passes no exemption — shard.* must be thread-count-exact.
+
+``--series A B`` switches to takomon mode: the two telemetry files must
+be byte-identical (the format is canonical — same samples => same
+bytes), and on mismatch both are decoded to report the first diverging
+series/sample instead of a bare "files differ".
+
 This is the CI gate behind ``--takosim-arg=--shards=4``: a sharded
 sweep's report must carry exactly the same simulated metrics as the
 monolithic baseline.
@@ -17,6 +31,7 @@ monolithic baseline.
 
 import argparse
 import json
+import os
 import sys
 
 
@@ -31,7 +46,7 @@ def is_host_metric(name: str) -> bool:
     )
 
 
-def run_metrics(report: dict) -> dict:
+def run_metrics(report: dict, exempt_prefixes) -> dict:
     """name -> {metric -> value} for every completed run."""
     out = {}
     for run in report.get("runs", []):
@@ -39,9 +54,54 @@ def run_metrics(report: dict) -> dict:
         if not isinstance(metrics, dict):
             continue
         out[run["name"]] = {
-            k: v for k, v in metrics.items() if not is_host_metric(k)
+            k: v
+            for k, v in metrics.items()
+            if not is_host_metric(k)
+            and not any(k.startswith(p) for p in exempt_prefixes)
         }
     return out
+
+
+def diff_series(a_path: str, b_path: str) -> int:
+    """Byte-identity gate for two takomon telemetry files."""
+    with open(a_path, "rb") as f:
+        a = f.read()
+    with open(b_path, "rb") as f:
+        b = f.read()
+    if a == b:
+        print(
+            f"diff_metrics: OK — {a_path} and {b_path} byte-identical "
+            f"({len(a)} bytes)"
+        )
+        return 0
+
+    print(f"diff_metrics: takomon files differ ({len(a)} vs {len(b)} bytes)")
+    # Decode both to say *what* diverged, not just that bytes did.
+    sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+    from validate_takomon import MonError, decode
+
+    try:
+        a_series, a_ticks, a_cols, _ = decode(a_path)
+        b_series, b_ticks, b_cols, _ = decode(b_path)
+    except MonError as e:
+        print(f"  (cannot decode for detail: {e})")
+        return 1
+    if a_series != b_series:
+        print(f"  series directories differ: {len(a_series)} vs "
+              f"{len(b_series)} series")
+        return 1
+    if a_ticks != b_ticks:
+        print(f"  sample ticks differ ({len(a_ticks)} vs "
+              f"{len(b_ticks)} samples)")
+        return 1
+    for s, (name, _kind) in enumerate(a_series):
+        for i, (va, vb) in enumerate(zip(a_cols[s], b_cols[s])):
+            if va != vb:
+                print(f"  first divergence: {name} at tick "
+                      f"{a_ticks[i]}: {va!r} != {vb!r}")
+                return 1
+    print("  (identical decoded content; difference is in encoding)")
+    return 1
 
 
 def main() -> int:
@@ -58,12 +118,29 @@ def main() -> int:
         help="fail unless at least N runs were comparable (default 1; "
         "guards against two empty reports trivially matching)",
     )
+    ap.add_argument(
+        "--exempt-prefix",
+        action="append",
+        default=[],
+        metavar="PREFIX",
+        help="also exempt metrics starting with PREFIX (repeatable); "
+        "CI's cross-topology gates pass shard. here",
+    )
+    ap.add_argument(
+        "--series",
+        action="store_true",
+        help="treat the two inputs as takomon files and require "
+        "byte-identity",
+    )
     args = ap.parse_args()
 
+    if args.series:
+        return diff_series(args.baseline, args.candidate)
+
     with open(args.baseline) as f:
-        base = run_metrics(json.load(f))
+        base = run_metrics(json.load(f), args.exempt_prefix)
     with open(args.candidate) as f:
-        cand = run_metrics(json.load(f))
+        cand = run_metrics(json.load(f), args.exempt_prefix)
 
     shared = sorted(set(base) & set(cand))
     only_base = sorted(set(base) - set(cand))
@@ -105,9 +182,10 @@ def main() -> int:
             print(f"  {f}")
         return 1
 
+    exempt = ["host.*"] + [p + "*" for p in args.exempt_prefix]
     print(
         f"diff_metrics: OK — {compared_metrics} metrics across "
-        f"{compared_runs} runs bit-identical (host.* exempt)"
+        f"{compared_runs} runs bit-identical ({', '.join(exempt)} exempt)"
     )
     return 0
 

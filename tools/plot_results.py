@@ -4,21 +4,31 @@
 Usage: tools/plot_results.py bench_output.txt [outdir]
        tools/plot_results.py BENCH_quick.json [outdir]
        tools/plot_results.py prof.json [outdir]
+       tools/plot_results.py run.takomon [outdir]
        tools/plot_results.py BENCH_perf_a.json BENCH_perf_b.json... [outdir]
 
 Accepts the legacy text capture of the bench binaries' stdout (the
 "=== Fig. N ===" tables), a takobench suite report (BENCH_<suite>.json,
 schema "takobench-v1"), a takoprof profile (takosim --profile, schema
-"takoprof-v1"), or one or more perf-smoke artifacts (tools/perf_smoke.py,
+"takoprof-v1"), a takomon telemetry file (takosim --mon-out, format
+takomon-v1), or one or more perf-smoke artifacts (tools/perf_smoke.py,
 schema "takoperf-v1"); the format is sniffed from the file contents.
 Bench inputs get one PNG per figure/run with the variants' leading
-metric; takoprof inputs get a NoC link-utilization heatmap and a
-per-engine occupancy chart; takoperf inputs get an events/sec trend
-across the given files (in argument order, labelled by git rev — pass
-the artifacts oldest-first). Requires matplotlib; degrades to printing
-the parsed tables without it.
+metric, plus a shard load-factor heatmap when any run carries the
+shard.* observability counters; takoprof inputs get a NoC
+link-utilization heatmap and a per-engine occupancy chart; takomon
+inputs get a time-series chart of the most active counters; takoperf
+inputs get an events/sec trend across the given files (in argument
+order, labelled by git rev — pass the artifacts oldest-first).
+
+Missing or empty input files are skipped with a warning rather than
+aborting the batch — perf history directories legitimately start out
+sparse. Requires matplotlib; degrades to printing the parsed tables
+without it.
 """
 import json
+import math
+import os
 import re
 import sys
 
@@ -72,13 +82,32 @@ def parse_suite(doc):
     return sections
 
 
+def parse_takomon(path):
+    """Decode a takomon-v1 file via the reference stdlib decoder."""
+    sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+    from validate_takomon import decode
+    series, ticks, columns, _ = decode(path)
+    return {"schema": "takomon-v1", "path": path, "series": series,
+            "ticks": ticks, "columns": columns}
+
+
 def parse(path):
+    """Sniff and parse one input; None = unusable (already warned)."""
+    if os.path.exists(path) and os.path.getsize(path) == 0:
+        print(f"warning: {path} is empty; skipping")
+        return None
+    with open(path, "rb") as f:
+        if f.read(8) == b"takomon1":
+            return parse_takomon(path)
     text = open(path).read()
     if text.lstrip().startswith("{"):
-        doc = json.loads(text)
-        if doc.get("schema", "").startswith("takobench"):
-            return parse_suite(doc)
-        if doc.get("schema", "").startswith(("takoprof", "takoperf")):
+        try:
+            doc = json.loads(text)
+        except json.JSONDecodeError as e:
+            print(f"warning: {path}: malformed JSON ({e}); skipping")
+            return None
+        schema = str(doc.get("schema", ""))
+        if schema.startswith(("takobench", "takoprof", "takoperf")):
             return doc
         raise SystemExit(f"{path}: JSON but not a takobench report, "
                          "takoprof profile, or takoperf artifact "
@@ -131,6 +160,113 @@ def plot_takoprof(doc, outdir):
     print(f"wrote {wrote} takoprof charts to {outdir}")
 
 
+def plot_takomon(doc, outdir, top=8):
+    """Time-series chart of a takomon file's most active counters.
+
+    "Most active" = largest dynamic range over the run; flat series
+    (registered but untouched counters) would only clutter the legend.
+    """
+    ticks = doc["ticks"]
+    names = [n for n, _ in doc["series"]]
+    ranked = sorted(range(len(names)),
+                    key=lambda i: (max(doc["columns"][i]) -
+                                   min(doc["columns"][i])
+                                   if doc["columns"][i] else 0),
+                    reverse=True)
+    picked = [i for i in ranked[:top]
+              if doc["columns"][i] and
+              max(doc["columns"][i]) > min(doc["columns"][i])]
+    stem = re.sub(r"\W+", "_",
+                  os.path.splitext(os.path.basename(doc["path"]))[0])
+    try:
+        import matplotlib
+        matplotlib.use("Agg")
+        import matplotlib.pyplot as plt
+    except ImportError:
+        print(f"{doc['path']}: {len(names)} series, "
+              f"{len(ticks)} samples")
+        for i in picked:
+            col = doc["columns"][i]
+            print(f"  {names[i]}: first {col[0]:g} last {col[-1]:g}")
+        print("matplotlib not available; printed summaries only")
+        return
+
+    fig, ax = plt.subplots(figsize=(8, 4))
+    for i in picked:
+        ax.plot(ticks, doc["columns"][i], label=names[i], linewidth=1)
+    ax.set_title(f"takomon: {os.path.basename(doc['path'])} "
+                 f"(top {len(picked)} of {len(names)} series)")
+    ax.set_xlabel("sim tick")
+    ax.set_ylabel("counter value")
+    ax.legend(fontsize=7, loc="upper left")
+    plt.tight_layout()
+    fig.savefig(f"{outdir}/takomon_{stem}.png", dpi=120)
+    plt.close(fig)
+    print(f"wrote takomon series chart to {outdir}/takomon_{stem}.png")
+
+
+def shard_load_factors(doc):
+    """Per-run per-domain load factors from a takobench-v1 report.
+
+    Reads the shard.d<i>.events observability counters out of each
+    run's metrics; a domain's load factor is its executed events over
+    the run's per-domain mean (1.0 = perfectly balanced). Returns
+    (run names, rows); runs without at least two domains are skipped.
+    """
+    names, rows = [], []
+    for run in doc.get("runs", []):
+        m = run.get("metrics") or {}
+        events = []
+        while f"shard.d{len(events)}.events" in m:
+            events.append(m[f"shard.d{len(events)}.events"])
+        if len(events) < 2:
+            continue
+        mean = sum(events) / len(events)
+        rows.append([e / mean if mean else 0.0 for e in events])
+        names.append(run.get("name", "?"))
+    return names, rows
+
+
+def plot_suite(doc, outdir):
+    """Bar chart per run + shard load heatmap from a takobench doc."""
+    sections = parse_suite(doc)
+    heat_names, heat_rows = shard_load_factors(doc)
+    try:
+        import matplotlib
+        matplotlib.use("Agg")
+        import matplotlib.pyplot as plt
+    except ImportError:
+        for name, rows in sections.items():
+            print(f"{name}: {len(rows)} rows")
+        for name, row in zip(heat_names, heat_rows):
+            worst = max(row)
+            print(f"shard load {name}: {len(row)} domains, "
+                  f"max/mean {worst:.2f}")
+        print("matplotlib not available; printed summaries only")
+        return
+
+    wrote = plot_sections(sections, outdir, plt)
+    if heat_rows:
+        width = max(len(r) for r in heat_rows)
+        grid = [r + [math.nan] * (width - len(r)) for r in heat_rows]
+        fig, ax = plt.subplots(
+            figsize=(max(5, width * 0.5), max(3, len(grid) * 0.4 + 1)))
+        im = ax.imshow(grid, cmap="coolwarm", aspect="auto",
+                       vmin=0.0, vmax=2.0)
+        ax.set_title("Shard load factor (domain events / mean)")
+        ax.set_xlabel("domain")
+        ax.set_yticks(range(len(heat_names)))
+        ax.set_yticklabels(heat_names, fontsize=7)
+        fig.colorbar(im, ax=ax, label="load factor")
+        plt.tight_layout()
+        fig.savefig(f"{outdir}/shard_heatmap.png", dpi=120)
+        plt.close(fig)
+        wrote += 1
+        print(f"wrote shard heatmap ({len(heat_names)} runs) to "
+              f"{outdir}/shard_heatmap.png")
+    print(f"wrote {wrote} charts to {outdir}")
+
+
 def plot_takoperf(docs, outdir):
     """Events/sec trend across one or more takoperf-v1 artifacts.
 
@@ -175,34 +311,9 @@ def plot_takoperf(docs, outdir):
           f"{outdir}/takoperf_trend.png")
 
 
-def main():
-    args = sys.argv[1:] or ["bench_output.txt"]
-    outdir = "."
-    if len(args) > 1 and not args[-1].endswith((".json", ".txt")):
-        outdir = args.pop()
-    parsed = [parse(p) for p in args]
-    if all(isinstance(d, dict) and
-           str(d.get("schema", "")).startswith("takoperf")
-           for d in parsed):
-        plot_takoperf(parsed, outdir)
-        return
-    if len(parsed) > 1:
-        raise SystemExit("multiple input files are only supported for "
-                         "takoperf-v1 artifacts")
-    sections = parsed[0]
-    if isinstance(sections, dict) and \
-            str(sections.get("schema", "")).startswith("takoprof"):
-        plot_takoprof(sections, outdir)
-        return
-    try:
-        import matplotlib
-        matplotlib.use("Agg")
-        import matplotlib.pyplot as plt
-    except ImportError:
-        for name, rows in sections.items():
-            print(f"{name}: {len(rows)} rows")
-        print("matplotlib not available; printed summaries only")
-        return
+def plot_sections(sections, outdir, plt):
+    """Generic grouped-bar charts; returns the number written."""
+    wrote = 0
     for i, (name, rows) in enumerate(sections.items()):
         labels = [r[0] for r in rows if len(r) >= 2]
         try:
@@ -220,7 +331,59 @@ def main():
         safe = re.sub(r"\W+", "_", name)[:50]
         fig.savefig(f"{outdir}/{i:02d}_{safe}.png", dpi=120)
         plt.close(fig)
-    print(f"wrote {len(sections)} charts to {outdir}")
+        wrote += 1
+    return wrote
+
+
+def main():
+    args = sys.argv[1:] or ["bench_output.txt"]
+    outdir = "."
+    if len(args) > 1 and not args[-1].endswith(
+            (".json", ".txt", ".takomon")):
+        outdir = args.pop()
+    parsed = []
+    for p in args:
+        try:
+            doc = parse(p)
+        except OSError as e:
+            print(f"warning: {p}: {e.strerror or e}; skipping")
+            continue
+        if doc is not None:
+            parsed.append(doc)
+    if not parsed:
+        print("plot_results: no usable inputs (all missing or empty)")
+        return
+    if all(isinstance(d, dict) and
+           str(d.get("schema", "")).startswith("takoperf")
+           for d in parsed):
+        plot_takoperf(parsed, outdir)
+        return
+    if len(parsed) > 1:
+        raise SystemExit("multiple input files are only supported for "
+                         "takoperf-v1 artifacts")
+    sections = parsed[0]
+    if isinstance(sections, dict):
+        schema = str(sections.get("schema", ""))
+        if schema.startswith("takoprof"):
+            plot_takoprof(sections, outdir)
+            return
+        if schema.startswith("takomon"):
+            plot_takomon(sections, outdir)
+            return
+        if schema.startswith("takobench"):
+            plot_suite(sections, outdir)
+            return
+    try:
+        import matplotlib
+        matplotlib.use("Agg")
+        import matplotlib.pyplot as plt
+    except ImportError:
+        for name, rows in sections.items():
+            print(f"{name}: {len(rows)} rows")
+        print("matplotlib not available; printed summaries only")
+        return
+    wrote = plot_sections(sections, outdir, plt)
+    print(f"wrote {wrote} charts to {outdir}")
 
 
 if __name__ == "__main__":

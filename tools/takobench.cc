@@ -14,6 +14,7 @@
 
 #include <cerrno>
 #include <chrono>
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -46,6 +47,10 @@ struct Options
     /** Extra argv appended to every takosim-kind run (repeatable);
      *  bench-kind runs never see them. */
     std::vector<std::string> takosimArgs;
+    /** Heartbeat cadence passed to takosim-kind runs (--progress=N);
+     *  0 = no heartbeats. The runner tails the children's logs and
+     *  reprints every beat tagged with its run name. */
+    std::uint64_t progressEvery = 0;
 };
 
 [[noreturn]] void
@@ -68,6 +73,10 @@ usage(int code)
         "                     run's command line (repeatable; bench-kind\n"
         "                     runs are untouched). Example:\n"
         "                     --takosim-arg=--shards=4\n"
+        "  --progress[=N]     ask takosim-kind runs for a heartbeat\n"
+        "                     every N cycles (default 1000000) and\n"
+        "                     reprint each beat live, tagged with its\n"
+        "                     run name\n"
         "  --list             print the suite's runs and exit\n"
         "  --verbose          echo each child command line\n"
         "  --help             this text\n");
@@ -103,6 +112,12 @@ parse(int argc, char **argv)
                 usage(2);
             }
             o.takosimArgs.push_back(val);
+        } else if (key == "--progress") {
+            o.progressEvery =
+                val.empty() ? 1000000 : std::strtoull(val.c_str(),
+                                                      nullptr, 0);
+            if (o.progressEvery == 0)
+                o.progressEvery = 1000000;
         } else if (arg == "-j") {
             if (i + 1 >= argc)
                 usage(2);
@@ -237,6 +252,9 @@ buildCommand(const RunSpec &run, const Options &o,
         // --shards=4 for the CI determinism gate) wins on conflicts.
         for (const std::string &extra : o.takosimArgs)
             cmd.argv.push_back(extra);
+        if (o.progressEvery > 0)
+            cmd.argv.push_back("--progress=" +
+                               std::to_string(o.progressEvery));
         cmd.argv.push_back("--stats-json=" + cmd.outputJson);
     } else {
         if (run.quick)
@@ -310,6 +328,16 @@ main(int argc, char **argv)
     std::printf("takobench: suite %s, %zu runs, -j%u\n",
                 spec.suite.c_str(), cmds.size(), jobs);
     const auto t0 = std::chrono::steady_clock::now();
+    // Heartbeat multiplexing: children beat into their own log files
+    // and the runner tails them, so concurrent runs' progress lines
+    // arrive whole and tagged instead of interleaved mid-line.
+    std::function<void(const std::string &, const std::string &)> pulse;
+    if (o.progressEvery > 0) {
+        pulse = [](const std::string &name, const std::string &line) {
+            std::printf("  [%s] %s\n", name.c_str(), line.c_str());
+            std::fflush(stdout);
+        };
+    }
     std::vector<RunOutcome> outcomes = runAll(
         cmds, jobs,
         [](const RunOutcome &out, unsigned done, unsigned total) {
@@ -318,7 +346,8 @@ main(int argc, char **argv)
                         out.wallSec,
                         out.attempts > 1 ? ", retried" : "");
             std::fflush(stdout);
-        });
+        },
+        pulse);
     const double wall = std::chrono::duration<double>(
                             std::chrono::steady_clock::now() - t0)
                             .count();

@@ -745,10 +745,10 @@ ruleDescriptions()
 bool
 isModelPath(const std::string &path)
 {
-    static const std::array<const char *, 7> dirs = {
+    static const std::array<const char *, 8> dirs = {
         "src/mem/", "src/tako/", "src/noc/",
         "src/sim/", "src/morphs/", "src/prof/",
-        "src/trace/",
+        "src/trace/", "src/mon/",
     };
     std::string p = path;
     std::replace(p.begin(), p.end(), '\\', '/');

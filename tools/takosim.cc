@@ -57,6 +57,9 @@ struct Options
     std::string traceMask = "all";
     Tick sampleEvery = 0;
     std::vector<std::string> samplePatterns;
+    std::string monOut;   ///< takomon-v1 binary series output
+    Tick progressEvery = 0; ///< heartbeat cadence (0 = off)
+    std::string logJson;  ///< structured JSONL run log
     /** SystemConfig::shards: quantum-barrier sharded execution (and the
      *  ensemble lane count under --replicate). */
     unsigned shards = 1;
@@ -79,7 +82,9 @@ usage(int code)
         "               [--stats] [--stats-json=FILE] [--profile=FILE]\n"
         "               [--folded=FILE]\n"
         "               [--trace-out=FILE] [--trace-mask=CAT[,CAT...]]\n"
-        "               [--sample-every=N] [--sample=PAT[,PAT...]]\n"
+        "               [--mon-every=N] [--mon-sample=PAT[,PAT...]]\n"
+        "               [--mon-out=FILE] [--progress[=N]]\n"
+        "               [--log-json=FILE]\n"
         "               [--shards=N] [--replicate=N]\n"
         "\n"
         "  --trace=FILE       replay a takotrace-v1 binary memory trace\n"
@@ -104,10 +109,24 @@ usage(int code)
         "                     (loadable in Perfetto / chrome://tracing)\n"
         "  --trace-mask=SPEC  span categories for --trace-out; same names\n"
         "                     as TAKO_TRACE (default: all)\n"
-        "  --sample-every=N   snapshot counters every N cycles into the\n"
-        "                     time series exported by --stats-json\n"
-        "  --sample=PATS      comma-separated counter name patterns to\n"
-        "                     sample ('*' wildcards; default: all)\n"
+        "  --mon-every=N      sample counters/histograms every N cycles\n"
+        "                     into the time series exported by\n"
+        "                     --stats-json and --mon-out\n"
+        "  --mon-sample=PATS  comma-separated stat name patterns to\n"
+        "                     sample ('*' wildcards; default: all\n"
+        "                     non-host.* stats)\n"
+        "  --mon-out=FILE     write the sampled series as a takomon-v1\n"
+        "                     binary file (requires --mon-every;\n"
+        "                     bit-identical across -jN and --shards=N)\n"
+        "  --progress[=N]     heartbeat every N cycles (default 1000000):\n"
+        "                     sim ticks done, events/s, ETA when the\n"
+        "                     frontend knows the work fraction (stderr,\n"
+        "                     plus the --log-json log when enabled)\n"
+        "  --log-json=FILE    mirror warnings/errors/progress as\n"
+        "                     severity-tagged JSON lines (one object\n"
+        "                     per line; tail-able during long runs)\n"
+        "  --sample-every=N   deprecated alias of --mon-every\n"
+        "  --sample=PATS      deprecated alias of --mon-sample\n"
         "  --shards=N         run on the sharded conservative executor\n"
         "                     (quantum barriers from the mesh's minimum\n"
         "                     cross-shard latency); every non-host.*\n"
@@ -200,8 +219,14 @@ parse(int argc, char **argv)
             o.traceOut = val;
         else if (key == "--trace-mask")
             o.traceMask = val;
-        else if (key == "--sample-every")
+        else if (key == "--sample-every" || key == "--mon-every")
             o.sampleEvery = parseNum(val);
+        else if (key == "--mon-out")
+            o.monOut = val;
+        else if (key == "--progress")
+            o.progressEvery = val.empty() ? 1000000 : parseNum(val);
+        else if (key == "--log-json")
+            o.logJson = val;
         else if (key == "--shards") {
             o.shards = static_cast<unsigned>(parseNum(val));
             if (o.shards == 0)
@@ -210,7 +235,7 @@ parse(int argc, char **argv)
             o.replicate = static_cast<unsigned>(parseNum(val));
             if (o.replicate == 0)
                 o.replicate = 1;
-        } else if (key == "--sample") {
+        } else if (key == "--sample" || key == "--mon-sample") {
             std::size_t pos = 0;
             while (pos <= val.size()) {
                 const std::size_t comma = val.find(',', pos);
@@ -336,6 +361,42 @@ main(int argc, char **argv)
         sys.mem.l3BankSize = o.l3bank;
     sys.sampleInterval = o.sampleEvery;
     sys.samplePatterns = o.samplePatterns;
+    sys.monPath = o.monOut;
+    sys.progressEvery = o.progressEvery;
+    if (!o.monOut.empty() && o.sampleEvery == 0) {
+        std::fprintf(stderr,
+                     "takosim: --mon-out=FILE requires --mon-every=N "
+                     "(the file holds the sampled series)\n");
+        return 2;
+    }
+    if (!o.logJson.empty()) {
+        if (!setJsonLog(o.logJson)) {
+            std::fprintf(stderr, "takosim: cannot open '%s'\n",
+                         o.logJson.c_str());
+            return 1;
+        }
+        jsonLogEvent("run",
+                     {{"tool", "takosim"},
+                      {"workload", o.workload},
+                      {"variant", o.variant},
+                      {"git_rev", TAKO_GIT_REV}},
+                     {{"cores", static_cast<double>(o.cores)},
+                      {"seed", static_cast<double>(o.seed)},
+                      {"shards", static_cast<double>(o.shards)}});
+        if (o.progressEvery > 0) {
+            // Beats go to the human stderr line AND the structured log.
+            sys.onBeat = [](const mon::ProgressBeat &b) {
+                mon::printProgressBeat(b);
+                jsonLogEvent(
+                    "progress", {},
+                    {{"tick", static_cast<double>(b.tick)},
+                     {"events", static_cast<double>(b.events)},
+                     {"host_seconds", b.hostSeconds},
+                     {"events_per_sec", b.eventsPerSec},
+                     {"fraction_done", b.fractionDone}});
+            };
+        }
+    }
     // takosim exists to inspect runs; always collect the mem.breakdown.*
     // latency attribution (benches leave it off to keep the hot path
     // lean — see MemParams::latBreakdown).
@@ -344,13 +405,14 @@ main(int argc, char **argv)
     sys.shards = o.shards;
     if (o.replicate > 1 &&
         (sys.profile || !o.traceOut.empty() || o.sampleEvery > 0 ||
-         !o.samplePatterns.empty() || !o.traceRecord.empty())) {
+         !o.samplePatterns.empty() || !o.traceRecord.empty() ||
+         !o.monOut.empty() || o.progressEvery > 0)) {
         std::fprintf(stderr,
                      "takosim: --replicate=%u is incompatible with "
-                     "--profile/--folded/--trace-out/--sample-every/"
-                     "--sample/--trace-record (they write through "
-                     "process-global or single-file sinks; replicas "
-                     "run concurrently)\n",
+                     "--profile/--folded/--trace-out/--mon-every/"
+                     "--mon-sample/--mon-out/--progress/--trace-record "
+                     "(they write through process-global or "
+                     "single-file sinks; replicas run concurrently)\n",
                      o.replicate);
         return 2;
     }
@@ -500,6 +562,15 @@ main(int argc, char **argv)
         }
         if (!o.folded.empty())
             m.prof->writeFolded(o.folded == "-" ? std::cout : foldedFile);
+    }
+    if (jsonLogEnabled()) {
+        jsonLogEvent(
+            "done", {},
+            {{"cycles", static_cast<double>(m.cycles)},
+             {"energy", m.energy},
+             {"host_seconds",
+              m.stats ? m.stats->get("host.seconds") : 0.0}});
+        setJsonLog("");
     }
     return 0;
 }

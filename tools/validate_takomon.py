@@ -1,0 +1,246 @@
+#!/usr/bin/env python3
+"""Independent takomon-v1 schema and invariant checker.
+
+A second, stdlib-only implementation of the decoder (see DESIGN.md
+Sec. 4.10 and src/mon/format.hh) so CI catches format drift between the
+C++ codec and the documented spec. Checks, per file:
+
+  - file header: magic, version, zero flags, nonzero interval;
+  - series directory: known kinds, exact dirBytes coverage, CRC-32;
+  - chunk walk: magics, firstIndex continuity, exact coverage of the
+    file (no trailing bytes), header sample count == sum of chunks;
+  - every chunk payload: CRC-32 (binascii.crc32 — same IEEE polynomial
+    as the C++ table), full column decode (tick column strictly
+    increasing file-wide, known column tags, no bytes left over).
+
+Exit 0 iff every file validates. Usage:
+
+  validate_takomon.py run.takomon [more.takomon ...]
+"""
+
+import argparse
+import binascii
+import struct
+import sys
+
+MAGIC = b"takomon1"
+VERSION = 1
+CHUNK_MAGIC = 0x31484D54
+FILE_HEADER = struct.Struct("<8sIIQIIQ")
+CHUNK_HEADER = struct.Struct("<IIIIQ")
+NUM_KINDS = 4  # counter, hist count, hist sum, hist max
+COL_INT_DELTAS = 0
+COL_RAW_DOUBLES = 1
+MASK64 = (1 << 64) - 1
+
+
+class MonError(Exception):
+    pass
+
+
+def get_varint(data, pos, end):
+    """Decode one LEB128 value; returns (value, new_pos)."""
+    value = 0
+    shift = 0
+    while pos < end and shift < 64:
+        byte = data[pos]
+        pos += 1
+        value |= (byte & 0x7F) << shift
+        if not byte & 0x80:
+            return value, pos
+        shift += 7
+    raise MonError("truncated or over-long varint")
+
+
+def zigzag_decode(v):
+    return (v >> 1) ^ -(v & 1)
+
+
+def read_directory(data, start, dir_bytes, series_count):
+    """Decode the series directory; returns the series list."""
+    pos = start
+    end = start + dir_bytes
+    series = []
+    for i in range(series_count):
+        if pos >= end:
+            raise MonError(f"directory ends mid-entry at series {i}")
+        kind = data[pos]
+        pos += 1
+        if kind >= NUM_KINDS:
+            raise MonError(f"series {i}: unknown kind {kind}")
+        name_len, pos = get_varint(data, pos, end)
+        if pos + name_len > end:
+            raise MonError(f"series {i}: name overruns the directory")
+        name = data[pos:pos + name_len].decode("utf-8", "replace")
+        pos += name_len
+        series.append((name, kind))
+    if pos != end:
+        raise MonError(
+            f"{end - pos} directory bytes left after the last series")
+    return series
+
+
+def check_chunk(data, start, end, samples, series_count, last_tick,
+                first_chunk, ticks, columns):
+    """Decode one chunk payload into @p ticks / @p columns; returns the
+    last tick seen."""
+    pos = start
+    # Tick column: LEB128 deltas, context resets per chunk (first value
+    # absolute). Ticks are strictly increasing file-wide.
+    tick = 0
+    for i in range(samples):
+        delta, pos = get_varint(data, pos, end)
+        if i == 0:
+            tick = delta
+            if not first_chunk and tick <= last_tick:
+                raise MonError(
+                    f"first tick {tick} does not advance past the "
+                    f"previous chunk's last tick {last_tick}")
+        else:
+            if delta == 0:
+                raise MonError(f"sample {i}: repeated tick {tick}")
+            tick += delta
+        ticks.append(tick)
+    last = tick
+    # Value columns, one per series, each led by its encoding tag.
+    for s in range(series_count):
+        if pos >= end:
+            raise MonError(f"payload ends before column {s}")
+        tag = data[pos]
+        pos += 1
+        col = columns[s]
+        if tag == COL_INT_DELTAS:
+            # Zigzag LEB128 of wrapping int64 diffs; context resets per
+            # chunk (prev = 0, so the first delta is the value itself).
+            prev = 0
+            for _ in range(samples):
+                raw, pos = get_varint(data, pos, end)
+                prev = (prev + zigzag_decode(raw)) & MASK64
+                v = prev - (1 << 64) if prev >= (1 << 63) else prev
+                col.append(float(v))
+        elif tag == COL_RAW_DOUBLES:
+            need = 8 * samples
+            if pos + need > end:
+                raise MonError(f"column {s}: truncated double column")
+            col.extend(struct.unpack_from(f"<{samples}d", data, pos))
+            pos += need
+        else:
+            raise MonError(f"column {s}: unknown encoding tag {tag}")
+    if pos != end:
+        raise MonError(
+            f"{end - pos} payload bytes left after the last column")
+    return last
+
+
+def decode(path):
+    """Validate @p path fully and materialize its contents.
+
+    Returns (series, ticks, columns, chunks): series is
+    [(name, kind), ...], ticks the sample ticks, columns one list of
+    floats per series (aligned with ticks). Raises MonError on any spec
+    violation — importers (tools/plot_results.py) get the same
+    strictness as the CLI checker.
+    """
+    with open(path, "rb") as f:
+        data = f.read()
+    if len(data) < FILE_HEADER.size:
+        raise MonError("shorter than a file header")
+    (magic, version, flags, interval, series_count, dir_bytes,
+     sample_count) = FILE_HEADER.unpack_from(data, 0)
+    if magic != MAGIC:
+        raise MonError("bad magic (not a takomon file)")
+    if version != VERSION:
+        raise MonError(f"format version {version}, expected {VERSION}")
+    if flags != 0:
+        raise MonError(f"unknown flag bits {flags:#x}")
+    if interval == 0:
+        raise MonError("zero sampling interval")
+
+    dir_end = FILE_HEADER.size + dir_bytes
+    if dir_end + 4 > len(data):
+        raise MonError("truncated in the series directory")
+    series = read_directory(data, FILE_HEADER.size, dir_bytes,
+                            series_count)
+    (stored_crc,) = struct.unpack_from("<I", data, dir_end)
+    got_crc = binascii.crc32(data[FILE_HEADER.size:dir_end])
+    if got_crc != stored_crc:
+        raise MonError(
+            f"directory CRC mismatch (stored {stored_crc:#010x}, "
+            f"computed {got_crc:#010x})")
+
+    pos = dir_end + 4
+    total = 0
+    chunks = 0
+    last_tick = 0
+    ticks = []
+    columns = [[] for _ in range(series_count)]
+    while pos < len(data):
+        if pos + CHUNK_HEADER.size > len(data):
+            raise MonError(f"truncated at chunk {chunks} header")
+        cmagic, samples, payload_bytes, crc, first_index = (
+            CHUNK_HEADER.unpack_from(data, pos))
+        if cmagic != CHUNK_MAGIC:
+            raise MonError(f"chunk {chunks}: bad magic {cmagic:#x}")
+        if samples == 0:
+            raise MonError(f"chunk {chunks}: empty chunk")
+        if first_index != total:
+            raise MonError(
+                f"chunk {chunks}: firstIndex {first_index} != running "
+                f"count {total}")
+        start = pos + CHUNK_HEADER.size
+        end = start + payload_bytes
+        if end > len(data):
+            raise MonError(f"truncated in chunk {chunks} payload")
+        got = binascii.crc32(data[start:end])
+        if got != crc:
+            raise MonError(
+                f"chunk {chunks}: CRC mismatch (stored {crc:#010x}, "
+                f"computed {got:#010x})")
+        try:
+            last_tick = check_chunk(data, start, end, samples,
+                                    series_count, last_tick,
+                                    chunks == 0, ticks, columns)
+        except MonError as e:
+            raise MonError(f"chunk {chunks}: {e}") from None
+        total += samples
+        chunks += 1
+        pos = end
+    if total != sample_count:
+        if sample_count == MASK64:
+            raise MonError("unpatched sample count (unclosed writer?)")
+        raise MonError(
+            f"header says {sample_count} samples, chunks hold {total}")
+    return series, ticks, columns, chunks
+
+
+def validate(path):
+    """Full check of one file; returns (series, samples, chunks)."""
+    series, ticks, _, chunks = decode(path)
+    return len(series), len(ticks), chunks
+
+
+def main():
+    ap = argparse.ArgumentParser(
+        description="validate takomon-v1 files against the spec")
+    ap.add_argument("files", nargs="+", help=".takomon files")
+    args = ap.parse_args()
+
+    failures = 0
+    for path in args.files:
+        try:
+            nseries, samples, chunks = validate(path)
+        except (MonError, OSError) as e:
+            print(f"FAIL {path}: {e}")
+            failures += 1
+        else:
+            print(f"ok   {path}: {nseries} series, {samples} samples, "
+                  f"{chunks} chunks")
+    if failures:
+        print(f"validate_takomon: {failures} of {len(args.files)} "
+              f"file(s) invalid")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
