@@ -22,7 +22,7 @@ Guest::eq() const
 Tick
 Guest::now() const
 {
-    return core_.eq().now();
+    return ctxNow(core_.eq());
 }
 
 MemorySystem &
@@ -264,7 +264,7 @@ Core::memOp(MemCmd cmd, Addr addr, std::uint64_t wdata, bool no_fetch,
     instrs_ += 1;
     myInstrs_ += 1;
     energy_.coreInstrs(1);
-    const Tick start = eq_.now();
+    const Tick start = ctxNow(eq_);
     AccessReq req;
     req.cmd = cmd;
     req.addr = addr;
@@ -274,7 +274,7 @@ Core::memOp(MemCmd cmd, Addr addr, std::uint64_t wdata, bool no_fetch,
     req.useOnce = use_once;
     const std::uint64_t v = co_await mem_.access(req);
     if (cmd == MemCmd::Load)
-        loadLatency_.sample(eq_.now() - start);
+        loadLatency_.sample(ctxNow(eq_) - start);
     co_return v;
 }
 

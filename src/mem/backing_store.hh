@@ -16,6 +16,7 @@
 #include <cstring>
 #include <map>
 #include <memory>
+#include <mutex>
 
 #include "sim/logging.hh"
 #include "sim/types.hh"
@@ -114,13 +115,41 @@ class BackingStore
     }
 
     /** Number of allocated pages (for tests and footprint checks). */
-    std::size_t allocatedPages() const { return pages_.size(); }
+    std::size_t
+    allocatedPages() const
+    {
+        std::size_t n = 0;
+        for (const Stripe &s : stripes_) {
+            std::lock_guard<std::mutex> g(s.mu);
+            n += s.pages.size();
+        }
+        return n;
+    }
 
   private:
     struct Page
     {
         std::array<std::uint64_t, pageBytes / 8> words{};
     };
+
+    /**
+     * Pages shard across 64 stripes by page number so shard domains
+     * committing functional data rarely contend on the same map. Only
+     * the map structure is guarded: word accesses go through the
+     * returned pointer unguarded, which is safe because coherence
+     * serializes every same-line access (one M/E owner at a time) and
+     * distinct words never alias. Pages are never freed, so pointers
+     * obtained under the lock cannot dangle. (The previous single-entry
+     * mutable MRU cache was dropped: it was a write on the read path,
+     * a data race under decomposition.)
+     */
+    struct Stripe
+    {
+        mutable std::mutex mu;
+        std::map<std::uint64_t, std::unique_ptr<Page>> pages;
+    };
+
+    static constexpr std::size_t numStripes = 64;
 
     static std::uint64_t pageNumber(Addr addr) { return addr / pageBytes; }
 
@@ -134,38 +163,25 @@ class BackingStore
     findPage(Addr addr) const
     {
         const std::uint64_t pn = pageNumber(addr);
-        if (pn == mruPage_)
-            return mru_;
-        auto it = pages_.find(pn);
-        if (it == pages_.end())
-            return nullptr;
-        mruPage_ = pn;
-        mru_ = it->second.get();
-        return mru_;
+        const Stripe &s = stripes_[pn % numStripes];
+        std::lock_guard<std::mutex> g(s.mu);
+        auto it = s.pages.find(pn);
+        return it == s.pages.end() ? nullptr : it->second.get();
     }
 
     Page &
     getPage(Addr addr)
     {
         const std::uint64_t pn = pageNumber(addr);
-        if (pn == mruPage_)
-            return *mru_;
-        auto &slot = pages_[pn];
+        Stripe &s = stripes_[pn % numStripes];
+        std::lock_guard<std::mutex> g(s.mu);
+        auto &slot = s.pages[pn];
         if (!slot)
             slot = std::make_unique<Page>();
-        mruPage_ = pn;
-        mru_ = slot.get();
         return *slot;
     }
 
-    /**
-     * Ordered (takolint D1): never iterated today, and accesses cluster
-     * within a page, so the one-entry MRU in front absorbs the tree
-     * walk; pages are never freed, so the cached pointer cannot dangle.
-     */
-    std::map<std::uint64_t, std::unique_ptr<Page>> pages_;
-    mutable std::uint64_t mruPage_ = ~std::uint64_t{0};
-    mutable Page *mru_ = nullptr;
+    std::array<Stripe, numStripes> stripes_;
 };
 
 } // namespace tako

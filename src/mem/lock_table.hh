@@ -77,7 +77,10 @@ class LineLockTable
         } else {
             auto h = it->second.front();
             it->second.pop_front();
-            eq_.schedule(0, [h]() { h.resume(); });
+            // Resume in the releasing context's domain: lock tables are
+            // tile-affine under decomposition, so the waiter belongs to
+            // the same domain the release executes in.
+            homeQueue(eq_).schedule(0, [h]() { h.resume(); });
         }
     }
 

@@ -3,16 +3,18 @@
 #include <algorithm>
 
 #include "prof/profiler.hh"
+#include "sim/domains.hh"
 #include "sim/trace.hh"
 #include "sim/tracesink.hh"
 
 namespace tako
 {
 
-MemorySystem::MemorySystem(const MemParams &params, EventQueue &eq,
-                           StatsRegistry &stats, EnergyModel &energy,
-                           Mesh &noc)
+MemorySystem::MemorySystem(const MemParams &params, Domains &dom,
+                           EventQueue &eq, StatsRegistry &stats,
+                           EnergyModel &energy, Mesh &noc)
     : params_(params),
+      dom_(dom),
       eq_(eq),
       stats_(stats),
       energy_(energy),
@@ -65,6 +67,9 @@ MemorySystem::MemorySystem(const MemParams &params, EventQueue &eq,
     panic_if(params_.tiles != noc_.numTiles(),
              "tile count (%u) != mesh size (%u)", params_.tiles,
              noc_.numTiles());
+    panic_if(params_.tiles != dom_.tiles(),
+             "tile count (%u) != domain plan (%u)", params_.tiles,
+             dom_.tiles());
     tiles_.reserve(params_.tiles);
     for (unsigned t = 0; t < params_.tiles; ++t)
         tiles_.push_back(std::make_unique<TileState>(params_, eq_));
@@ -83,6 +88,9 @@ MemorySystem::MemorySystem(const MemParams &params, EventQueue &eq,
                 : 0;
     }
 
+    inflightLanes_.resize(dom_.domainCount());
+    phaseLanes_.resize(params_.memCtrls);
+
     setPhase("default");
 }
 
@@ -90,11 +98,29 @@ void
 MemorySystem::setPhase(const std::string &phase)
 {
     phase_ = phase;
-    // Lazily re-resolved on the next DRAM access: creating the counters
-    // here would register zero-valued stats for phases that never touch
-    // DRAM, changing the emitted counter set.
-    dramReadsPhase_ = nullptr;
-    dramWritesPhase_ = nullptr;
+    if (!detail::execCtx.queue) {
+        // Pre-run (constructor, test setup): no events are in flight, so
+        // the replicas can change in place.
+        for (PhaseLane &pl : phaseLanes_) {
+            pl.phase = phase;
+            pl.reads = nullptr;
+            pl.writes = nullptr;
+        }
+        return;
+    }
+    // Mid-run: the label is only ever consumed at the controllers'
+    // tiles, so broadcast one message per controller — each updates its
+    // own controller's replica, making the switch tick exact and
+    // identical at every shard count. Handles re-resolve lazily (the
+    // counter is only registered for phases that actually touch DRAM).
+    for (unsigned c = 0; c < params_.memCtrls; ++c) {
+        dom_.post(ctrlTile(c), dom_.quantum(), [this, c, phase]() {
+            PhaseLane &pl = phaseLanes_[c];
+            pl.phase = phase;
+            pl.reads = nullptr;
+            pl.writes = nullptr;
+        });
+    }
 }
 
 void
@@ -155,9 +181,27 @@ MemorySystem::dramWrites() const
     return static_cast<std::uint64_t>(dramWrites_->value());
 }
 
+unsigned
+MemorySystem::inflight() const
+{
+    std::uint64_t n = 0;
+    for (const DomainCell &c : inflightLanes_)
+        n += c.value;
+    return static_cast<unsigned>(n);
+}
+
 // ---------------------------------------------------------------------
 // Main access path
 // ---------------------------------------------------------------------
+
+Task<>
+MemorySystem::hop(int src, int dst, unsigned bytes, LatBreakdown *bd)
+{
+    const Tick t0 = ctxNow(eq_);
+    co_await noc_.walk(dom_, src, dst, bytes);
+    if (bd)
+        bd->noc += ctxNow(eq_) - t0;
+}
 
 Task<std::uint64_t>
 MemorySystem::access(AccessReq req)
@@ -167,7 +211,7 @@ MemorySystem::access(AccessReq req)
     // reference stream, so a recorded trace replays 1:1.
     if (accessTracer_ && !req.prefetch && !req.fromEngine &&
         req.callbackLevel < 0)
-        accessTracer_(eq_.now(), req);
+        accessTracer_(ctxNow(eq_), req);
 
     const Addr line = lineAlign(req.addr);
     const bool need_m = req.cmd != MemCmd::Load;
@@ -195,8 +239,8 @@ MemorySystem::access(AccessReq req)
                  (unsigned long long)req.addr, req.tile, mb->tile);
     }
 
-    ++inflight_;
-    const Tick t_start = eq_.now();
+    ++inflightLanes_[ctxDomain()].value;
+    const Tick t_start = ctxNow(eq_);
     TileState &t = *tiles_[req.tile];
     CacheArray &l1 = req.fromEngine ? t.engL1 : t.l1;
     // Engine accesses carry trrîp's low-priority tag (Sec. 5.2):
@@ -246,16 +290,16 @@ MemorySystem::access(AccessReq req)
             bd.cache = l1_lat;
             finishAccess(req, t_start, bd);
         }
-        --inflight_;
+        --inflightLanes_[ctxDomain()].value;
         co_return v;
     }
     ++*l1Misses_;
 
     // Serialize same-line transactions within the tile; this also merges
     // concurrent misses to the same line (MSHR-style).
-    Tick t0 = eq_.now();
+    Tick t0 = ctxNow(eq_);
     co_await t.tileLocks.acquire(line);
-    const Tick tile_lock_wait = eq_.now() - t0;
+    const Tick tile_lock_wait = ctxNow(eq_) - t0;
 
     if (!req.prefetch && l1_hit_ok()) {
         // A merged request filled the line while we waited.
@@ -268,7 +312,7 @@ MemorySystem::access(AccessReq req)
             bd.lockWait = tile_lock_wait;
             finishAccess(req, t_start, bd);
         }
-        --inflight_;
+        --inflightLanes_[ctxDomain()].value;
         co_return v;
     }
 
@@ -308,7 +352,7 @@ MemorySystem::access(AccessReq req)
     const bool l2_ok =
         w2 && (!need_m || w2->coh == Coh::E || w2->coh == Coh::M);
 
-    TRACE(Cache, eq_.now(), "tile %d %s %#llx %s L2", req.tile,
+    TRACE(Cache, ctxNow(eq_), "tile %d %s %#llx %s L2", req.tile,
           req.cmd == MemCmd::Load ? "ld" : "st/at",
           (unsigned long long)line, l2_ok ? "hits" : "misses");
     if (l2_ok) {
@@ -325,9 +369,9 @@ MemorySystem::access(AccessReq req)
     } else {
         ++*l2Misses_;
         Semaphore &mshrs = req.fromEngine ? t.engineMshrs : t.coreMshrs;
-        t0 = eq_.now();
+        t0 = ctxNow(eq_);
         co_await mshrs.acquire();
-        bd.lockWait += eq_.now() - t0;
+        bd.lockWait += ctxNow(eq_) - t0;
         if (!w2 && mb && mb->level == MorphLevel::Private && mb->phantom) {
             // Private phantom miss: allocate at L2, zero the line, and
             // let onMiss generate the data (Table 1 semantics).
@@ -338,9 +382,9 @@ MemorySystem::access(AccessReq req)
                 Completion<bool> done(eq_);
                 sink_->triggerMiss(req.tile, line, *mb,
                                    [&done]() { done.complete(true); });
-                t0 = eq_.now();
+                t0 = ctxNow(eq_);
                 co_await done;
-                bd.callbackWait += eq_.now() - t0;
+                bd.callbackWait += ctxNow(eq_) - t0;
             }
         } else {
             co_await fetchIntoL2(req.tile, line, need_m, engine_repl,
@@ -360,7 +404,7 @@ MemorySystem::access(AccessReq req)
     const std::uint64_t v = req.prefetch ? 0 : doFunctional(req);
     if (observing())
         finishAccess(req, t_start, bd);
-    --inflight_;
+    --inflightLanes_[ctxDomain()].value;
     co_return v;
 }
 
@@ -374,7 +418,7 @@ MemorySystem::finishAccess(const AccessReq &req, Tick start,
         hBdLock_->sample(bd.lockWait);
         hBdDram_->sample(bd.dram);
         hBdCbWait_->sample(bd.callbackWait);
-        hBdTotal_->sample(eq_.now() - start);
+        hBdTotal_->sample(ctxNow(eq_) - start);
     }
     if (trace::spanEnabled(trace::Flag::Mem)) {
         trace::ChromeTraceWriter &w = *trace::spanSink();
@@ -388,7 +432,7 @@ MemorySystem::finishAccess(const AccessReq &req, Tick start,
         else if (req.cmd != MemCmd::Load)
             name = "atomic";
         w.completeEvent(
-            "mem", name, 0, req.tile, start, eq_.now() - start,
+            "mem", name, 0, req.tile, start, ctxNow(eq_) - start,
             strprintf("{\"addr\":\"%#llx\",\"engine\":%s,"
                       "\"cache\":%llu,\"noc\":%llu,\"lock_wait\":%llu,"
                       "\"dram\":%llu,\"callback_wait\":%llu}",
@@ -400,6 +444,33 @@ MemorySystem::finishAccess(const AccessReq &req, Tick start,
                       (unsigned long long)bd.dram,
                       (unsigned long long)bd.callbackWait));
     }
+}
+
+Task<>
+MemorySystem::coherenceVisit(int bank, int tile, Addr line, bool downgrade,
+                             bool *dirty_out)
+{
+    co_await hop(bank, tile, 8);
+    bool dirty = false;
+    if (downgrade) {
+        co_await Delay{eq_, params_.l2TagLat + params_.l2DataLat};
+        TileState &o = *tiles_[tile];
+        if (CacheWay *ow = o.l2.lookup(line)) {
+            if (ow->dirty) {
+                dirty = true;
+                ow->dirty = false;
+            }
+            ow->coh = Coh::S;
+        }
+        co_await hop(tile, bank, 72);
+    } else {
+        co_await Delay{eq_, params_.l2TagLat};
+        dirty = invalidateTileCopies(tile, line, true);
+        co_await hop(tile, bank, 8);
+    }
+    // Back at the bank: the flag lives in the bank-side caller's frame,
+    // so every visit's merge executes in the bank's domain.
+    *dirty_out |= dirty;
 }
 
 Task<>
@@ -416,12 +487,10 @@ MemorySystem::fetchIntoL2(int tile, Addr line, bool want_m, bool engine,
              "private phantom line %#llx reached the L3 path",
              (unsigned long long)line);
 
-    Tick t0 = eq_.now();
-    co_await nocHop(tile, bank, 8);
-    bd.noc += eq_.now() - t0;
-    t0 = eq_.now();
+    co_await hop(tile, bank, 8, &bd);
+    Tick t0 = ctxNow(eq_);
     co_await b.bankLocks.acquire(line);
-    bd.lockWait += eq_.now() - t0;
+    bd.lockWait += ctxNow(eq_) - t0;
     co_await Delay{eq_, params_.l3TagLat};
     bd.cache += params_.l3TagLat;
     energy_.l3Access();
@@ -443,9 +512,9 @@ MemorySystem::fetchIntoL2(int tile, Addr line, bool want_m, bool engine,
                 Completion<bool> done(eq_);
                 sink_->triggerMiss(bank, line, *mb,
                                    [&done]() { done.complete(true); });
-                t0 = eq_.now();
+                t0 = ctxNow(eq_);
                 co_await done;
-                bd.callbackWait += eq_.now() - t0;
+                bd.callbackWait += ctxNow(eq_) - t0;
             }
         } else if (shared_morph && mb->hasMiss && sink_) {
             // Real shared morph: onMiss overlaps the memory fetch
@@ -457,9 +526,9 @@ MemorySystem::fetchIntoL2(int tile, Addr line, bool want_m, bool engine,
             spawn(dramFetch(bank, line), join.completion());
             sink_->triggerMiss(bank, line, *mb,
                                join.completion());
-            t0 = eq_.now();
+            t0 = ctxNow(eq_);
             co_await join.wait();
-            bd.callbackWait += eq_.now() - t0;
+            bd.callbackWait += ctxNow(eq_) - t0;
         } else if (no_fetch && want_m && !mb) {
             // Streaming store: write-combining allocation, no memory
             // read. The line becomes dirty and writes back as usual.
@@ -469,60 +538,57 @@ MemorySystem::fetchIntoL2(int tile, Addr line, bool want_m, bool engine,
         }
     } else {
         ++*l3Hits_;
-        Tick extra = 0;
         if (want_m) {
-            // Invalidate all other copies.
+            // Invalidate all other copies — each invalidation is a real
+            // visit to the sharer's tile, executing the cache mutation
+            // in the sharer's own domain; the directory waits here (with
+            // the bank lock held) for every acknowledgment.
             std::uint32_t others =
                 w3->sharers & ~(1u << static_cast<unsigned>(tile));
             if (w3->owner >= 0 && w3->owner != tile)
                 others |= 1u << static_cast<unsigned>(w3->owner);
-            for (unsigned s = 0; s < params_.tiles; ++s) {
-                if (!(others & (1u << s)))
-                    continue;
-                ++*invalidations_;
-                TRACE(Coherence, eq_.now(),
-                      "bank %d invalidates tile %u for %#llx", bank, s,
-                      (unsigned long long)line);
-                const bool dirty = invalidateTileCopies(
-                    static_cast<int>(s), line, true);
-                if (dirty)
+            if (others) {
+                Join join(eq_);
+                bool vdirty = false;
+                for (unsigned s = 0; s < params_.tiles; ++s) {
+                    if (!(others & (1u << s)))
+                        continue;
+                    ++*invalidations_;
+                    TRACE(Coherence, ctxNow(eq_),
+                          "bank %d invalidates tile %u for %#llx", bank,
+                          s, (unsigned long long)line);
+                    join.add(1);
+                    spawn(coherenceVisit(bank, static_cast<int>(s), line,
+                                         false, &vdirty),
+                          join.completion());
+                }
+                t0 = ctxNow(eq_);
+                co_await join.wait();
+                bd.noc += ctxNow(eq_) - t0;
+                if (vdirty)
                     w3->dirty = true;
-                const Tick rt =
-                    noc_.traverse(eq_.now(), bank, static_cast<int>(s),
-                                  8) +
-                    params_.l2TagLat +
-                    noc_.traverse(eq_.now(), static_cast<int>(s), bank,
-                                  8);
-                extra = std::max(extra, rt);
             }
         } else if (w3->owner >= 0 && w3->owner != tile) {
-            // Downgrade the exclusive owner to Shared.
+            // Downgrade the exclusive owner to Shared (one visit).
             ++*downgrades_;
-            TileState &o = *tiles_[w3->owner];
-            if (CacheWay *ow = o.l2.lookup(line)) {
-                if (ow->dirty) {
-                    w3->dirty = true;
-                    ow->dirty = false;
-                }
-                ow->coh = Coh::S;
-            }
-            const Tick rt =
-                noc_.traverse(eq_.now(), bank, w3->owner, 8) +
-                params_.l2TagLat + params_.l2DataLat +
-                noc_.traverse(eq_.now(), w3->owner, bank, 72);
-            extra = rt;
+            bool vdirty = false;
+            t0 = ctxNow(eq_);
+            co_await coherenceVisit(bank, w3->owner, line, true, &vdirty);
+            bd.noc += ctxNow(eq_) - t0;
+            if (vdirty)
+                w3->dirty = true;
             w3->owner = -1;
         }
-        co_await Delay{eq_, extra + params_.l3DataLat};
-        // Remote invalidation/downgrade round trips are NoC-dominated.
-        bd.noc += extra;
+        co_await Delay{eq_, params_.l3DataLat};
         bd.cache += params_.l3DataLat;
         b.l3.touch(*w3, engine);
     }
 
-    // Directory update and L2 install commit atomically here, while the
-    // bank lock is held, so invalidations always observe a consistent
-    // directory (see DESIGN.md on the serialized-at-directory model).
+    // Directory update commits here, with the bank lock held; the lock
+    // stays held across the response hop and the L2 install below, so
+    // grant and install are atomic with respect to every other
+    // transaction on this line (an invalidation can never slip between
+    // the directory saying "tile has it" and the tile's L2 agreeing).
     Coh grant;
     if (want_m) {
         w3->sharers = 1u << static_cast<unsigned>(tile);
@@ -538,6 +604,8 @@ MemorySystem::fetchIntoL2(int tile, Addr line, bool want_m, bool engine,
         grant = sole ? Coh::E : Coh::S;
     }
 
+    co_await hop(bank, tile, 72, &bd);
+
     if (CacheWay *w2 = t.l2.lookup(line)) {
         // Upgrade in place.
         w2->coh = grant;
@@ -548,69 +616,66 @@ MemorySystem::fetchIntoL2(int tile, Addr line, bool want_m, bool engine,
         co_await insertL2(tile, line, grant, mb, engine, use_once, &bd);
     }
 
-    b.bankLocks.release(line);
-    t0 = eq_.now();
-    co_await nocHop(bank, tile, 72);
-    bd.noc += eq_.now() - t0;
+    // Unlock message back to the bank's domain (one quantum, like any
+    // other cross-domain signal — same delta at every shard count).
+    dom_.post(bank, dom_.quantum(), [this, bank, line]() {
+        tiles_[bank]->bankLocks.release(line);
+    });
 }
 
 Task<>
 MemorySystem::dramFetch(int bank_tile, Addr line, LatBreakdown *bd)
 {
     const unsigned c = ctrlOf(line);
-    Tick t0 = eq_.now();
-    co_await nocHop(bank_tile, ctrlTile(c), 8);
-    if (bd)
-        bd->noc += eq_.now() - t0;
-    const Tick lat = ctrls_[c].access(eq_.now());
-    TRACE(Dram, eq_.now(), "read %#llx via ctrl %u",
+    co_await hop(bank_tile, ctrlTile(c), 8, bd);
+    const Tick lat = ctrls_[c].access(ctxNow(eq_));
+    TRACE(Dram, ctxNow(eq_), "read %#llx via ctrl %u",
           (unsigned long long)line, c);
     if (trace::spanEnabled(trace::Flag::Dram)) {
         trace::ChromeTraceWriter &w = *trace::spanSink();
         w.ensureTrack(2, "dram", static_cast<int>(c),
                       strprintf("ctrl%u", c));
-        w.completeEvent("dram", "read", 2, static_cast<int>(c), eq_.now(),
-                        lat,
+        w.completeEvent("dram", "read", 2, static_cast<int>(c),
+                        ctxNow(eq_), lat,
                         strprintf("{\"addr\":\"%#llx\"}",
                                   (unsigned long long)line));
     }
     ++*dramReads_;
-    if (!dramReadsPhase_) [[unlikely]]
+    PhaseLane &pl = phaseLanes_[c];
+    if (!pl.reads) [[unlikely]]
         // takolint: ok(S1, re-resolved once per phase change, then cached)
-        dramReadsPhase_ = stats_.handle("dram.reads." + phase_);
-    ++*dramReadsPhase_;
+        pl.reads = stats_.handle("dram.reads." + pl.phase);
+    ++*pl.reads;
     energy_.dramAccess();
     if (dramTracer_)
         dramTracer_(line, false);
     co_await Delay{eq_, lat};
     if (bd)
         bd->dram += lat;
-    t0 = eq_.now();
-    co_await nocHop(ctrlTile(c), bank_tile, 72);
-    if (bd)
-        bd->noc += eq_.now() - t0;
+    co_await hop(ctrlTile(c), bank_tile, 72, bd);
 }
 
 Task<>
 MemorySystem::dramWritebackTask(int bank_tile, Addr line)
 {
     const unsigned c = ctrlOf(line);
-    co_await nocHop(bank_tile, ctrlTile(c), 72);
-    const Tick lat = ctrls_[c].access(eq_.now());
+    co_await hop(bank_tile, ctrlTile(c), 72);
+    const Tick lat = ctrls_[c].access(ctxNow(eq_));
     if (trace::spanEnabled(trace::Flag::Dram)) {
         trace::ChromeTraceWriter &w = *trace::spanSink();
         w.ensureTrack(2, "dram", static_cast<int>(c),
                       strprintf("ctrl%u", c));
         w.completeEvent("dram", "write", 2, static_cast<int>(c),
-                        eq_.now(), lat,
+                        ctxNow(eq_), lat,
                         strprintf("{\"addr\":\"%#llx\"}",
                                   (unsigned long long)line));
     }
     ++*dramWrites_;
-    if (!dramWritesPhase_) [[unlikely]]
+    PhaseLane &pl = phaseLanes_[c];
+    if (!pl.writes) [[unlikely]]
         // takolint: ok(S1, re-resolved once per phase change, then cached)
-        dramWritesPhase_ = stats_.handle("dram.writes." + phase_);
-    ++*dramWritesPhase_;
+        pl.writes = stats_.handle("dram.writes." + pl.phase);
+    ++*pl.writes;
     energy_.dramAccess();
     if (dramTracer_)
         dramTracer_(line, true);
@@ -628,7 +693,7 @@ MemorySystem::writebackToL3Task(int tile, Addr line)
 {
     // Timing/traffic only: the directory dirty bit was merged at
     // eviction-commit time (functional data is always current).
-    co_await nocHop(tile, bankOf(line), 72);
+    co_await hop(tile, bankOf(line), 72);
     energy_.l3Access();
 }
 
@@ -695,10 +760,97 @@ MemorySystem::allocL3Way(int bank_tile, Addr line, const MorphBinding *mb,
         if (bd)
             bd->lockWait += 4;
     }
-    if (victim->valid)
-        evictL3Way(bank_tile, *victim);
+    if (victim->valid) {
+        // The victim's slow eviction tail (back-invalidation visits,
+        // callbacks, writeback) detaches so this fill can proceed; the
+        // detached task holds the victim line's bank lock from this very
+        // event, so a refetch of the victim cannot start — let alone
+        // observe a stale phantom line — before the eviction retires.
+        spawn(evictL3Detached(bank_tile, snapL3Way(*victim)));
+    }
     b.l3.fill(*victim, line, mb != nullptr, mb ? mb->id : 0, engine_fill);
     co_return victim;
+}
+
+MemorySystem::L3Evict
+MemorySystem::snapL3Way(CacheWay &w)
+{
+    ++*l3Evictions_;
+    L3Evict ev;
+    ev.line = w.lineAddr;
+    ev.dirty = w.dirty;
+    ev.copies = w.sharers;
+    if (w.owner >= 0)
+        ev.copies |= 1u << static_cast<unsigned>(w.owner);
+    TRACE(Cache, ctxNow(eq_), "bank evicts %#llx%s%s",
+          (unsigned long long)ev.line, ev.dirty ? " dirty" : "",
+          w.morph ? " morph" : "");
+    w.invalidate();
+    return ev;
+}
+
+Task<>
+MemorySystem::evictL3Detached(int bank_tile, L3Evict ev)
+{
+    TileState &b = *tiles_[bank_tile];
+    // Synchronous by construction: the victim scan only picks unlocked
+    // lines, so this acquire cannot suspend, and the lock is in place
+    // before any other event can run.
+    co_await b.bankLocks.acquire(ev.line);
+    co_await evictL3Core(bank_tile, ev);
+    b.bankLocks.release(ev.line);
+}
+
+Task<>
+MemorySystem::evictL3Core(int bank_tile, L3Evict ev)
+{
+    const Addr line = ev.line;
+    bool dirty = ev.dirty;
+
+    // Inclusive L3: back-invalidate every private copy, each in its
+    // owner's domain, and wait for the acknowledgments.
+    if (ev.copies) {
+        Join join(eq_);
+        bool vdirty = false;
+        for (unsigned s = 0; s < params_.tiles; ++s) {
+            if (!(ev.copies & (1u << s)))
+                continue;
+            join.add(1);
+            spawn(coherenceVisit(bank_tile, static_cast<int>(s), line,
+                                 false, &vdirty),
+                  join.completion());
+        }
+        co_await join.wait();
+        dirty |= vdirty;
+    }
+
+    // Capture strictly after the back-invalidations: until a remote M
+    // owner has acknowledged, it can still be committing stores, and a
+    // capture taken concurrently would not be partition-invariant.
+    const MorphBinding *mb = resolve(bank_tile, line);
+    const bool shared_morph = mb && mb->level == MorphLevel::Shared;
+
+    if (shared_morph) {
+        LineData data = storeFor(line).readLine(line);
+        if (mb->phantom) {
+            phantomStore_.zeroLine(line);
+            launchEvictionCallback(bank_tile, line, *mb, dirty, data, {});
+        } else {
+            std::function<void()> after;
+            if (dirty) {
+                after = [this, bank_tile, line]() {
+                    dramWriteback(bank_tile, line);
+                };
+            }
+            launchEvictionCallback(bank_tile, line, *mb, dirty, data,
+                                   std::move(after));
+        }
+    } else if (!isPhantom(line)) {
+        if (dirty)
+            dramWriteback(bank_tile, line);
+    } else {
+        phantomStore_.zeroLine(line);
+    }
 }
 
 void
@@ -733,7 +885,7 @@ MemorySystem::evictL2Way(int tile, CacheWay &w)
     TileState &t = *tiles_[tile];
     ++*l2Evictions_;
     const Addr line = w.lineAddr;
-    TRACE(Cache, eq_.now(), "tile %d evicts %#llx%s%s", tile,
+    TRACE(Cache, ctxNow(eq_), "tile %d evicts %#llx%s%s", tile,
           (unsigned long long)line, w.dirty ? " dirty" : "",
           w.morph ? " morph" : "");
 
@@ -786,63 +938,21 @@ void
 MemorySystem::updateDirectoryOnPrivateEvict(int tile, Addr line,
                                             bool dirty)
 {
-    TileState &b = *tiles_[bankOf(line)];
-    CacheWay *w3 = b.l3.lookup(line);
-    // The L3 copy can be concurrently mid-eviction; tolerate absence.
-    if (!w3)
-        return;
-    w3->sharers &= ~(1u << static_cast<unsigned>(tile));
-    if (w3->owner == tile)
-        w3->owner = -1;
-    if (dirty)
-        w3->dirty = true;
-}
-
-void
-MemorySystem::evictL3Way(int bank_tile, CacheWay &w)
-{
-    ++*l3Evictions_;
-    const Addr line = w.lineAddr;
-    bool dirty = w.dirty;
-    TRACE(Cache, eq_.now(), "bank %d evicts %#llx%s%s", bank_tile,
-          (unsigned long long)line, dirty ? " dirty" : "",
-          w.morph ? " morph" : "");
-
-    // Inclusive L3: back-invalidate every private copy.
-    std::uint32_t copies = w.sharers;
-    if (w.owner >= 0)
-        copies |= 1u << static_cast<unsigned>(w.owner);
-    for (unsigned s = 0; s < params_.tiles; ++s) {
-        if (copies & (1u << s))
-            dirty |= invalidateTileCopies(static_cast<int>(s), line, true);
-    }
-
-    const MorphBinding *mb = resolve(bank_tile, line);
-    const bool shared_morph = mb && mb->level == MorphLevel::Shared;
-
-    if (shared_morph) {
-        LineData data = storeFor(line).readLine(line);
-        if (mb->phantom) {
-            phantomStore_.zeroLine(line);
-            launchEvictionCallback(bank_tile, line, *mb, dirty, data, {});
-        } else {
-            std::function<void()> after;
-            if (dirty) {
-                after = [this, bank_tile, line]() {
-                    dramWriteback(bank_tile, line);
-                };
-            }
-            launchEvictionCallback(bank_tile, line, *mb, dirty, data,
-                                   std::move(after));
-        }
-    } else if (!isPhantom(line)) {
+    // The directory lives at the line's home bank; the clear travels as
+    // a message and commits in the bank's domain. By the time it lands
+    // the L3 copy may be gone (concurrent eviction) — tolerate that, as
+    // the monolithic model always has.
+    dom_.post(bankOf(line), dom_.quantum(), [this, tile, line, dirty]() {
+        TileState &b = *tiles_[bankOf(line)];
+        CacheWay *w3 = b.l3.lookup(line);
+        if (!w3)
+            return;
+        w3->sharers &= ~(1u << static_cast<unsigned>(tile));
+        if (w3->owner == tile)
+            w3->owner = -1;
         if (dirty)
-            dramWriteback(bank_tile, line);
-    } else {
-        phantomStore_.zeroLine(line);
-    }
-
-    w.invalidate();
+            w3->dirty = true;
+    });
 }
 
 bool
@@ -880,7 +990,12 @@ MemorySystem::launchEvictionCallback(int engine_tile, Addr line,
                                      std::function<void()> after)
 {
     const bool has = dirty ? mb.hasWriteback : mb.hasEviction;
-    ++outstanding_[mb.id].count;
+    // The +1 posts now, from this very event, so a flusher that evicts
+    // this line and then hops to the accounting home (tile 0) draws a
+    // later key on the same stream — its arrival can never overtake the
+    // increment.
+    dom_.post(0, dom_.quantum(),
+              [this, id = mb.id]() { ++outstanding_[id].count; });
     auto retire = [this, id = mb.id, after = std::move(after)]() {
         if (after)
             after();
@@ -890,22 +1005,27 @@ MemorySystem::launchEvictionCallback(int engine_tile, Addr line,
         sink_->triggerEviction(engine_tile, line, mb, dirty,
                                std::move(data), std::move(retire));
     } else {
-        eq_.schedule(0, std::move(retire));
+        dom_.post(engine_tile, 0, std::move(retire));
     }
 }
 
 void
 MemorySystem::evictionCallbackRetired(std::uint32_t morph_id)
 {
-    auto it = outstanding_.find(morph_id);
-    panic_if(it == outstanding_.end() || it->second.count == 0,
-             "eviction callback retired with no record (morph %u)",
-             morph_id);
-    if (--it->second.count == 0) {
-        for (auto h : it->second.waiters)
-            eq_.schedule(0, [h]() { h.resume(); });
-        it->second.waiters.clear();
-    }
+    // All accounting commits at tile 0's domain, one quantum out — the
+    // same latency the matching increment paid, so a -1 can never land
+    // before its +1.
+    dom_.post(0, dom_.quantum(), [this, morph_id]() {
+        auto it = outstanding_.find(morph_id);
+        panic_if(it == outstanding_.end() || it->second.count == 0,
+                 "eviction callback retired with no record (morph %u)",
+                 morph_id);
+        if (--it->second.count == 0) {
+            for (auto h : it->second.waiters)
+                dom_.post(0, 0, [h]() { h.resume(); });
+            it->second.waiters.clear();
+        }
+    });
 }
 
 // ---------------------------------------------------------------------
@@ -917,7 +1037,7 @@ MemorySystem::remoteAtomicAdd(int tile, Addr addr, std::uint64_t delta)
 {
     const MorphBinding *mb = resolve(tile, addr);
     ++*rmoOps_;
-    TRACE(Rmo, eq_.now(), "tile %d rmoAdd %#llx += %llu", tile,
+    TRACE(Rmo, ctxNow(eq_), "tile %d rmoAdd %#llx += %llu", tile,
           (unsigned long long)addr, (unsigned long long)delta);
     if (!mb || mb->level != MorphLevel::Shared) {
         // No shared Morph: execute as a local atomic through the caches.
@@ -934,7 +1054,7 @@ MemorySystem::remoteAtomicAdd(int tile, Addr addr, std::uint64_t delta)
     const int bank = bankOf(line);
     TileState &b = *tiles_[bank];
 
-    co_await nocHop(tile, bank, 16);
+    co_await hop(tile, bank, 16);
     co_await b.bankLocks.acquire(line);
     co_await Delay{eq_, params_.l3TagLat};
     energy_.l3Access();
@@ -969,16 +1089,25 @@ MemorySystem::remoteAtomicAdd(int tile, Addr addr, std::uint64_t delta)
     storeFor(addr).fetchAdd64(addr, delta);
     w3->dirty = true;
     b.bankLocks.release(line);
+    // Completion ack travels back so the issuing core's store buffer
+    // releases in its own domain.
+    co_await hop(bank, tile, 8);
 }
 
 Task<>
 MemorySystem::flushMorphData(const MorphBinding &binding)
 {
+    // The flush controller walks the hierarchy; remember where the
+    // caller lives so the coroutine finishes back in its domain.
+    const int home = dom_.ctxTile(0);
     const Addr base = binding.base;
     const std::uint64_t len = binding.length;
-    auto in_range = [&](Addr a) { return a >= base && a < base + len; };
+    auto in_range = [base, len](Addr a) {
+        return a >= base && a < base + len;
+    };
 
     if (binding.level == MorphLevel::Private) {
+        co_await dom_.hopTo(binding.tile, dom_.quantum());
         TileState &t = *tiles_[binding.tile];
         // Tag-array walk cost (Sec. 4.4): the controller scans its sets.
         co_await Delay{eq_, t.l2.numSets() / 4 + 1};
@@ -996,6 +1125,7 @@ MemorySystem::flushMorphData(const MorphBinding &binding)
         }
     } else {
         for (unsigned bank = 0; bank < params_.tiles; ++bank) {
+            co_await dom_.hopTo(static_cast<int>(bank), dom_.quantum());
             TileState &b = *tiles_[bank];
             co_await Delay{eq_, b.l3.numSets() / 4 + 1};
             std::vector<Addr> lines;
@@ -1007,7 +1137,8 @@ MemorySystem::flushMorphData(const MorphBinding &binding)
             for (Addr line : lines) {
                 co_await b.bankLocks.acquire(line);
                 if (CacheWay *w = b.l3.lookup(line))
-                    evictL3Way(static_cast<int>(bank), *w);
+                    co_await evictL3Core(static_cast<int>(bank),
+                                         snapL3Way(*w));
                 b.bankLocks.release(line);
             }
         }
@@ -1016,7 +1147,11 @@ MemorySystem::flushMorphData(const MorphBinding &binding)
     }
 
     // Block until every outstanding callback of this Morph retires
-    // (flushData blocks the software thread, Sec. 4.4).
+    // (flushData blocks the software thread, Sec. 4.4). The accounting
+    // is homed at tile 0, so the wait happens there; because this hop
+    // draws a later key than every +1 the evictions above posted, the
+    // check cannot run before their increments land.
+    co_await dom_.hopTo(0, dom_.quantum());
     struct OutstandingAwaiter
     {
         MemorySystem &ms;
@@ -1038,14 +1173,17 @@ MemorySystem::flushMorphData(const MorphBinding &binding)
         void await_resume() const noexcept {}
     };
     co_await OutstandingAwaiter{*this, binding.id};
+    co_await dom_.hopTo(home, dom_.quantum());
 }
 
 Task<>
 MemorySystem::flushRangePlain(Addr base, std::uint64_t length)
 {
+    const int home = dom_.ctxTile(0);
     auto in_range = [&](Addr a) { return a >= base && a < base + length; };
     // Evict from every L3 bank (back-invalidating private copies) ...
     for (unsigned bank = 0; bank < params_.tiles; ++bank) {
+        co_await dom_.hopTo(static_cast<int>(bank), dom_.quantum());
         TileState &b = *tiles_[bank];
         std::vector<Addr> lines;
         b.l3.forEachValid([&](CacheWay &w) {
@@ -1055,12 +1193,14 @@ MemorySystem::flushRangePlain(Addr base, std::uint64_t length)
         for (Addr line : lines) {
             co_await b.bankLocks.acquire(line);
             if (CacheWay *w = b.l3.lookup(line))
-                evictL3Way(static_cast<int>(bank), *w);
+                co_await evictL3Core(static_cast<int>(bank),
+                                     snapL3Way(*w));
             b.bankLocks.release(line);
         }
     }
     // ... and any private-only (phantom) lines.
     for (unsigned tile = 0; tile < params_.tiles; ++tile) {
+        co_await dom_.hopTo(static_cast<int>(tile), dom_.quantum());
         TileState &t = *tiles_[tile];
         std::vector<Addr> lines;
         t.l2.forEachValid([&](CacheWay &w) {
@@ -1074,6 +1214,7 @@ MemorySystem::flushRangePlain(Addr base, std::uint64_t length)
             t.tileLocks.release(line);
         }
     }
+    co_await dom_.hopTo(home, dom_.quantum());
 }
 
 // ---------------------------------------------------------------------

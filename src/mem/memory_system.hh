@@ -48,6 +48,8 @@
 namespace tako
 {
 
+class Domains;
+
 namespace prof
 {
 class Profiler;
@@ -158,7 +160,13 @@ struct LatBreakdown
 class MemorySystem
 {
   public:
-    MemorySystem(const MemParams &params, EventQueue &eq,
+    /**
+     * @p dom routes every inter-tile movement (NoC walks, directory
+     * messages, DRAM pinning) so the hierarchy can be partitioned across
+     * shard domains; a monolithic run passes a single-domain Domains and
+     * executes the identical code on one queue.
+     */
+    MemorySystem(const MemParams &params, Domains &dom, EventQueue &eq,
                  StatsRegistry &stats, EnergyModel &energy, Mesh &noc);
 
     MemorySystem(const MemorySystem &) = delete;
@@ -249,8 +257,9 @@ class MemorySystem
     std::uint64_t dramReads() const;
     std::uint64_t dramWrites() const;
 
-    /** Count of transactions currently in flight (deadlock checks). */
-    unsigned inflight() const { return inflight_; }
+    /** Count of transactions currently in flight (deadlock checks).
+     *  Sums per-domain cells; call only while no domain is executing. */
+    unsigned inflight() const;
 
     /**
      * Notify that an eviction callback for @p morph_id retired
@@ -377,11 +386,48 @@ class MemorySystem
 
     int ctrlTile(unsigned ctrl) const { return ctrlTiles_[ctrl]; }
 
-    /** co_await-able NoC hop; charges contention + energy. */
-    auto nocHop(int src, int dst, unsigned bytes)
+    /**
+     * Walk the NoC from @p src to @p dst, migrating the transaction to
+     * the destination tile's domain; everything after the co_await runs
+     * there. Charges the walk to @p bd 's noc component when given.
+     */
+    Task<> hop(int src, int dst, unsigned bytes,
+               LatBreakdown *bd = nullptr);
+
+    /**
+     * Directory-inflicted visit to @p tile on behalf of bank @p bank:
+     * walks over, invalidates (or downgrades, @p downgrade) the tile's
+     * copies of @p line in the tile's own domain, walks back, and merges
+     * collected dirtiness into @p dirty_out at the bank. Spawned per
+     * sharer with a Join at the bank, so remote cache mutations always
+     * execute in their owner's domain while the bank waits the true
+     * round-trip time.
+     */
+    Task<> coherenceVisit(int bank, int tile, Addr line, bool downgrade,
+                          bool *dirty_out);
+
+    /** Snapshot of an L3 way taken at eviction-decision time. */
+    struct L3Evict
     {
-        return Delay{eq_, noc_.traverse(eq_.now(), src, dst, bytes)};
-    }
+        Addr line = 0;
+        bool dirty = false;
+        std::uint32_t copies = 0; ///< sharers | owner bit
+    };
+
+    /**
+     * The slow tail of an L3 eviction: back-invalidation visits, data
+     * capture (after the visits, so a remote M owner can no longer
+     * write), morph callbacks, writeback/zero. Runs at the bank with the
+     * victim line's bank lock held by the caller — any refetch of the
+     * line blocks until this completes, which is what keeps phantom
+     * zeroing ahead of the next fill.
+     */
+    Task<> evictL3Core(int bank_tile, L3Evict ev);
+
+    /** Detached wrapper for the capacity-eviction path: takes the
+     *  victim's bank lock (synchronously — the victim scan only picks
+     *  unlocked lines) and releases it when the core task finishes. */
+    Task<> evictL3Detached(int bank_tile, L3Evict ev);
 
     /**
      * Ensure @p line is present in tile @p tile's L2 with at least
@@ -403,7 +449,9 @@ class MemorySystem
     /** Detached L2->L3 writeback traffic (timing/energy only). */
     Task<> writebackToL3Task(int tile, Addr line);
 
-    /** Clear tile presence in the directory on a private eviction. */
+    /** Clear tile presence in the directory on a private eviction:
+     *  posted to the home bank's domain one quantum ahead, tolerant of
+     *  the L3 copy being gone by the time the message lands. */
     void updateDirectoryOnPrivateEvict(int tile, Addr line, bool dirty);
 
     /**
@@ -430,8 +478,9 @@ class MemorySystem
      */
     void evictL2Way(int tile, CacheWay &w);
 
-    /** Evict an L3 way: back-invalidate sharers, callbacks, DRAM WB. */
-    void evictL3Way(int bank_tile, CacheWay &w);
+    /** Count the eviction, snapshot @p w for evictL3Core, and
+     *  invalidate the way. */
+    L3Evict snapL3Way(CacheWay &w);
 
     /**
      * Remove @p line from tile @p tile's private caches (L3 eviction or
@@ -474,6 +523,7 @@ class MemorySystem
     Task<> prefetchLine(int tile, Addr line);
 
     MemParams params_;
+    Domains &dom_;
     EventQueue &eq_;
     StatsRegistry &stats_;
     EnergyModel &energy_;
@@ -490,10 +540,37 @@ class MemorySystem
     std::vector<MemCtrl> ctrls_;
     std::vector<int> ctrlTiles_;
 
+    /** Eviction-callback accounting, homed at tile 0's domain: every
+     *  +1/-1 arrives as a posted message, so flushData's await and the
+     *  retirements serialize on one stream regardless of partition. */
     std::map<std::uint32_t, Outstanding> outstanding_;
 
     std::string phase_ = "default";
-    unsigned inflight_ = 0;
+
+    struct alignas(64) DomainCell
+    {
+        std::uint64_t value = 0;
+    };
+
+    /** In-flight transaction counts, one cell per domain: a transaction
+     *  begins and ends at its requester tile, so the cells balance. */
+    std::vector<DomainCell> inflightLanes_;
+
+    /**
+     * Per-domain phase replica: the phase label plus the lazily-resolved
+     * "dram.reads.<phase>" handles. setPhase() broadcasts the new label
+     * to every domain one quantum ahead; DRAM events read only their own
+     * domain's replica.
+     */
+    struct alignas(64) PhaseLane
+    {
+        std::string phase = "default";
+        Counter *reads = nullptr;
+        Counter *writes = nullptr;
+    };
+
+    std::vector<PhaseLane> phaseLanes_;
+
     std::function<void(Addr, bool)> dramTracer_;
     std::function<void(Tick, const AccessReq &)> accessTracer_;
 
@@ -513,12 +590,6 @@ class MemorySystem
     Counter *l3Evictions_;
     Counter *rmoOps_;
     Counter *prefetchesIssued_;
-
-    // Phase-suffixed DRAM counters ("dram.reads.<phase>"), resolved
-    // lazily on the first DRAM access of each phase so the string
-    // concatenation leaves the per-access path. Reset by setPhase().
-    Counter *dramReadsPhase_ = nullptr;
-    Counter *dramWritesPhase_ = nullptr;
 
     // Per-transaction latency breakdown (demand accesses; cycles each).
     Histogram *hBdCache_;

@@ -1,5 +1,6 @@
 #include "mon/sink.hh"
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 
@@ -96,9 +97,106 @@ TimeSeriesSink::TimeSeriesSink(EventQueue &eq, StatsRegistry &stats,
 
 TimeSeriesSink::~TimeSeriesSink()
 {
+    for (EventQueue *q : shardQueues_)
+        q->clearAdvanceHook();
     eq_.clearAdvanceHook();
     if (writing_ && !finish())
         warn("%s", writer_.error().c_str());
+}
+
+void
+TimeSeriesSink::shardAcross(const std::vector<EventQueue *> &queues)
+{
+    panic_if(queues.empty() || queues[0] != &eq_,
+             "shardAcross: queues[0] must be the construction queue");
+    panic_if(samplesTaken_ != 0 || !shardQueues_.empty(),
+             "shardAcross called twice or after sampling started");
+    shardQueues_ = queues;
+    capture_.resize(queues.size());
+    if (opt_.sampleEvery > 0)
+        firstBoundary_ = eq_.now() + opt_.sampleEvery;
+    for (unsigned d = 0; d < queues.size(); ++d) {
+        DomainCapture &dc = capture_[d];
+        dc.next = opt_.sampleEvery > 0
+                      ? queues[d]->now() + opt_.sampleEvery
+                      : 0;
+        Tick wm = dc.next > 0 ? dc.next : ~Tick{0};
+        if (d == 0 && nextBeat_ > 0 && nextBeat_ < wm)
+            wm = nextBeat_;
+        if (dc.next > 0 || d == 0) {
+            queues[d]->setAdvanceHook(
+                [this, d](Tick to) { return onShardAdvance(d, to); },
+                wm);
+        }
+    }
+}
+
+Tick
+TimeSeriesSink::onShardAdvance(unsigned d, Tick to)
+{
+    // Replay every boundary this domain's clock is crossing. The hook
+    // fires before any event at tick >= the boundary runs here, so the
+    // captured lane partial covers exactly this domain's events strictly
+    // before the boundary — the same cut a monolithic sample makes.
+    DomainCapture &dc = capture_[d];
+    while (dc.next > 0 && dc.next <= to) {
+        std::vector<double> row(sources_.size());
+        for (std::size_t i = 0; i < sources_.size(); ++i)
+            row[i] = readLane(sources_[i], d);
+        dc.rows.push_back(std::move(row));
+        dc.next += opt_.sampleEvery;
+    }
+    if (d == 0) {
+        while (nextBeat_ > 0 && nextBeat_ <= to) {
+            emitBeat(nextBeat_);
+            nextBeat_ += opt_.progressEvery;
+        }
+    }
+    Tick wm = dc.next > 0 ? dc.next : ~Tick{0};
+    if (d == 0 && nextBeat_ > 0 && nextBeat_ < wm)
+        wm = nextBeat_;
+    return wm;
+}
+
+void
+TimeSeriesSink::mergeShardSamples()
+{
+    if (shardQueues_.empty())
+        return;
+    for (EventQueue *q : shardQueues_)
+        q->clearAdvanceHook();
+    if (opt_.sampleEvery == 0)
+        return;
+    // The domain owning the globally-last event replayed every boundary
+    // up to it, so the longest capture has exactly the monolithic row
+    // count. Domains that drained earlier stopped firing; their partials
+    // for the missing tail are their final live lanes (all their events
+    // completed), read here before StatsRegistry::mergeLanes() folds
+    // them away.
+    std::size_t rows = 0;
+    for (const DomainCapture &dc : capture_)
+        rows = std::max(rows, dc.rows.size());
+    StatsTimeSeries &ts = stats_.timeSeries();
+    for (std::size_t r = 0; r < rows; ++r) {
+        for (std::size_t i = 0; i < sources_.size(); ++i) {
+            const bool isMax = sources_[i].kind == SeriesKind::HistMax;
+            double v = 0;
+            for (unsigned d = 0; d < capture_.size(); ++d) {
+                const double pv = r < capture_[d].rows.size()
+                                      ? capture_[d].rows[r][i]
+                                      : readLane(sources_[i], d);
+                v = isMax ? std::max(v, pv) : v + pv;
+            }
+            row_[i] = v;
+        }
+        const Tick at =
+            firstBoundary_ + static_cast<Tick>(r) * opt_.sampleEvery;
+        ts.ticks.push_back(at);
+        ts.samples.push_back(row_);
+        if (writing_)
+            writer_.addSample(at, row_);
+        ++samplesTaken_;
+    }
 }
 
 bool
@@ -155,6 +253,22 @@ TimeSeriesSink::buildSeries(const std::vector<std::string> &patterns)
         }
     }
     row_.resize(series_.size());
+}
+
+double
+TimeSeriesSink::readLane(const Source &s, unsigned d) const
+{
+    switch (s.kind) {
+      case SeriesKind::Counter:
+        return s.counter->laneValue(d);
+      case SeriesKind::HistCount:
+        return static_cast<double>(s.hist->laneCount(d));
+      case SeriesKind::HistSum:
+        return s.hist->laneSum(d);
+      case SeriesKind::HistMax:
+        return static_cast<double>(s.hist->laneMax(d));
+    }
+    return 0;
 }
 
 double

@@ -98,6 +98,30 @@ class TimeSeriesSink
     }
 
     /**
+     * Decomposed-run mode: sample each shard domain's stat-lane partials
+     * on that domain's own queue advance hook, then merge rows after the
+     * run (mergeShardSamples). Call once, before the run starts, with one
+     * queue per domain; queues[0] must be the queue passed at
+     * construction. Each domain's hook reads only its own lanes and
+     * writes only its own capture buffer, so sampling never synchronizes
+     * workers — and because every event executes at the same tick in
+     * exactly one domain at any partition, the merged rows are
+     * bit-identical to a monolithic run's. Heartbeats keep firing from
+     * domain 0 (their events/throughput fields cover domain 0's queue
+     * only; beats are host-side observability, never series data).
+     */
+    void shardAcross(const std::vector<EventQueue *> &queues);
+
+    /**
+     * Merge the per-domain partial rows captured since shardAcross()
+     * into the in-memory series and the takomon file, in domain order.
+     * Call after the sharded executor returns and *before*
+     * StatsRegistry::mergeLanes(): boundaries past a drained domain's
+     * last event read that domain's final live lane partials.
+     */
+    void mergeShardSamples();
+
+    /**
      * Flush and close the takomon file (no-op without one). Idempotent;
      * the destructor calls it and warns on a swallowed error. Returns
      * false with error() set if any write failed.
@@ -119,7 +143,9 @@ class TimeSeriesSink
 
     void buildSeries(const std::vector<std::string> &patterns);
     double readSource(const Source &s) const;
+    double readLane(const Source &s, unsigned d) const;
     Tick onAdvance(Tick to);
+    Tick onShardAdvance(unsigned d, Tick to);
     void takeSample(Tick at);
     void emitBeat(Tick at);
     Tick nextWatermark() const;
@@ -134,6 +160,18 @@ class TimeSeriesSink
     MonWriter writer_;
     bool writing_ = false;
     std::uint64_t samplesTaken_ = 0;
+
+    /** One domain's capture state (decomposed runs); owned exclusively
+     *  by that domain's worker, padded against false sharing. */
+    struct alignas(64) DomainCapture
+    {
+        Tick next = 0; ///< next series boundary on this domain's clock
+        std::vector<std::vector<double>> rows; ///< lane-partial rows
+    };
+
+    std::vector<EventQueue *> shardQueues_; ///< non-empty = sharded mode
+    std::vector<DomainCapture> capture_;    ///< parallel to shardQueues_
+    Tick firstBoundary_ = 0; ///< tick of row 0 in sharded mode
 
     Tick nextSample_ = 0; ///< next series boundary (0 = disabled)
     Tick nextBeat_ = 0;   ///< next heartbeat boundary (0 = disabled)

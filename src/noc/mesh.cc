@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cstdlib>
 
+#include "sim/domains.hh"
+
 namespace tako
 {
 
@@ -94,6 +96,82 @@ Mesh::traverse(Tick now, int src, int dst, unsigned bytes)
     *flitHopsStat_ += static_cast<double>(std::uint64_t(flits) * hop_count);
     energy_.nocFlitHops(std::uint64_t(flits) * hop_count);
     return head - now;
+}
+
+Task<>
+Mesh::walk(Domains &dom, int src, int dst, unsigned bytes)
+{
+    ++*messages_;
+    const unsigned flits =
+        std::max<unsigned>(1, static_cast<unsigned>(
+                                  divCeil(bytes, params_.flitBytes)));
+
+    if (src == dst) {
+        ++*localMessages_;
+        co_await dom.hopTo(src, params_.routerDelay);
+        co_return;
+    }
+
+    int x = src % static_cast<int>(params_.dimX);
+    int y = src / static_cast<int>(params_.dimX);
+    const int dx = dst % static_cast<int>(params_.dimX);
+    const int dy = dst / static_cast<int>(params_.dimX);
+    unsigned hop_count = 0;
+
+    // X leg: every hop crosses a column, so each reservation happens in
+    // an event at the link's source tile (its owning domain) at the head
+    // flit's arrival tick, and the next arrival is routerDelay+linkDelay
+    // (= one quantum) ahead — exactly the plan's lookahead floor.
+    while (x != dx) {
+        const int dir = (dx > x) ? East : West;
+        const int tile = y * static_cast<int>(params_.dimX) + x;
+        const std::size_t li = linkIndex(tile, dir);
+        Tick &free = linkFree_[li];
+        const Tick here = detail::execCtx.queue->now();
+        const Tick start = std::max(here, free);
+        free = start + flits;
+        if (!linkBusy_.empty()) {
+            linkBusy_[li] += flits;
+            ++linkMsgs_[li];
+        }
+        ++hop_count;
+        x += (dx > x) ? 1 : -1;
+        const int next = y * static_cast<int>(params_.dimX) + x;
+        co_await dom.hopToAbs(next,
+                              start + params_.routerDelay +
+                                  params_.linkDelay);
+    }
+
+    // Y leg: the whole column belongs to the current domain, so the
+    // remaining links are reserved here and now, in one event, with the
+    // same per-hop recurrence traverse() uses.
+    Tick head = detail::execCtx.queue->now();
+    while (y != dy) {
+        const int dir = (dy > y) ? South : North;
+        const int tile = y * static_cast<int>(params_.dimX) + x;
+        const std::size_t li = linkIndex(tile, dir);
+        Tick &free = linkFree_[li];
+        const Tick start = std::max(head, free);
+        free = start + flits;
+        if (!linkBusy_.empty()) {
+            linkBusy_[li] += flits;
+            ++linkMsgs_[li];
+        }
+        head = start + params_.routerDelay + params_.linkDelay;
+        ++hop_count;
+        y += (dy > y) ? 1 : -1;
+    }
+    // Destination router plus tail-flit serialization.
+    head += params_.routerDelay + (flits - 1);
+
+    // The plain aggregate backs the flitHops() accessor (profiler
+    // cross-checks); with several domains it would be a data race, and
+    // the laned noc.flitHops stat already carries the total.
+    if (dom.domainCount() == 1)
+        flitHops_ += std::uint64_t(flits) * hop_count;
+    *flitHopsStat_ += static_cast<double>(std::uint64_t(flits) * hop_count);
+    energy_.nocFlitHops(std::uint64_t(flits) * hop_count);
+    co_await dom.hopToAbs(dst, head);
 }
 
 void

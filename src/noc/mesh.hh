@@ -17,10 +17,13 @@
 
 #include "energy/energy.hh"
 #include "sim/stats.hh"
+#include "sim/task.hh"
 #include "sim/types.hh"
 
 namespace tako
 {
+
+class Domains;
 
 struct MeshParams
 {
@@ -50,6 +53,19 @@ class Mesh
      * @return latency until the tail flit arrives.
      */
     Tick traverse(Tick now, int src, int dst, unsigned bytes);
+
+    /**
+     * Domain-decomposed delivery: the message walks the XY path as a
+     * chain of router-arrival events, reserving each directed link in
+     * its owning tile's domain at the head flit's actual arrival time,
+     * and the awaiting coroutine resumes *at the destination tile* when
+     * the tail flit lands. Latency arithmetic per hop matches
+     * traverse(); contention is resolved in arrival order (partition-
+     * invariant) rather than at send time. The X leg hops column to
+     * column (one event per router); the Y leg is one segment, since a
+     * whole column shares a domain under the column-band plan.
+     */
+    Task<> walk(Domains &dom, int src, int dst, unsigned bytes);
 
     std::uint64_t flitHops() const { return flitHops_; }
 

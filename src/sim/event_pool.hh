@@ -42,11 +42,19 @@ struct EventNode
     static constexpr std::size_t kInlineBytes = 80;
 
     Tick when;
+    /**
+     * Total-order tie-break key for events at the same (tick, priority).
+     * Monolithic queues use a per-queue insertion counter; decomposed
+     * runs pack a partition-invariant (stream, per-stream seq) pair so
+     * the same order falls out at every shard count (see event_queue.hh).
+     */
     std::uint64_t seq;
     EventNode *next;
     /// One indirect call replaces the std::function vtable pair.
     void (*dispatch)(EventNode &, EventOp);
     std::int8_t priority;
+    /// Stream context published in ExecCtx while the callback runs.
+    std::uint32_t execStream;
     alignas(std::max_align_t) unsigned char storage[kInlineBytes];
 
     template <typename F>

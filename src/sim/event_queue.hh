@@ -38,12 +38,17 @@
 #include <array>
 #include <bit>
 #include <cstdint>
+#ifdef TAKO_EVENT_TRACE
+#include <cstdio>
+#include <cstdlib>
+#endif
 #include <functional>
 #include <queue>
 #include <utility>
 #include <vector>
 
 #include "sim/event_pool.hh"
+#include "sim/exec_ctx.hh"
 #include "sim/logging.hh"
 #include "sim/types.hh"
 
@@ -56,6 +61,51 @@ enum class EventPriority : int
     High = -1,
     Default = 0,
     Low = 1,
+};
+
+/**
+ * Partition-invariant tie-break keys for domain-decomposed runs.
+ *
+ * A monolithic queue breaks (tick, priority) ties with one insertion
+ * counter — an order that depends on which other streams' events
+ * interleave with the scheduler's, and therefore on how the model is
+ * partitioned. Decomposed runs instead key every event by
+ * (source stream, per-stream sequence): each logical stream (tile) hands
+ * out its own sequence numbers in its own execution order, which is a
+ * pure function of simulation state. Sorting same-tick events by that
+ * packed key yields the identical total order at every shard count
+ * (DESIGN.md §4.6).
+ *
+ * Each stream's cell is only ever touched by the one domain that owns
+ * the stream's tile, so the shared table needs no atomics — just cache-
+ * line padding so neighboring owners don't false-share.
+ */
+class StreamKeySource
+{
+  public:
+    /** Low bits hold the per-stream sequence; high bits the stream. */
+    static constexpr unsigned kSeqBits = 44;
+
+    explicit StreamKeySource(std::size_t streams) : cells_(streams) {}
+
+    std::uint64_t
+    next(std::uint32_t stream)
+    {
+        // 2^44 events per stream outlasts any realistic run; the pack
+        // would need a widening long before the counter wraps.
+        return (std::uint64_t{stream} << kSeqBits) |
+               cells_[stream].seq++;
+    }
+
+    std::size_t streams() const { return cells_.size(); }
+
+  private:
+    struct alignas(64) Cell
+    {
+        std::uint64_t seq = 0;
+    };
+
+    std::vector<Cell> cells_;
 };
 
 class EventQueue
@@ -88,11 +138,58 @@ class EventQueue
                  (unsigned long long)when, (unsigned long long)now_);
         EventNode *n = pool_.alloc();
         n->when = when;
-        n->seq = nextSeq_++;
+        if (streams_) {
+            // Decomposed mode: key by the scheduling context's stream;
+            // the continuation keeps executing at the same place.
+            const std::uint32_t s = detail::execCtx.stream;
+            n->seq = streams_->next(s);
+            n->execStream = s;
+        } else {
+            n->seq = nextSeq_++;
+            n->execStream = 0;
+        }
         n->priority = static_cast<std::int8_t>(prio);
         n->emplace(std::forward<F>(fn));
         insert(n);
     }
+
+    /**
+     * Schedule with an explicit, already-assigned tie-break key and
+     * execution stream. Used by the shard router: cross-domain events
+     * are keyed at the *sender* (whose stream counter is race-free
+     * there) and delivered here at a barrier, and tile-to-tile posts
+     * set the destination tile's stream as the execution context.
+     */
+    template <typename F>
+    void
+    scheduleKeyed(Tick when, F &&fn, EventPriority prio,
+                  std::uint64_t key, std::uint32_t execStream)
+    {
+        panic_if(when < now_, "scheduling event in the past (%llu < %llu)",
+                 (unsigned long long)when, (unsigned long long)now_);
+        EventNode *n = pool_.alloc();
+        n->when = when;
+        n->seq = key;
+        n->execStream = execStream;
+        n->priority = static_cast<std::int8_t>(prio);
+        n->emplace(std::forward<F>(fn));
+        insert(n);
+    }
+
+    /**
+     * Install the shared per-stream key source (null reverts to the
+     * insertion-counter order). All events scheduled afterwards are
+     * keyed (stream, per-stream seq), making the same-tick order a pure
+     * function of simulation state at any shard count.
+     */
+    void setStreamKeys(StreamKeySource *streams) { streams_ = streams; }
+
+    /** True when this queue orders ties by partition-invariant keys. */
+    bool keyed() const { return streams_ != nullptr; }
+
+    /** Shard-domain index published in ExecCtx while events run. */
+    void setDomainIndex(std::uint32_t d) { domainIndex_ = d; }
+    std::uint32_t domainIndex() const { return domainIndex_; }
 
     /** Number of pending events. */
     std::size_t pending() const { return wheelCount_ + overflow_.size(); }
@@ -117,6 +214,17 @@ class EventQueue
         if (now_ > base_)
             advanceBase(now_);
         ++fired_;
+#ifdef TAKO_EVENT_TRACE
+        if (FILE *f = eventTraceFile())
+            std::fprintf(f, "%llu %d %u %llu\n",
+                         (unsigned long long)e->when, (int)e->priority,
+                         e->execStream, (unsigned long long)e->seq);
+#endif
+        // Publish where this event executes so model code that migrates
+        // between tiles can find its current queue/stream/domain.
+        detail::execCtx.queue = this;
+        detail::execCtx.domain = domainIndex_;
+        detail::execCtx.stream = e->execStream;
         e->run();
         pool_.release(e);
         return true;
@@ -127,6 +235,7 @@ class EventQueue
     run()
     {
         while (step()) {}
+        clearExecCtx();
     }
 
     /**
@@ -213,6 +322,18 @@ class EventQueue
     /** Events executed since construction (or the last reset()). */
     std::uint64_t eventsFired() const { return fired_; }
 
+    /**
+     * Leaving an execution loop invalidates the published context: the
+     * next consumer may be a different queue's loop (replica lanes, the
+     * sharded executor's drain phase) or plain test code completing
+     * primitives inline, which must fall back to their stored queue.
+     */
+    static void
+    clearExecCtx()
+    {
+        detail::execCtx = ExecCtx{};
+    }
+
     /** Pending events currently parked in the far-future overflow heap. */
     std::size_t overflowPending() const { return overflow_.size(); }
 
@@ -280,12 +401,29 @@ class EventQueue
     {
         const std::size_t idx = static_cast<std::size_t>(n->when & kWheelMask);
         Lane &lane = wheel_[idx].lanes[n->priority + 1];
+        // A lane holds one (tick, priority) class, so FIFO position must
+        // equal key order. Monolithic keys are the insertion counter and
+        // always append; decomposed keys (stream, seq) usually ascend
+        // too — bursts come from one stream — so the tail compare stays
+        // the hot path and the walk only runs on genuine cross-stream
+        // collisions (a handful of nodes at most).
         n->next = nullptr;
-        if (lane.tail)
-            lane.tail->next = n;
-        else
+        if (!lane.tail || lane.tail->seq <= n->seq) {
+            if (lane.tail)
+                lane.tail->next = n;
+            else
+                lane.head = n;
+            lane.tail = n;
+        } else if (n->seq < lane.head->seq) {
+            n->next = lane.head;
             lane.head = n;
-        lane.tail = n;
+        } else {
+            EventNode *prev = lane.head;
+            while (prev->next && prev->next->seq <= n->seq)
+                prev = prev->next;
+            n->next = prev->next;
+            prev->next = n;
+        }
         occupied_[idx >> 6] |= std::uint64_t{1} << (idx & 63);
         ++wheelCount_;
     }
@@ -419,10 +557,56 @@ class EventQueue
     Tick now_ = 0;
     std::uint64_t nextSeq_ = 0;
     std::uint64_t fired_ = 0;
+    /** Shared per-stream key source (null = insertion-counter order). */
+    StreamKeySource *streams_ = nullptr;
+    /** Shard domain this queue belongs to (ExecCtx, stats lanes). */
+    std::uint32_t domainIndex_ = 0;
     /** Next tick the advance hook wants; kNoWatermark = hook off. */
     Tick hookWatermark_ = kNoWatermark;
     std::function<Tick(Tick)> advanceHook_;
+
+#ifdef TAKO_EVENT_TRACE
+    FILE *traceFile_ = nullptr;
+    FILE *
+    eventTraceFile()
+    {
+        if (!traceFile_) {
+            // takolint: ok(D2, debug-only: trace never feeds sim state)
+            const char *prefix = std::getenv("TAKO_EVENT_TRACE");
+            if (!prefix)
+                return nullptr;
+            char path[512];
+            std::snprintf(path, sizeof path, "%s.d%u", prefix,
+                          domainIndex_);
+            traceFile_ = std::fopen(path, "a");
+        }
+        return traceFile_;
+    }
+#endif
 };
+
+/**
+ * Queue to schedule follow-up work on from model code that may be
+ * executing away from home. In a decomposed (keyed) run, transactions
+ * migrate across tiles, so the right queue is wherever the current event
+ * is executing; outside keyed mode — standalone components, unit tests,
+ * calls made before or after the run — it is the component's own stored
+ * queue. Monolithic keyed runs have one queue, so both answers coincide.
+ */
+inline EventQueue &
+homeQueue(EventQueue &fallback)
+{
+    EventQueue *q = detail::execCtx.queue;
+    return (q && q->keyed()) ? *q : fallback;
+}
+
+/** Simulated time at the current execution context (see homeQueue). */
+inline Tick
+ctxNow(const EventQueue &fallback)
+{
+    const EventQueue *q = detail::execCtx.queue;
+    return (q && q->keyed()) ? q->now() : fallback.now();
+}
 
 } // namespace tako
 

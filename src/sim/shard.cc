@@ -48,6 +48,13 @@ ShardedExecutor::ShardedExecutor(std::vector<EventQueue *> domains,
     sendSeq_.resize(n);
     profiles_.resize(n);
     barrierWait_.resize(threads_);
+    // Spinning assumes the releasing worker is running on another CPU.
+    // When workers outnumber hardware threads (CI -j8 child fan-out,
+    // small containers), a waiter's spin burns the very timeslice the
+    // last arriver needs, turning each barrier into a scheduling
+    // quantum — yield almost immediately instead.
+    const unsigned hw = std::thread::hardware_concurrency();
+    spinLimit_ = (hw != 0 && threads_ > hw) ? 16u : (1u << 14);
 }
 
 double
@@ -63,17 +70,37 @@ void
 ShardedExecutor::send(unsigned src, unsigned dst, Tick when,
                       EventPriority prio, std::function<void()> fn)
 {
+    // Legacy keying: pack (source shard, send order) in the key layout,
+    // which sorts exactly like the historical (src, srcSeq) drain order.
+    const std::uint64_t key =
+        (std::uint64_t{src} << StreamKeySource::kSeqBits) |
+        sendSeq_[src].value;
+    sendKeyed(src, dst, when, prio, key, 0, std::move(fn));
+}
+
+void
+ShardedExecutor::sendKeyed(unsigned src, unsigned dst, Tick when,
+                           EventPriority prio, std::uint64_t key,
+                           std::uint32_t execStream,
+                           std::function<void()> fn)
+{
     const unsigned n = static_cast<unsigned>(domains_.size());
     panic_if(src >= n || dst >= n, "shard send %u -> %u outside 0..%u",
              src, dst, n - 1);
     if (src == dst) {
-        domains_[src]->scheduleAbs(when, std::move(fn), prio);
+        EventQueue &q = *domains_[src];
+        if (q.keyed())
+            q.scheduleKeyed(when, std::move(fn), prio, key, execStream);
+        else
+            q.scheduleAbs(when, std::move(fn), prio);
         return;
     }
+    ++sendSeq_[src].value;
     ShardEvent ev;
     ev.when = when;
     ev.priority = prio;
-    ev.srcSeq = sendSeq_[src].value++;
+    ev.key = key;
+    ev.execStream = execStream;
     ev.fn = std::move(fn);
     const bool pushed = mail_[std::size_t{src} * n + dst]->tryPush(
         std::move(ev));
@@ -88,15 +115,7 @@ void
 ShardedExecutor::drainInbox(unsigned shard, Tick windowStart)
 {
     const unsigned n = static_cast<unsigned>(domains_.size());
-    struct Incoming
-    {
-        Tick when;
-        int prio;
-        unsigned src;
-        std::uint64_t seq;
-        std::function<void()> fn;
-    };
-    std::vector<Incoming> batch;
+    std::vector<ShardEvent> batch;
     ShardEvent ev;
     DomainProfile &prof = profiles_[shard];
     for (unsigned src = 0; src < n; ++src) {
@@ -111,8 +130,7 @@ ShardedExecutor::drainInbox(unsigned shard, Tick windowStart)
                      shard, (unsigned long long)ev.when,
                      (unsigned long long)windowStart,
                      (unsigned long long)quantum_);
-            batch.push_back({ev.when, static_cast<int>(ev.priority), src,
-                             ev.srcSeq, std::move(ev.fn)});
+            batch.push_back(std::move(ev));
         }
         // Drains empty the ring, so the pop count IS the depth this
         // mailbox reached during the finished window.
@@ -121,23 +139,27 @@ ShardedExecutor::drainInbox(unsigned shard, Tick windowStart)
     }
     if (batch.empty())
         return;
-    // Insert in the global merge order: the receiving queue assigns its
-    // tie-break seqs in insertion order, so sorting here by
-    // (tick, priority, source shard, source seq) reproduces the
-    // monolithic total order for same-tick arrivals.
+    // Insert in the global merge order (tick, priority, key). Keyed
+    // queues store the carried key directly, so same-tick arrivals land
+    // in the partition-invariant total order; legacy queues assign their
+    // tie-break seqs in insertion order, and the legacy key packs
+    // (src, srcSeq), reproducing the historical drain order.
     std::stable_sort(batch.begin(), batch.end(),
-                     [](const Incoming &a, const Incoming &b) {
+                     [](const ShardEvent &a, const ShardEvent &b) {
                          if (a.when != b.when)
                              return a.when < b.when;
-                         if (a.prio != b.prio)
-                             return a.prio < b.prio;
-                         if (a.src != b.src)
-                             return a.src < b.src;
-                         return a.seq < b.seq;
+                         if (a.priority != b.priority)
+                             return a.priority < b.priority;
+                         return a.key < b.key;
                      });
-    for (Incoming &in : batch) {
-        domains_[shard]->scheduleAbs(in.when, std::move(in.fn),
-                                     static_cast<EventPriority>(in.prio));
+    EventQueue &q = *domains_[shard];
+    const bool keyed = q.keyed();
+    for (ShardEvent &in : batch) {
+        if (keyed)
+            q.scheduleKeyed(in.when, std::move(in.fn), in.priority,
+                            in.key, in.execStream);
+        else
+            q.scheduleAbs(in.when, std::move(in.fn), in.priority);
     }
     prof.received += batch.size();
     delivered_.fetch_add(batch.size(), std::memory_order_relaxed);
@@ -162,28 +184,55 @@ ShardedExecutor::runSolo(unsigned shard)
         prof.maxRoundEvents = fired;
 }
 
+namespace
+{
+
+inline void
+cpuRelax()
+{
+#if defined(__x86_64__) || defined(__i386__)
+    __builtin_ia32_pause();
+#elif defined(__aarch64__)
+    asm volatile("yield");
+#endif
+}
+
+} // namespace
+
 ShardedExecutor::RoundState
 ShardedExecutor::barrierSync(unsigned worker, bool completion)
 {
-    std::unique_lock<std::mutex> lk(barrierMutex_);
-    if (++waiting_ == threads_) {
+    const std::uint64_t gen = generation_.load(std::memory_order_acquire);
+    if (arrived_.fetch_add(1, std::memory_order_acq_rel) + 1 ==
+        threads_) {
+        // Last arriver: advance the round while everyone else spins,
+        // then release them. arrived_ must reset before the generation
+        // bump — workers may hit the next barrier immediately.
         if (completion)
             advanceRound();
-        waiting_ = 0;
-        ++generation_;
-        barrierCv_.notify_all();
+        arrived_.store(0, std::memory_order_relaxed);
+        generation_.store(gen + 1, std::memory_order_release);
     } else {
-        const std::uint64_t g = generation_;
-        // Host stall accounting: how long this worker sat parked while
-        // the round's stragglers finished. Feeds the load-imbalance
-        // report's host.* side only — simulation state never sees it.
-        // takolint: ok(D2, barrier stall time feeds only host.* gauges)
-        const auto t0 = std::chrono::steady_clock::now();
-        barrierCv_.wait(lk, [&] { return generation_ != g; });
-        // takolint: ok(D2, barrier stall time feeds only host.* gauges)
-        const auto t1 = std::chrono::steady_clock::now();
-        barrierWait_[worker].value +=
-            std::chrono::duration<double>(t1 - t0).count();
+        // A quantum window is typically a few events per domain, far
+        // cheaper than a futex round trip, so spin first and only
+        // account (and yield) once the wait is clearly a straggler
+        // stall. The host-clock reads feed host.* gauges only.
+        unsigned spins = 0;
+        while (generation_.load(std::memory_order_acquire) == gen) {
+            cpuRelax();
+            if (++spins >= spinLimit_) {
+                // takolint: ok(D2, stall time feeds only host.* gauges)
+                const auto t0 = std::chrono::steady_clock::now();
+                while (generation_.load(std::memory_order_acquire) ==
+                       gen)
+                    std::this_thread::yield();
+                // takolint: ok(D2, stall time feeds only host.* gauges)
+                const auto t1 = std::chrono::steady_clock::now();
+                barrierWait_[worker].value +=
+                    std::chrono::duration<double>(t1 - t0).count();
+                break;
+            }
+        }
     }
     return RoundState{windowStart_, soloDomain_, done_};
 }
@@ -224,8 +273,22 @@ ShardedExecutor::advanceRound()
         // (or the solo domain's final position), and every send is
         // timestamped at least one quantum ahead — so the next lockstep
         // window starts safely below every undelivered timestamp.
-        windowStart_ = prevSolo != kNoSolo ? domains_[prevSolo]->now() + 1
-                                           : windowStart_ + quantum_;
+        if (prevSolo != kNoSolo) {
+            // A solo run stops at its first outbound send, which can
+            // leave events pending at the very tick it stopped on (same
+            // tick, later key) or just after. The resumed window must
+            // start at or below every pending event, not one past the
+            // solo clock — otherwise a leftover event executes inside a
+            // window that already began beyond it, and its quantum-ahead
+            // sends land below the *next* window start (a lookahead
+            // violation at the receiver).
+            Tick w = domains_[prevSolo]->now() + 1;
+            if (pendingDomains > 0 && minNext < w)
+                w = minNext;
+            windowStart_ = w;
+        } else {
+            windowStart_ = windowStart_ + quantum_;
+        }
         return;
     }
     // No mail in flight: jump straight to the earliest pending event.
@@ -284,14 +347,11 @@ ShardedExecutor::workerLoop(unsigned worker)
 void
 ShardedExecutor::run()
 {
-    {
-        std::unique_lock<std::mutex> lk(barrierMutex_);
-        windowStart_ = 0;
-        soloDomain_ = kNoSolo;
-        done_ = false;
-        waiting_ = 0;
-        generation_ = 0;
-    }
+    windowStart_ = 0;
+    soloDomain_ = kNoSolo;
+    done_ = false;
+    arrived_.store(0, std::memory_order_relaxed);
+    generation_.store(0, std::memory_order_release);
     std::vector<std::thread> workers;
     workers.reserve(threads_);
     for (unsigned w = 0; w < threads_; ++w)

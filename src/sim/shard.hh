@@ -29,11 +29,9 @@
 #define TAKO_SIM_SHARD_HH
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <vector>
 
 #include "sim/event_queue.hh"
@@ -138,7 +136,15 @@ struct ShardEvent
 {
     Tick when = 0;
     EventPriority priority = EventPriority::Default;
-    std::uint64_t srcSeq = 0; ///< source shard's send order
+    /**
+     * Tie-break key. Keyed sends carry the sender's partition-invariant
+     * (stream, per-stream seq) pack; legacy sends pack (source shard,
+     * send order) in the same layout, which reproduces the historical
+     * (src, srcSeq) drain order.
+     */
+    std::uint64_t key = 0;
+    /** Stream published in ExecCtx while the delivered event runs. */
+    std::uint32_t execStream = 0;
     std::function<void()> fn;
 };
 
@@ -171,6 +177,17 @@ class ShardedExecutor
      */
     void send(unsigned src, unsigned dst, Tick when, EventPriority prio,
               std::function<void()> fn);
+
+    /**
+     * Like send(), but with an explicit partition-invariant tie-break
+     * key and execution stream (see StreamKeySource). Used by the
+     * domain router for decomposed single-run simulation: the key was
+     * drawn from the sending event's stream counter, so the receiver
+     * can merge arrivals into the exact monolithic total order.
+     */
+    void sendKeyed(unsigned src, unsigned dst, Tick when,
+                   EventPriority prio, std::uint64_t key,
+                   std::uint32_t execStream, std::function<void()> fn);
 
     /** Run every domain to quiescence (all queues and mailboxes empty).
      *  Blocks the calling thread; workers join before it returns. */
@@ -256,17 +273,24 @@ class ShardedExecutor
     std::vector<EventQueue *> domains_;
     Tick quantum_;
     unsigned threads_;
+    /** Barrier spin iterations before falling back to yield(); near
+     *  zero when workers outnumber hardware threads (see ctor). */
+    unsigned spinLimit_ = 1u << 14;
     /** mail_[src * N + dst]; only (src worker, dst worker) touch it. */
     std::vector<std::unique_ptr<SpscMailbox<ShardEvent>>> mail_;
     std::vector<PaddedCounter> sendSeq_; ///< per-source send counters
 
-    // Barrier + round state. The round fields are written only by the
-    // barrier's completion step (all workers parked) and read only
-    // after release — the barrier's mutex orders every access.
-    std::mutex barrierMutex_;
-    std::condition_variable barrierCv_;
-    unsigned waiting_ = 0;
-    std::uint64_t generation_ = 0;
+    // Centralized sense-reversing spin barrier. Rounds are short (one
+    // quantum is a handful of events per domain), so parking on a
+    // condvar costs more than the window itself; workers spin on the
+    // generation word and only fall back to yield() after a threshold.
+    // The plain round fields are written only by the last arriver,
+    // between its arrival (acq_rel fetch_add) and its generation bump
+    // (release store); every other worker reads them only after
+    // observing the bump (acquire load) — a proper release/acquire pair,
+    // no mutex needed.
+    alignas(64) std::atomic<std::uint64_t> generation_{0};
+    alignas(64) std::atomic<unsigned> arrived_{0};
     Tick windowStart_ = 0;
     unsigned soloDomain_ = kNoSolo;
     bool done_ = false;

@@ -239,7 +239,13 @@ spawn(Task<> task, std::function<void()> on_done = {})
     }(std::move(task), std::move(on_done));
 }
 
-/** Awaitable that delays the coroutine by @p delta ticks. */
+/**
+ * Awaitable that delays the coroutine by @p delta ticks. The resumption
+ * is scheduled on the execution context's queue (homeQueue): a memory
+ * transaction that has walked to a remote tile keeps running there, on
+ * that domain's queue, even though the awaiter was built with the
+ * component's construction-time queue reference.
+ */
 struct Delay
 {
     EventQueue &eq;
@@ -251,7 +257,7 @@ struct Delay
     void
     await_suspend(std::coroutine_handle<> h) const
     {
-        eq.schedule(delta, [h]() { h.resume(); }, prio);
+        homeQueue(eq).schedule(delta, [h]() { h.resume(); }, prio);
     }
 
     void await_resume() const noexcept {}
@@ -281,7 +287,7 @@ class Completion
         value_ = std::move(value);
         if (waiter_) {
             auto w = waiter_;
-            eq_.schedule(delta, [w]() { w.resume(); });
+            homeQueue(eq_).schedule(delta, [w]() { w.resume(); });
         } else {
             completionDelta_ = delta;
         }
@@ -303,8 +309,8 @@ class Completion
                          "Completion awaited twice");
                 c.waiter_ = h;
                 if (c.completed_) {
-                    c.eq_.schedule(c.completionDelta_,
-                                   [h]() { h.resume(); });
+                    homeQueue(c.eq_).schedule(c.completionDelta_,
+                                              [h]() { h.resume(); });
                 }
             }
 
@@ -342,7 +348,7 @@ class Join
         --outstanding_;
         if (outstanding_ == 0 && waiter_) {
             auto w = std::exchange(waiter_, {});
-            eq_.schedule(0, [w]() { w.resume(); });
+            homeQueue(eq_).schedule(0, [w]() { w.resume(); });
         }
     }
 
@@ -395,6 +401,15 @@ class Join
 /**
  * Counting semaphore with FIFO coroutine waiters; completions are
  * scheduled through the event queue for determinism.
+ *
+ * Domain-local only: release() resumes the oldest waiter on the
+ * *releaser's* queue, so under a decomposed run (--shards > 1) the
+ * waiter's continuation would execute in the releaser's domain and any
+ * work it then does at its own tile trips the cross-domain lookahead
+ * panic. Every model use (engine ports, MSHR/WB entries, core windows)
+ * keeps acquirers and releasers on one tile; cross-tile guest
+ * synchronization wants workloads' SimBarrier, which routes wakeups
+ * back to each waiter's tile through the domain router.
  */
 class Semaphore
 {
@@ -439,7 +454,7 @@ class Semaphore
             // Hand the slot directly to the oldest waiter.
             auto h = waiters_.front();
             waiters_.erase(waiters_.begin());
-            eq_.schedule(0, [h]() { h.resume(); });
+            homeQueue(eq_).schedule(0, [h]() { h.resume(); });
         } else {
             ++count_;
         }

@@ -2,7 +2,7 @@
 
 #include <cmath>
 
-#include "sim/shard.hh"
+#include "sim/tracesink.hh"
 
 namespace tako
 {
@@ -31,18 +31,45 @@ System::System(const SystemConfig &config) : config_(config), rng_(config.seed)
     fatal_if(config_.mesh.dimX * config_.mesh.dimY != config_.mem.tiles,
              "mesh %ux%u does not cover %u tiles", config_.mesh.dimX,
              config_.mesh.dimY, config_.mem.tiles);
+
+    // Stand up the shard-domain router before any component exists:
+    // every run is decomposed over the plan's column partition (one
+    // degenerate domain when shards == 1), so the exact same keyed
+    // scheduling code executes at every shard count.
+    plan_ = ShardPlan::build(config_.mesh.dimX, config_.mesh.dimY,
+                             config_.mesh.routerDelay,
+                             config_.mesh.linkDelay, config_.shards);
+    config_.shards = plan_.shards; // reflect the [1, dimX] clamp
+    std::vector<EventQueue *> queues{&eq_};
+    for (unsigned s = 1; s < plan_.shards; ++s) {
+        shardQueues_.push_back(std::make_unique<EventQueue>());
+        queues.push_back(shardQueues_.back().get());
+    }
+    dom_.init(plan_, std::move(queues));
+    // Per-domain stat lanes must exist before components cache handles.
+    stats_.enableLanes(plan_.shards);
+
     energy_ = std::make_unique<EnergyModel>(stats_, config_.energy);
     noc_ = std::make_unique<Mesh>(config_.mesh, stats_, *energy_);
-    mem_ = std::make_unique<MemorySystem>(config_.mem, eq_, stats_,
+    mem_ = std::make_unique<MemorySystem>(config_.mem, dom_, eq_, stats_,
                                           *energy_, *noc_);
-    registry_ = std::make_unique<MorphRegistry>(*mem_, eq_);
-    engines_ = std::make_unique<EngineCluster>(
-        config_.mem.tiles, config_.engine, *mem_, eq_, stats_, *energy_);
+    registry_ = std::make_unique<MorphRegistry>(*mem_, dom_, eq_);
+    engines_ = std::make_unique<EngineCluster>(config_.mem.tiles,
+                                               config_.engine, *mem_, dom_,
+                                               eq_, stats_, *energy_);
     mem_->setCallbackSink(engines_.get());
-    if (config_.accessTracer)
+    if (config_.accessTracer) {
+        // The tracer is one host-side consumer fed from every tile; with
+        // the model decomposed over worker threads it would race.
+        fatal_if(plan_.shards > 1,
+                 "access tracing requires a monolithic run (--shards=1)");
         mem_->setAccessTracer(config_.accessTracer);
+    }
 
     if (config_.profile) {
+        fatal_if(plan_.shards > 1,
+                 "takoprof requires a monolithic run (--shards=1): the "
+                 "profiler aggregates into shared tables");
         prof::ProfilerConfig pc;
         pc.tiles = config_.mem.tiles;
         pc.l1Lines = config_.mem.l1Size / lineBytes;
@@ -85,6 +112,8 @@ System::System(const SystemConfig &config) : config_(config), rng_(config.seed)
         mo.onBeat = config_.onBeat;
         monitor_ = std::make_unique<mon::TimeSeriesSink>(eq_, stats_,
                                                          std::move(mo));
+        if (plan_.shards > 1)
+            monitor_->shardAcross(dom_.queues());
     } else {
         fatal_if(!config_.monPath.empty(),
                  "a takomon output file needs a sampling interval");
@@ -97,14 +126,50 @@ System::addThread(int core, std::function<Task<>(Guest &)> fn)
     pending_.emplace_back(core, std::move(fn));
 }
 
+void
+System::bootGuests()
+{
+    // One keyed post per queued guest, in addThread order, onto the
+    // owning core's tile. The posts draw system-stream (0) keys before
+    // any event has run, so the bootstrap order is identical at every
+    // shard count — and each coroutine frame is created, driven, and
+    // destroyed in the domain that owns its core.
+    for (auto &[core, fn] : pending_) {
+        dom_.post(
+            core, 0,
+            [this, c = core, f = std::move(fn)]() mutable {
+                cores_[c]->run(std::move(f));
+            },
+            EventPriority::High);
+    }
+    pending_.clear();
+}
+
+void
+System::postRunChecks() const
+{
+    unsigned blocked = 0;
+    for (const auto &core : cores_)
+        blocked += core->running();
+    panic_if(blocked != 0,
+             "event queue drained with %u guest thread(s) blocked "
+             "(deadlock); %u memory transactions in flight",
+             blocked, mem_->inflight());
+    panic_if(mem_->inflight() != 0,
+             "event queue drained with %u memory transactions in flight",
+             mem_->inflight());
+}
+
 Tick
 System::runFor(Tick limit)
 {
+    fatal_if(plan_.shards > 1,
+             "runFor (crash injection) requires a monolithic run "
+             "(--shards=1): a bounded window cannot cut a multi-domain "
+             "run at one consistent tick");
     const Tick start = eq_.now();
     const auto host_start = std::chrono::steady_clock::now();
-    for (auto &[core, fn] : pending_)
-        cores_[core]->run(std::move(fn));
-    pending_.clear();
+    bootGuests();
     eq_.runUntil(start + limit);
     finishMonitor();
     stampShardStats(nullptr, nullptr);
@@ -234,7 +299,9 @@ System::stampHostStats(
         std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                       host_start)
             .count();
-    const double events = static_cast<double>(eq_.eventsFired());
+    double events = 0;
+    for (const EventQueue *q : dom_.queues())
+        events += static_cast<double>(q->eventsFired());
     stats_
         .counter("host.seconds", "s",
                  "host wall-clock time spent inside run()/runFor()")
@@ -267,29 +334,16 @@ System::finalizeProfiler()
 Tick
 System::run()
 {
-    if (config_.shards > 1)
+    if (plan_.shards > 1)
         return runSharded();
     const Tick start = eq_.now();
     const auto host_start = std::chrono::steady_clock::now();
-    for (auto &[core, fn] : pending_)
-        cores_[core]->run(std::move(fn));
-    pending_.clear();
-
+    bootGuests();
     eq_.run();
     finishMonitor();
     stampShardStats(nullptr, nullptr);
     stampHostStats(host_start);
-
-    unsigned blocked = 0;
-    for (const auto &core : cores_)
-        blocked += core->running();
-    panic_if(blocked != 0,
-             "event queue drained with %u guest thread(s) blocked "
-             "(deadlock); %u memory transactions in flight",
-             blocked, mem_->inflight());
-    panic_if(mem_->inflight() != 0,
-             "event queue drained with %u memory transactions in flight",
-             mem_->inflight());
+    postRunChecks();
     finalizeProfiler();
     return eq_.now() - start;
 }
@@ -297,57 +351,40 @@ System::run()
 Tick
 System::runSharded()
 {
+    fatal_if(trace::spanSink() != nullptr,
+             "span tracing writes one shared trace file; record spans "
+             "with --shards=1");
     const Tick start = eq_.now();
     const auto host_start = std::chrono::steady_clock::now();
 
-    const ShardPlan plan = ShardPlan::build(
-        config_.mesh.dimX, config_.mesh.dimY, config_.mesh.routerDelay,
-        config_.mesh.linkDelay, config_.shards);
+    bootGuests();
 
-    // Stage the guest-thread starts as the first event so every
-    // coroutine frame is created, driven, and destroyed on the owning
-    // shard's worker thread (frame arenas are per-thread). The
-    // bootstrap shifts every event seq by one uniformly, which
-    // preserves the (tick, priority, seq) relative order exactly.
-    eq_.schedule(
-        0,
-        [this]() {
-            for (auto &[core, fn] : pending_)
-                cores_[core]->run(std::move(fn));
-            pending_.clear();
-        },
-        EventPriority::High);
-
-    // Domain 0 carries the whole model today; the remaining shard
-    // domains are stood up from the plan and drained in lockstep, so
-    // the quantum-barrier protocol (and its determinism guarantee) is
-    // exercised on every sharded run while the mesh decomposition
-    // lands tile by tile (DESIGN.md §4.6).
-    std::vector<std::unique_ptr<EventQueue>> extras;
-    std::vector<EventQueue *> domains{&eq_};
-    for (unsigned s = 1; s < plan.shards; ++s) {
-        extras.push_back(std::make_unique<EventQueue>());
-        domains.push_back(extras.back().get());
-    }
-    ShardedExecutor exec(domains, plan.quantum);
+    // Each domain drains its own queue under quantum barriers; the
+    // Domains router carries every cross-domain edge through the
+    // executor's keyed mailboxes while it is installed.
+    ShardedExecutor exec(dom_.queues(), plan_.quantum);
+    dom_.setExecutor(&exec);
     exec.run();
+    dom_.setExecutor(nullptr);
+
+    // Merge order matters: the monitor's tail rows read live lane
+    // partials, so fold the stat lanes only after the series merge.
+    if (monitor_)
+        monitor_->mergeShardSamples();
+    stats_.mergeLanes();
 
     finishMonitor();
-    stampShardStats(&plan, &exec);
+    stampShardStats(&plan_, &exec);
     stampHostStats(host_start);
-
-    unsigned blocked = 0;
-    for (const auto &core : cores_)
-        blocked += core->running();
-    panic_if(blocked != 0,
-             "event queue drained with %u guest thread(s) blocked "
-             "(deadlock); %u memory transactions in flight",
-             blocked, mem_->inflight());
-    panic_if(mem_->inflight() != 0,
-             "event queue drained with %u memory transactions in flight",
-             mem_->inflight());
+    postRunChecks();
     finalizeProfiler();
-    return eq_.now() - start;
+
+    // The run ends at the globally-last event, wherever it executed —
+    // the same tick a monolithic run's clock stops at.
+    Tick end = start;
+    for (const EventQueue *q : dom_.queues())
+        end = std::max(end, q->now());
+    return end - start;
 }
 
 } // namespace tako

@@ -19,17 +19,16 @@
 #include "mon/sink.hh"
 #include "noc/mesh.hh"
 #include "prof/profiler.hh"
+#include "sim/domains.hh"
 #include "sim/event_queue.hh"
 #include "sim/random.hh"
+#include "sim/shard.hh"
 #include "sim/stats.hh"
 #include "tako/engine.hh"
 #include "tako/registry.hh"
 
 namespace tako
 {
-
-struct ShardPlan;
-class ShardedExecutor;
 
 struct SystemConfig
 {
@@ -92,6 +91,8 @@ class System
 
     const SystemConfig &config() const { return config_; }
     EventQueue &eq() { return eq_; }
+    Domains &domains() { return dom_; }
+    const ShardPlan &shardPlan() const { return plan_; }
     StatsRegistry &stats() { return stats_; }
     EnergyModel &energy() { return *energy_; }
     Mesh &noc() { return *noc_; }
@@ -131,11 +132,22 @@ class System
     mon::TimeSeriesSink *monitor() { return monitor_.get(); }
 
   private:
-    /** run() body for config.shards > 1: domain 0 (the whole model, for
-     *  now) executes on a ShardedExecutor worker under quantum
-     *  barriers; remaining shard domains are stood up from the
-     *  ShardPlan and drained in lockstep. */
+    /** run() body for config.shards > 1: every shard domain owns its
+     *  tiles' model state (cores, engines, caches, directory slices,
+     *  routers) and drains its own EventQueue on a ShardedExecutor
+     *  worker under quantum barriers; cross-domain edges travel through
+     *  Domains::post keyed mailboxes, so the merged order — and every
+     *  non-host.* stat — is bit-identical to the monolithic run
+     *  (DESIGN.md §4.6). */
     Tick runSharded();
+
+    /** Stage the queued guest threads as per-tile bootstrap events (the
+     *  same keyed posts at every shard count, so coroutine frames are
+     *  created, driven, and destroyed in the owning domain). */
+    void bootGuests();
+
+    /** Post-run deadlock/leak checks shared by run() and runSharded(). */
+    void postRunChecks() const;
 
     /** Harvest NoC/set-heat counters into the profiler and finalize it. */
     void finalizeProfiler();
@@ -159,6 +171,13 @@ class System
 
     SystemConfig config_;
     EventQueue eq_;
+    /** Column partition of the mesh; degenerate (1 shard) when
+     *  config.shards == 1 — the same decomposed code runs either way. */
+    ShardPlan plan_;
+    /** Queues for shard domains 1..N-1 (domain 0 runs on eq_). */
+    std::vector<std::unique_ptr<EventQueue>> shardQueues_;
+    /** Tile-to-domain router; every component schedules through it. */
+    Domains dom_;
     StatsRegistry stats_;
     Rng rng_;
     std::unique_ptr<EnergyModel> energy_;

@@ -213,11 +213,12 @@ EngineCtx::interrupt(int core)
 // ---------------------------------------------------------------------
 
 Engine::Engine(int tile, const EngineParams &params, MemorySystem &mem,
-               EventQueue &eq, StatsRegistry &stats, EnergyModel &energy,
-               EngineCluster &cluster)
+               Domains &dom, EventQueue &eq, StatsRegistry &stats,
+               EnergyModel &energy, EngineCluster &cluster)
     : tile_(tile),
       params_(params),
       mem_(mem),
+      dom_(dom),
       eq_(eq),
       stats_(stats),
       energy_(energy),
@@ -317,7 +318,10 @@ Engine::memAccess(MemCmd cmd, Addr addr, std::uint64_t wdata,
 void
 Engine::raiseInterrupt(int core, Addr line)
 {
-    eq_.schedule(params_.interruptLat, [this, core, line]() {
+    // Delivery mutates the target core's pending-interrupt state, so the
+    // event must execute in the core's domain. interruptLat covers the
+    // cross-domain lookahead (checked at cluster construction).
+    dom_.post(core, params_.interruptLat, [this, core, line]() {
         cluster_.deliverInterrupt(core, line);
     });
 }
@@ -385,7 +389,7 @@ Engine::trigger(CallbackKind kind, Addr line, const MorphBinding &binding,
 Task<>
 Engine::runCallback(Request req)
 {
-    const Tick enqueued = eq_.now();
+    const Tick enqueued = ctxNow(eq_);
     if (prof_)
         prof_->callbackEnqueued(tile_, enqueued);
 
@@ -399,14 +403,14 @@ Engine::runCallback(Request req)
     Tick admission_wait = 0;
     if (!priority_miss) {
         co_await bufferSlots_.acquire();
-        admission_wait = eq_.now() - enqueued;
+        admission_wait = ctxNow(eq_) - enqueued;
         bufferWait_->sample(admission_wait);
     }
 
     // Callbacks on the same address execute in arrival order.
-    Tick t0 = eq_.now();
+    Tick t0 = ctxNow(eq_);
     co_await addrOrder_.acquire(req.line);
-    const Tick addr_wait = eq_.now() - t0;
+    const Tick addr_wait = ctxNow(eq_) - t0;
 
     co_await Delay{eq_, params_.schedulerLat};
     Tick dispatch = params_.schedulerLat;
@@ -416,9 +420,9 @@ Engine::runCallback(Request req)
         co_await Delay{eq_, xlate};
 
     if (!priority_miss) {
-        t0 = eq_.now();
+        t0 = ctxNow(eq_);
         co_await fabricSlots_.acquire();
-        dispatch += eq_.now() - t0;
+        dispatch += ctxNow(eq_) - t0;
     }
 
     EngineCtx ctx(*this, *req.binding, req.kind, req.line, req.data,
@@ -429,15 +433,15 @@ Engine::runCallback(Request req)
             ? "onMiss"
             : (req.kind == CallbackKind::Writeback ? "onWriteback"
                                                    : "onEviction");
-    TRACE(Engine, eq_.now(), "tile %d runs %s(%#llx) for '%s'", tile_,
+    TRACE(Engine, ctxNow(eq_), "tile %d runs %s(%#llx) for '%s'", tile_,
           kind_name, (unsigned long long)req.line,
           morph.traits().name.c_str());
-    const Tick body_start = eq_.now();
+    const Tick body_start = ctxNow(eq_);
     switch (req.kind) {
       case CallbackKind::Miss:
         ++*cbMiss_;
         co_await morph.onMiss(ctx);
-        missLatency_->sample(eq_.now() - enqueued);
+        missLatency_->sample(ctxNow(eq_) - enqueued);
         break;
       case CallbackKind::Eviction:
         ++*cbEviction_;
@@ -448,7 +452,7 @@ Engine::runCallback(Request req)
         co_await morph.onWriteback(ctx);
         break;
     }
-    const Tick body = eq_.now() - body_start;
+    const Tick body = ctxNow(eq_) - body_start;
 
     if (!priority_miss) {
         fabricSlots_.release();
@@ -459,7 +463,7 @@ Engine::runCallback(Request req)
     hBdDispatch_->sample(dispatch);
     hBdXlate_->sample(xlate);
     hBdBody_->sample(body);
-    hBdTotal_->sample(eq_.now() - enqueued);
+    hBdTotal_->sample(ctxNow(eq_) - enqueued);
     if (prof_) {
         prof::CallbackRecord rec;
         rec.tile = tile_;
@@ -470,14 +474,14 @@ Engine::runCallback(Request req)
         rec.dispatch = dispatch;
         rec.xlate = xlate;
         rec.body = body;
-        rec.total = eq_.now() - enqueued;
-        prof_->callbackRetired(rec, eq_.now());
+        rec.total = ctxNow(eq_) - enqueued;
+        prof_->callbackRetired(rec, ctxNow(eq_));
     }
     if (trace::spanEnabled(trace::Flag::Engine)) {
         trace::ChromeTraceWriter &w = *trace::spanSink();
         w.ensureTrack(1, "engines", tile_, strprintf("tile%d", tile_));
         w.completeEvent(
-            "engine", kind_name, 1, tile_, enqueued, eq_.now() - enqueued,
+            "engine", kind_name, 1, tile_, enqueued, ctxNow(eq_) - enqueued,
             strprintf("{\"addr\":\"%#llx\",\"morph\":\"%s\","
                       "\"addr_wait\":%llu,\"dispatch\":%llu,"
                       "\"xlate\":%llu,\"body\":%llu}",
@@ -488,7 +492,7 @@ Engine::runCallback(Request req)
                       (unsigned long long)xlate,
                       (unsigned long long)body));
     }
-    TRACE(Engine, eq_.now(), "tile %d retires callback on %#llx", tile_,
+    TRACE(Engine, ctxNow(eq_), "tile %d retires callback on %#llx", tile_,
           (unsigned long long)req.line);
     req.done();
 }
@@ -498,14 +502,21 @@ Engine::runCallback(Request req)
 // ---------------------------------------------------------------------
 
 EngineCluster::EngineCluster(unsigned tiles, const EngineParams &params,
-                             MemorySystem &mem, EventQueue &eq,
-                             StatsRegistry &stats, EnergyModel &energy)
+                             MemorySystem &mem, Domains &dom,
+                             EventQueue &eq, StatsRegistry &stats,
+                             EnergyModel &energy)
     : params_(params)
 {
+    panic_if(dom.active() && params.interruptLat < dom.quantum(),
+             "interruptLat (%llu) below the shard lookahead quantum "
+             "(%llu): interrupts could not cross domains",
+             (unsigned long long)params.interruptLat,
+             (unsigned long long)dom.quantum());
     engines_.reserve(tiles);
     for (unsigned t = 0; t < tiles; ++t) {
         engines_.push_back(std::make_unique<Engine>(
-            static_cast<int>(t), params, mem, eq, stats, energy, *this));
+            static_cast<int>(t), params, mem, dom, eq, stats, energy,
+            *this));
     }
 }
 

@@ -33,6 +33,7 @@
 
 #include "mem/lock_table.hh"
 #include "mem/memory_system.hh"
+#include "sim/domains.hh"
 #include "tako/morph.hh"
 
 namespace tako
@@ -161,8 +162,8 @@ class Engine
 {
   public:
     Engine(int tile, const EngineParams &params, MemorySystem &mem,
-           EventQueue &eq, StatsRegistry &stats, EnergyModel &energy,
-           EngineCluster &cluster);
+           Domains &dom, EventQueue &eq, StatsRegistry &stats,
+           EnergyModel &energy, EngineCluster &cluster);
 
     int tile() const { return tile_; }
     const EngineParams &params() const { return params_; }
@@ -218,6 +219,7 @@ class Engine
     int tile_;
     EngineParams params_;
     MemorySystem &mem_;
+    Domains &dom_;
     EventQueue &eq_;
     StatsRegistry &stats_;
     EnergyModel &energy_;
@@ -265,8 +267,8 @@ class EngineCluster : public CallbackSink
     using InterruptHandler = std::function<void(int core, Addr line)>;
 
     EngineCluster(unsigned tiles, const EngineParams &params,
-                  MemorySystem &mem, EventQueue &eq, StatsRegistry &stats,
-                  EnergyModel &energy);
+                  MemorySystem &mem, Domains &dom, EventQueue &eq,
+                  StatsRegistry &stats, EnergyModel &energy);
 
     Engine &engine(int tile) { return *engines_[tile]; }
     const EngineParams &params() const { return params_; }

@@ -26,14 +26,28 @@ MorphRegistry::insert(Morph &morph, MorphLevel level, Addr base,
           level == MorphLevel::Private ? "PRIVATE" : "SHARED",
           phantom ? "phantom" : "real", (unsigned long long)base,
           (unsigned long long)size, b.id);
-    const bool ok = map_.insert(base, size, b);
-    ++gen_; // invalidate per-tile MRU resolve caches
+    storage_.push_back(b);
+    const MorphBinding *mb = &storage_.back();
+    const bool ok = master_.insert(base, size, mb);
     fatal_if(!ok,
              "morph '%s': range [%#llx, +%llu) overlaps an existing "
              "registration (only one Morph per address, Sec. 4.1)",
              t.name.c_str(), (unsigned long long)base,
              (unsigned long long)size);
-    return &map_.find(base)->value;
+    // rTLB shootdown: one apply per tile, always `tiles` messages in the
+    // same stream order regardless of partition, each landing in its
+    // tile's domain one quantum out. The registration round trip
+    // (registrationLat) covers this, so the caller never resumes before
+    // every replica agrees.
+    for (unsigned tl = 0; tl < dom_.tiles(); ++tl) {
+        dom_.post(static_cast<int>(tl), dom_.quantum(),
+                  [this, tl, base, size, mb]() {
+                      TileView &v = views_[tl];
+                      v.map.insert(base, size, mb);
+                      ++v.gen;
+                  });
+    }
+    return mb;
 }
 
 Task<const MorphBinding *>
@@ -41,14 +55,18 @@ MorphRegistry::registerPhantom(Morph &morph, MorphLevel level,
                                std::uint64_t size, int tile)
 {
     fatal_if(size == 0, "empty phantom range");
+    const int home = dom_.ctxTile(0);
+    // Allocation and insertion are serialized at tile 0's domain.
+    co_await dom_.hopTo(0, dom_.quantum());
     // Page-align phantom ranges: huge pages are easy here because
     // phantom memory has no physical backing to fragment (Sec. 6).
     const std::uint64_t page = 2 * 1024 * 1024;
     const std::uint64_t len = divCeil(size, page) * page;
     const Addr base = nextPhantom_;
     nextPhantom_ += len;
-    co_await Delay{eq_, registrationLat};
-    co_return insert(morph, level, base, len, true, tile);
+    const MorphBinding *mb = insert(morph, level, base, len, true, tile);
+    co_await dom_.hopTo(home, registrationLat);
+    co_return mb;
 }
 
 Task<const MorphBinding *>
@@ -63,8 +81,11 @@ MorphRegistry::registerReal(Morph &morph, MorphLevel level, Addr base,
                                   divCeil(base + size, lineBytes) *
                                           lineBytes -
                                       lineAlign(base));
-    co_await Delay{eq_, registrationLat};
-    co_return insert(morph, level, base, size, false, tile);
+    const int home = dom_.ctxTile(0);
+    co_await dom_.hopTo(0, dom_.quantum());
+    const MorphBinding *mb = insert(morph, level, base, size, false, tile);
+    co_await dom_.hopTo(home, registrationLat);
+    co_return mb;
 }
 
 Task<>
@@ -80,9 +101,18 @@ MorphRegistry::unregister(const MorphBinding *binding)
     panic_if(!binding, "unregister(nullptr)");
     const Addr base = binding->base;
     co_await mem_.flushMorphData(*binding);
-    co_await Delay{eq_, registrationLat};
-    map_.erase(base);
-    ++gen_; // invalidate per-tile MRU resolve caches
+    const int home = dom_.ctxTile(0);
+    co_await dom_.hopTo(0, dom_.quantum());
+    master_.erase(base);
+    for (unsigned tl = 0; tl < dom_.tiles(); ++tl) {
+        dom_.post(static_cast<int>(tl), dom_.quantum(),
+                  [this, tl, base]() {
+                      TileView &v = views_[tl];
+                      v.map.erase(base);
+                      ++v.gen;
+                  });
+    }
+    co_await dom_.hopTo(home, registrationLat);
     // Phantom ranges are bump-allocated and not recycled; a freed range
     // simply becomes unreachable (accesses to it panic).
 }

@@ -13,14 +13,26 @@
  * callbacks — the Morph is not yet in effect); unregistering flushes
  * with callbacks (the Morph is still in effect) and then removes the
  * binding and de-allocates phantom ranges.
+ *
+ * Decomposition: like a hardware rTLB, the resolve tables are
+ * replicated per tile. Master state (the authoritative interval map,
+ * phantom bump allocator, id counter) is homed at tile 0's domain;
+ * every mutation hops there, updates the master, and broadcasts one
+ * apply message per tile — the same number of messages in the same
+ * stream order at every shard count, so each tile's view changes at a
+ * partition-invariant point in the merged event order. Lookups touch
+ * only the executing tile's replica (no locks, no sharing).
  */
 
 #ifndef TAKO_TAKO_REGISTRY_HH
 #define TAKO_TAKO_REGISTRY_HH
 
+#include <deque>
 #include <memory>
+#include <vector>
 
 #include "mem/memory_system.hh"
+#include "sim/domains.hh"
 #include "sim/interval_map.hh"
 #include "tako/morph.hh"
 
@@ -36,8 +48,11 @@ class MorphRegistry : public MorphResolver
     /** Cost of a register/unregister syscall + TLB shootdown. */
     static constexpr Tick registrationLat = 500;
 
-    MorphRegistry(MemorySystem &mem, EventQueue &eq) : mem_(mem), eq_(eq)
+    MorphRegistry(MemorySystem &mem, Domains &dom, EventQueue &eq)
+        : mem_(mem), dom_(dom), eq_(eq), views_(dom.tiles())
     {
+        panic_if(registrationLat < 2 * dom_.quantum(),
+                 "registrationLat must cover the tile-0 round trip");
         mem_.setMorphResolver(this);
     }
 
@@ -61,12 +76,14 @@ class MorphRegistry : public MorphResolver
     /** Flush (with callbacks), then remove the registration. */
     Task<> unregister(const MorphBinding *binding);
 
-    // MorphResolver interface.
+    // MorphResolver interface. Lookups consult the replica of the tile
+    // the current event executes at (system-stream contexts — pre-run
+    // setup, tests — use tile 0's).
     const MorphBinding *
     resolve(Addr addr) const override
     {
-        const auto *e = map_.find(addr);
-        return e ? &e->value : nullptr;
+        const auto *e = views_[viewIndex()].map.find(addr);
+        return e ? e->value : nullptr;
     }
 
     bool
@@ -75,20 +92,48 @@ class MorphRegistry : public MorphResolver
         return addr >= phantomBase;
     }
 
-    std::uint64_t generation() const override { return gen_; }
+    std::uint64_t
+    generation() const override
+    {
+        return views_[viewIndex()].gen;
+    }
 
-    std::size_t numRegistered() const { return map_.size(); }
+    std::size_t numRegistered() const { return master_.size(); }
 
   private:
+    /** One tile's rTLB replica; written only by apply messages executing
+     *  at that tile, read only by events executing there. */
+    struct alignas(64) TileView
+    {
+        IntervalMap<const MorphBinding *> map;
+        std::uint64_t gen = 0;
+    };
+
+    std::size_t
+    viewIndex() const
+    {
+        return static_cast<std::size_t>(dom_.ctxTile(0));
+    }
+
+    /** At tile 0: build the binding, update the master map, broadcast
+     *  per-tile applies. Returns the stable binding pointer. */
     const MorphBinding *insert(Morph &morph, MorphLevel level, Addr base,
                                std::uint64_t size, bool phantom, int tile);
 
     MemorySystem &mem_;
+    Domains &dom_;
     EventQueue &eq_;
-    IntervalMap<MorphBinding> map_;
+
+    // Master state: touched only by events executing at tile 0.
+    IntervalMap<const MorphBinding *> master_;
     Addr nextPhantom_ = phantomBase;
     std::uint32_t nextId_ = 1;
-    std::uint64_t gen_ = 0;
+
+    /** Binding storage; std::deque so pointers stay stable while other
+     *  domains read bindings published through their replicas. */
+    std::deque<MorphBinding> storage_;
+
+    std::vector<TileView> views_;
 };
 
 } // namespace tako

@@ -53,12 +53,26 @@ class Arena
 /**
  * Reusable barrier for multi-threaded workload phases. All participants
  * must arrive before any proceeds; the barrier then resets itself.
+ *
+ * Partition-safe by construction: barrier state changes only inside
+ * events at a fixed anchor tile. Each arriver posts an "arrived"
+ * message to the anchor through the domain router (one quantum out, the
+ * cross-domain minimum), where arrivals merge in the partition-invariant
+ * (tick, priority, key) total order; the arrival that completes the
+ * rendezvous releases every waiter by posting the resume back to its own
+ * tile, another quantum out. Counting arrivals in the awaiter directly
+ * would mutate shared host state from concurrently-executing domains —
+ * a data race — and even run-to-run-stable arrival order is
+ * domain-major, not the merged event order, so the release's key draws
+ * (and with them every downstream tie-break) would depend on the
+ * partition. The two-quantum round trip is a function of the NoC config
+ * alone, so a sharded run times exactly like a monolithic one.
  */
 class SimBarrier
 {
   public:
-    SimBarrier(EventQueue &eq, unsigned participants)
-        : eq_(eq), participants_(participants)
+    SimBarrier(System &sys, unsigned participants)
+        : dom_(sys.domains()), participants_(participants)
     {
     }
 
@@ -69,24 +83,15 @@ class SimBarrier
         {
             SimBarrier &bar;
 
-            bool
-            await_ready() const noexcept
-            {
-                if (bar.arrived_ + 1 == bar.participants_) {
-                    bar.arrived_ = 0;
-                    for (auto h : bar.waiters_)
-                        bar.eq_.schedule(0, [h]() { h.resume(); });
-                    bar.waiters_.clear();
-                    return true;
-                }
-                return false;
-            }
+            bool await_ready() const noexcept { return false; }
 
             void
             await_suspend(std::coroutine_handle<> h)
             {
-                ++bar.arrived_;
-                bar.waiters_.push_back(h);
+                Domains &dom = bar.dom_;
+                const int tile = dom.ctxTile();
+                dom.post(kAnchorTile, dom.quantum(),
+                         [b = &bar, tile, h]() { b->arrived(tile, h); });
             }
 
             void await_resume() const noexcept {}
@@ -95,10 +100,24 @@ class SimBarrier
     }
 
   private:
-    EventQueue &eq_;
+    /** All barrier bookkeeping happens in this tile's events. */
+    static constexpr int kAnchorTile = 0;
+
+    void
+    arrived(int tile, std::coroutine_handle<> h)
+    {
+        waiters_.emplace_back(tile, h);
+        if (waiters_.size() < participants_)
+            return;
+        const auto batch = std::move(waiters_);
+        waiters_.clear();
+        for (const auto &[t, wh] : batch)
+            dom_.post(t, dom_.quantum(), [wh]() { wh.resume(); });
+    }
+
+    Domains &dom_;
     unsigned participants_;
-    unsigned arrived_ = 0;
-    std::vector<std::coroutine_handle<>> waiters_;
+    std::vector<std::pair<int, std::coroutine_handle<>>> waiters_;
 };
 
 /** Metrics every variant of every case study reports. */

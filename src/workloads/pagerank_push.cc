@@ -127,7 +127,7 @@ runPagerankPush(PushVariant variant, const PagerankPushConfig &cfg,
     std::vector<UbStaged> ubStaging(std::size_t(threads) *
                                     lay.numRegions);
 
-    SimBarrier barrier(sys.eq(), threads);
+    SimBarrier barrier(sys, threads);
     bool correct = false;
     Tick edgeEnd = 0;
 

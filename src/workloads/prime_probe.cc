@@ -53,7 +53,7 @@ runPrimeProbe(bool with_tako, const PrimeProbeConfig &cfg,
 
     // Rounds are loosely synchronized in a real attack; we synchronize
     // them with a barrier so attack accuracy is exactly measurable.
-    SimBarrier barrier(sys.eq(), 2);
+    SimBarrier barrier(sys, 2);
 
     // ---------------- Victim (core 0) ----------------
     sys.addThread(0, [&](Guest &g) -> Task<> {

@@ -109,7 +109,7 @@ TEST(MemorySystem, AtomicSwapMultiReturnsOldValues)
 TEST(SimBarrier, RendezvousRepeats)
 {
     System sys(smallConfig());
-    SimBarrier barrier(sys.eq(), 4);
+    SimBarrier barrier(sys, 4);
     std::vector<int> phase_at_arrival;
     int phase = 0;
     for (unsigned c = 0; c < 4; ++c) {

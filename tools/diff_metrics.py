@@ -19,6 +19,13 @@ deterministic for a fixed topology but describe the topology itself
 differs from the monolithic baseline there. The same-topology gate
 (-j8 vs -j1) passes no exemption — shard.* must be thread-count-exact.
 
+``--require-nonempty-domains`` additionally asserts, for every candidate
+run that reports a sharded topology (``shard.domains`` > 1), that every
+domain actually executed events (``shard.d<i>.events`` > 0). This is how
+CI proves the cross-topology gates exercised real decomposed execution:
+a bit-identical report from a run whose remote domains sat idle would
+pass the diff while testing nothing.
+
 ``--series A B`` switches to takomon mode: the two telemetry files must
 be byte-identical (the format is canonical — same samples => same
 bytes), and on mismatch both are decoded to report the first diverging
@@ -60,6 +67,26 @@ def run_metrics(report: dict, exempt_prefixes) -> dict:
             and not any(k.startswith(p) for p in exempt_prefixes)
         }
     return out
+
+
+def empty_domain_failures(report: dict) -> list:
+    """Sharded runs whose domains executed nothing (see module doc)."""
+    failures = []
+    for run in report.get("runs", []):
+        metrics = run.get("metrics")
+        if not isinstance(metrics, dict):
+            continue
+        domains = int(metrics.get("shard.domains", 0))
+        if domains <= 1:
+            continue
+        for d in range(domains):
+            key = f"shard.d{d}.events"
+            if metrics.get(key, 0) <= 0:
+                failures.append(
+                    f"{run['name']}: {key} = {metrics.get(key)!r} "
+                    f"(domain {d} of {domains} executed nothing)"
+                )
+    return failures
 
 
 def diff_series(a_path: str, b_path: str) -> int:
@@ -132,6 +159,13 @@ def main() -> int:
         help="treat the two inputs as takomon files and require "
         "byte-identity",
     )
+    ap.add_argument(
+        "--require-nonempty-domains",
+        action="store_true",
+        help="fail if any candidate run reporting shard.domains > 1 "
+        "has a domain with shard.d<i>.events <= 0 (proves the gate "
+        "exercised real decomposed execution)",
+    )
     args = ap.parse_args()
 
     if args.series:
@@ -140,7 +174,8 @@ def main() -> int:
     with open(args.baseline) as f:
         base = run_metrics(json.load(f), args.exempt_prefix)
     with open(args.candidate) as f:
-        cand = run_metrics(json.load(f), args.exempt_prefix)
+        cand_report = json.load(f)
+    cand = run_metrics(cand_report, args.exempt_prefix)
 
     shared = sorted(set(base) & set(cand))
     only_base = sorted(set(base) - set(cand))
@@ -176,6 +211,21 @@ def main() -> int:
             f"need {args.require_runs}"
         )
 
+    sharded_runs = 0
+    if args.require_nonempty_domains:
+        failures.extend(empty_domain_failures(cand_report))
+        sharded_runs = sum(
+            1
+            for run in cand_report.get("runs", [])
+            if isinstance(run.get("metrics"), dict)
+            and run["metrics"].get("shard.domains", 0) > 1
+        )
+        if sharded_runs == 0:
+            failures.append(
+                "no candidate run reports shard.domains > 1; the "
+                "non-empty-domain assertion checked nothing"
+            )
+
     if failures:
         print(f"diff_metrics: {len(failures)} difference(s):")
         for f in failures:
@@ -183,9 +233,16 @@ def main() -> int:
         return 1
 
     exempt = ["host.*"] + [p + "*" for p in args.exempt_prefix]
+    tail = ""
+    if args.require_nonempty_domains:
+        tail = (
+            f"; all domains non-empty across {sharded_runs} sharded "
+            f"run(s)"
+        )
     print(
         f"diff_metrics: OK — {compared_metrics} metrics across "
-        f"{compared_runs} runs bit-identical ({', '.join(exempt)} exempt)"
+        f"{compared_runs} runs bit-identical ({', '.join(exempt)} "
+        f"exempt){tail}"
     )
     return 0
 

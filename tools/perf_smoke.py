@@ -13,6 +13,14 @@ these files to tools/plot_results.py to render the trend.
 Exit status is non-zero if either child fails or if the new event queue
 fails to beat the legacy baseline by at least MIN_SPEEDUP (the PR's
 regression gate).
+
+Perf numbers are only comparable between trusted artifacts: a Release
+build of a clean (committed) tree. Anything else — a Debug/RelWithDebInfo
+binary, a ``-dirty`` working tree — is refused by default; pass
+``--allow-untrusted`` to emit the artifact anyway, loudly tagged with
+``"untrusted": true`` and the reasons, with every perf gate skipped so
+meaningless numbers can neither pass nor fail a gate (and so
+plot_results.py / future regression tooling can exclude them).
 """
 import argparse
 import json
@@ -27,7 +35,24 @@ MIN_SPEEDUP = 2.0
 # enforced when the host actually has >= 4 CPUs: on smaller runners the
 # lanes time-share and the measurement is meaningless.
 MIN_SHARD_SPEEDUP = 2.0
+# Required wall-clock speedup of ONE 16-tile run at --shards=4 over
+# --shards=1: the decomposed model executing a single simulation across
+# four shard-domain workers (not an ensemble). Same host-CPU guard as
+# the ensemble gate.
+MIN_SINGLE_RUN_SPEEDUP = 1.8
 KERNEL_FILTER = "BM_EventQueue|BM_Coroutine"
+
+
+def trust_problems(build_type, git_rev):
+    """Why this artifact's numbers are not comparable (empty = trusted)."""
+    problems = []
+    if build_type.lower() != "release":
+        problems.append(
+            f"build_type is {build_type or 'unknown'!r}, not a Release "
+            "build")
+    if git_rev.endswith("-dirty") or git_rev == "unknown":
+        problems.append(f"git rev {git_rev!r} is not a clean commit")
+    return problems
 
 
 def run_microbench(bin_dir, quick):
@@ -124,6 +149,46 @@ def run_shard_ensemble(bin_dir, quick):
     }
 
 
+def run_shard_single(bin_dir, quick):
+    """Wall-time ONE 16-tile run at --shards=1 vs. --shards=4.
+
+    Unlike run_shard_ensemble (4 independent replicas spread across
+    lanes), this is a single simulation decomposed across shard domains:
+    each domain owns its tiles' cores, caches, engines, and routers and
+    drains its own event queue under quantum barriers. Bit-identity of
+    the result is gated elsewhere (test_shard, the CI quick-suite
+    diffs); this measures the parallel payoff of the decomposition
+    itself.
+    """
+    exe = os.path.join(bin_dir, "tools", "takosim")
+    base = [
+        exe,
+        "--workload=phi",
+        "--variant=tako",
+        "--cores=16",
+        "--vertices=16384",
+    ]
+    env = dict(os.environ)
+    if quick:
+        env["TAKO_QUICK"] = "1"
+    walls = {}
+    for shards in (1, 4):
+        start = time.monotonic()
+        subprocess.run(base + [f"--shards={shards}"], check=True,
+                       stdout=subprocess.DEVNULL, env=env)
+        walls[shards] = time.monotonic() - start
+    return {
+        "workload": "phi",
+        "variant": "tako",
+        "cores": 16,
+        "vertices": 16384,
+        "wall_sec_shards1": walls[1],
+        "wall_sec_shards4": walls[4],
+        "speedup": walls[1] / walls[4] if walls[4] > 0 else 0.0,
+        "host_cpus": os.cpu_count() or 1,
+    }
+
+
 def run_trace_codec(bin_dir, quick):
     """Trace-frontend throughput: takotracegen encode, decode (dump to
     /dev/null), and full replay through the memory hierarchy, all in
@@ -174,11 +239,28 @@ def main():
     ap.add_argument("--out", default="BENCH_perf.json")
     ap.add_argument("--quick", action="store_true",
                     help="short benchmark reps + quick-mode takosim")
+    ap.add_argument("--allow-untrusted", action="store_true",
+                    help="emit an artifact even from a non-Release "
+                    "build or a -dirty tree, tagged untrusted and with "
+                    "every perf gate skipped")
     args = ap.parse_args()
 
     context, benches = run_microbench(args.bin_dir, args.quick)
     takosim, prof_path = run_takosim(args.bin_dir, args.quick)
+
+    problems = trust_problems(context.get("library_build_type", ""),
+                              takosim["git_rev"])
+    if problems and not args.allow_untrusted:
+        for p in problems:
+            print(f"perf_smoke: REFUSED: {p}", file=sys.stderr)
+        print("perf_smoke: perf numbers from such a build are not "
+              "comparable; rebuild with -DCMAKE_BUILD_TYPE=Release on "
+              "a clean commit, or pass --allow-untrusted to emit a "
+              "tagged artifact with the gates skipped", file=sys.stderr)
+        return 1
+
     shard = run_shard_ensemble(args.bin_dir, args.quick)
+    single = run_shard_single(args.bin_dir, args.quick)
     trace = run_trace_codec(args.bin_dir, args.quick)
 
     new = benches.get("BM_EventQueueSchedule", {}).get("items_per_second", 0)
@@ -199,8 +281,12 @@ def main():
         "event_queue_speedup_vs_legacy": speedup,
         "takosim": takosim,
         "shard_ensemble": shard,
+        "shard_single_run": single,
         "trace_codec": trace,
     }
+    if problems:
+        report["untrusted"] = True
+        report["untrusted_reasons"] = problems
     with open(args.out, "w") as f:
         json.dump(report, f, indent=2)
         f.write("\n")
@@ -215,10 +301,20 @@ def main():
           f"{shard['wall_sec_shards1']:.2f}s at 1 lane, "
           f"{shard['wall_sec_shards4']:.2f}s at 4 lanes "
           f"({shard['speedup']:.2f}x, {shard['host_cpus']} host CPUs)")
+    print(f"perf_smoke: single 16-tile run "
+          f"{single['wall_sec_shards1']:.2f}s at --shards=1, "
+          f"{single['wall_sec_shards4']:.2f}s at --shards=4 "
+          f"({single['speedup']:.2f}x, {single['host_cpus']} host CPUs)")
     print(f"perf_smoke: trace codec ({trace['records']} kv records) "
           f"encode {trace['encode_records_per_sec'] / 1e6:.1f} M/s, "
           f"decode {trace['decode_records_per_sec'] / 1e6:.1f} M/s, "
           f"replay {trace['replay_records_per_sec'] / 1e3:.0f} K/s")
+    if problems:
+        for p in problems:
+            print(f"perf_smoke: UNTRUSTED: {p}", file=sys.stderr)
+        print(f"perf_smoke: artifact {args.out} tagged untrusted; perf "
+              f"gates skipped", file=sys.stderr)
+        return 0
     if speedup < MIN_SPEEDUP:
         print(f"perf_smoke: FAIL: event-queue speedup {speedup:.2f}x "
               f"< required {MIN_SPEEDUP}x", file=sys.stderr)
@@ -227,6 +323,13 @@ def main():
         print(f"perf_smoke: FAIL: shard-ensemble speedup "
               f"{shard['speedup']:.2f}x < required {MIN_SHARD_SPEEDUP}x "
               f"on a {shard['host_cpus']}-CPU host", file=sys.stderr)
+        return 1
+    if (single["host_cpus"] >= 4
+            and single["speedup"] < MIN_SINGLE_RUN_SPEEDUP):
+        print(f"perf_smoke: FAIL: single-run shard speedup "
+              f"{single['speedup']:.2f}x < required "
+              f"{MIN_SINGLE_RUN_SPEEDUP}x "
+              f"on a {single['host_cpus']}-CPU host", file=sys.stderr)
         return 1
     return 0
 

@@ -268,28 +268,62 @@ def plot_suite(doc, outdir):
 
 
 def plot_takoperf(docs, outdir):
-    """Events/sec trend across one or more takoperf-v1 artifacts.
+    """Throughput + shard-speedup trends across takoperf-v1 artifacts.
 
-    Two series on one chart: end-to-end takosim events/sec (the number
-    that bounds figure-bench scale) and the raw event-queue
-    schedule/fire microbenchmark, each point one artifact in argument
-    order labelled by its git rev.
+    Two charts: (1) end-to-end takosim events/sec (the number that
+    bounds figure-bench scale) against the raw event-queue
+    schedule/fire microbenchmark; (2) the decomposed-run payoff — the
+    shard_single_run wall-clock speedup of one 16-tile simulation at
+    --shards=4 over --shards=1, with the shard_ensemble (independent
+    replica lanes) speedup alongside for contrast. Each point is one
+    artifact in argument order labelled by its git rev; artifacts
+    tagged "untrusted" (non-Release build or dirty tree — see
+    perf_smoke.py) get a * on the label.
     """
-    revs = [str(d.get("git_rev", "?"))[:12] for d in docs]
+    revs = [str(d.get("git_rev", "?"))[:12]
+            + ("*" if d.get("untrusted") else "") for d in docs]
     sim_eps = [d.get("takosim", {}).get("events_per_sec", 0) / 1e6
                for d in docs]
     ueq = [d.get("benchmarks", {}).get("BM_EventQueueSchedule", {})
             .get("items_per_second", 0) / 1e6 for d in docs]
+    single = [d.get("shard_single_run", {}).get("speedup") for d in docs]
+    ensemble = [d.get("shard_ensemble", {}).get("speedup") for d in docs]
     try:
         import matplotlib
         matplotlib.use("Agg")
         import matplotlib.pyplot as plt
     except ImportError:
-        print(f"{'rev':>12} {'sim Mev/s':>10} {'uqueue M/s':>10}")
-        for r, s, u in zip(revs, sim_eps, ueq):
-            print(f"{r:>12} {s:>10.2f} {u:>10.1f}")
+        print(f"{'rev':>13} {'sim Mev/s':>10} {'uqueue M/s':>10} "
+              f"{'1-run spdup':>11}")
+        for r, s, u, sp in zip(revs, sim_eps, ueq, single):
+            sp_txt = f"{sp:.2f}x" if sp is not None else "-"
+            print(f"{r:>13} {s:>10.2f} {u:>10.1f} {sp_txt:>11}")
         print("matplotlib not available; printed summaries only")
         return
+
+    if any(sp is not None for sp in single + ensemble):
+        fig, ax = plt.subplots(figsize=(max(6, len(revs) * 0.9), 3.5))
+        if any(sp is not None for sp in single):
+            ax.plot(revs, [sp if sp is not None else float("nan")
+                           for sp in single],
+                    marker="o", label="single run, 4 shard domains")
+        if any(sp is not None for sp in ensemble):
+            ax.plot(revs, [sp if sp is not None else float("nan")
+                           for sp in ensemble],
+                    marker="s", linestyle="--",
+                    label="4-replica ensemble, 4 lanes")
+        ax.axhline(1.0, color="gray", linewidth=0.8)
+        ax.set_ylabel("wall-clock speedup vs --shards=1")
+        ax.set_ylim(bottom=0)
+        ax.set_title("Sharded-execution speedup trend "
+                     "(* = untrusted artifact)")
+        ax.legend(loc="lower right")
+        plt.xticks(rotation=30, ha="right")
+        plt.tight_layout()
+        fig.savefig(f"{outdir}/takoperf_shard_speedup.png", dpi=120)
+        plt.close(fig)
+        print(f"wrote shard speedup trend to "
+              f"{outdir}/takoperf_shard_speedup.png")
 
     fig, ax = plt.subplots(figsize=(max(6, len(revs) * 0.9), 3.5))
     ax.plot(revs, sim_eps, marker="o", label="takosim (end-to-end)")
