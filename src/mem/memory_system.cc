@@ -478,9 +478,7 @@ MemorySystem::fetchIntoL2(int tile, Addr line, bool want_m, bool engine,
                           const MorphBinding *mb, bool no_fetch,
                           bool use_once, LatBreakdown &bd)
 {
-    TileState &t = *tiles_[tile];
     const int bank = bankOf(line);
-    TileState &b = *tiles_[bank];
     const bool shared_morph = mb && mb->level == MorphLevel::Shared;
 
     panic_if(mb && mb->level == MorphLevel::Private && mb->phantom,
@@ -488,6 +486,9 @@ MemorySystem::fetchIntoL2(int tile, Addr line, bool want_m, bool engine,
              (unsigned long long)line);
 
     co_await hop(tile, bank, 8, &bd);
+    // Bank-side state is bound after the hop (H1): every access below
+    // runs in the bank's domain.
+    TileState &b = *tiles_[bank];
     Tick t0 = ctxNow(eq_);
     co_await b.bankLocks.acquire(line);
     bd.lockWait += ctxNow(eq_) - t0;
@@ -605,6 +606,9 @@ MemorySystem::fetchIntoL2(int tile, Addr line, bool want_m, bool engine,
     }
 
     co_await hop(bank, tile, 72, &bd);
+    // Back in the requesting tile's domain: bind its state here, not
+    // before the hops (H1).
+    TileState &t = *tiles_[tile];
 
     if (CacheWay *w2 = t.l2.lookup(line)) {
         // Upgrade in place.
@@ -1052,9 +1056,11 @@ MemorySystem::remoteAtomicAdd(int tile, Addr addr, std::uint64_t delta)
 
     const Addr line = lineAlign(addr);
     const int bank = bankOf(line);
-    TileState &b = *tiles_[bank];
 
     co_await hop(tile, bank, 16);
+    // Bound after the hop (H1): the whole read-modify-write below runs
+    // in the bank's domain.
+    TileState &b = *tiles_[bank];
     co_await b.bankLocks.acquire(line);
     co_await Delay{eq_, params_.l3TagLat};
     energy_.l3Access();

@@ -277,6 +277,10 @@ class MemorySystem
     Coh l2State(int tile, Addr addr) const;
 
   private:
+    /** Per-tile model state: caches, bank locks, MSHRs. Owned by the
+     *  tile's domain; coroutines must hop() to the tile before binding
+     *  a reference, and re-bind after every hop away and back. */
+    // takolint: domain-local
     struct TileState
     {
         TileState(const MemParams &p, EventQueue &eq)

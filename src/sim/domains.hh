@@ -134,6 +134,7 @@ class Domains
         const std::uint32_t es = streamOf(dstTile);
         EventQueue *cq = detail::execCtx.queue;
         if (!exec_ || !cq || cq == queues_[dstDom]) {
+            // takolint: ok(X2, the router itself: same-domain or pre-run posts land directly, guarded by the cq == queues_[dstDom] test above)
             queues_[dstDom]->scheduleKeyed(when, std::forward<F>(fn),
                                            prio, key, es);
             return;

@@ -329,8 +329,11 @@ class Completion
 
 /**
  * Join counter: a coroutine awaits wait() until all added work items have
- * called done(). Work is added with add() before the await.
+ * called done(). Work is added with add() before the await. Like
+ * Semaphore below, the counter mutates on whichever queue calls done(),
+ * so adders, finishers and the waiter must share one domain.
  */
+// takolint: domain-local
 class Join
 {
   public:
@@ -411,6 +414,7 @@ class Join
  * synchronization wants workloads' SimBarrier, which routes wakeups
  * back to each waiter's tile through the domain router.
  */
+// takolint: domain-local
 class Semaphore
 {
   public:

@@ -1,0 +1,29 @@
+// Seeded C1 violations: a `// takolint: domain-local` annotated object
+// crossing a domain boundary — captured into a cross-domain post, or
+// used after the coroutine hopped to another domain. Such objects
+// (Semaphore, Join, per-tile state) mutate on whichever queue touches
+// them, so they must stay with their owning domain.
+
+// takolint: domain-local
+struct PortSem
+{
+    int count = 0;
+    void release() {}
+};
+
+Task<>
+crossDomainRelease(Domains &dom, EventQueue &eq, int bank)
+{
+    PortSem psem;
+    dom.post(bank, 8, [&psem]() { psem.release(); }); // takolint-expect: C1
+    co_return;
+}
+
+Task<>
+useAfterHop(Domains &dom, PortSem &gate, int bank)
+{
+    gate.count += 1;
+    co_await dom.hopTo(bank);
+    gate.release(); // takolint-expect: C1
+    co_return;
+}

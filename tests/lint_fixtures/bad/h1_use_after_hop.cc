@@ -1,0 +1,25 @@
+// Seeded H1 violations: references bound before a migrating
+// `co_await hopTo(...)` and used after it. The coroutine resumes in
+// another domain, so every pre-hop binding is stale; takolint must
+// report each use with a flow trace naming the suspension point.
+
+Task<>
+fetchLine(Domains &dom, BankState **banks, int tile, int bank)
+{
+    BankState &b = *banks[bank];
+    co_await dom.hopTo(bank);
+    b.lines += 1; // takolint-expect: H1
+    co_return;
+}
+
+void
+spawnPrefetch(Domains &dom, int tile, int bank)
+{
+    int credits = 4;
+    auto worker = [&credits, bank](Domains &d) -> Task<> {
+        co_await d.hopTo(bank);
+        credits -= 1; // takolint-expect: H1
+        co_return;
+    };
+    (void)worker;
+}

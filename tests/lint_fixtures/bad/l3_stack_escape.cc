@@ -1,0 +1,17 @@
+// Seeded L3 violations: the address of a stack local escaping into a
+// deferred callable, via an init-capture and via `&local` in the body.
+// The callable runs at a later tick, after the frame is gone.
+
+void
+escapeViaInitCapture(Domains &dom, int tile)
+{
+    int pending = 0;
+    dom.post(tile, 8, [p = &pending]() { *p += 1; }); // takolint-expect: L3
+}
+
+void
+escapeViaBodyAddress(Domains &dom, int tile, Tick when)
+{
+    long total = 0;
+    dom.postAbs(tile, when, [=]() { accumulate(&total); }); // takolint-expect: L3
+}

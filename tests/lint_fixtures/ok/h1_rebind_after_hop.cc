@@ -1,0 +1,36 @@
+// Hop-safe reference discipline: bind after the hop, re-bind after
+// hopping back, re-bind at the top of every loop iteration. The one
+// deliberate pre-hop binding is suppressed with a reason.
+
+Task<>
+fetchLine(Domains &dom, BankState **banks, int tile, int bank)
+{
+    co_await dom.hopTo(bank);
+    BankState &b = *banks[bank]; // bound after the hop: clean
+    b.lines += 1;
+    co_await dom.hopTo(tile);
+    BankState &t = *banks[tile]; // re-bound after hopping back
+    t.lines += 1;
+    co_return;
+}
+
+Task<>
+walkBanks(Domains &dom, BankState **banks, int n)
+{
+    for (int i = 0; i < n; ++i) {
+        BankState &b = *banks[i]; // re-bound every iteration
+        b.lines += 1;
+        co_await dom.hopTo(i);
+    }
+    co_return;
+}
+
+Task<>
+provablyStable(Domains &dom, BankState **banks, int bank)
+{
+    BankState &pinned = *banks[bank];
+    co_await dom.hopTo(bank);
+    // takolint: ok(H1, the hop lands in pinned's own domain so the binding stays valid)
+    pinned.lines += 1;
+    co_return;
+}

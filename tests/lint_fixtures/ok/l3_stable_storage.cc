@@ -1,0 +1,32 @@
+// Deferred callables done right: copy values in, or point at storage
+// that outlives the frame (owner members). One reviewed frame-address
+// hand-off is suppressed with a reason.
+
+// Copying values into deferred callables: nothing frame-bound escapes.
+void
+deferredCount(Domains &dom, int tile)
+{
+    int pending = 3;
+    dom.post(tile, 8, [pending]() { consume(pending); });
+}
+
+struct Accum
+{
+    long total_ = 0;
+
+    // Pointing into long-lived owner state (a member), not the frame.
+    void
+    bump(Domains &dom, int tile)
+    {
+        dom.post(tile, 8, [p = &total_]() { *p += 1; });
+    }
+
+    void
+    bumpReviewed(Domains &dom, int tile)
+    {
+        long staged = 1;
+        // takolint: ok(L3, the quantum-zero post drains before this frame unwinds)
+        dom.post(tile, 0, [p = &staged]() { *p += 1; });
+        consume(staged);
+    }
+};

@@ -233,6 +233,33 @@ def run_trace_codec(bin_dir, quick):
     }
 
 
+def run_lint_cold(bin_dir):
+    """Wall-time one cold takolint run over src/ (all ten rules, full
+    cross-file symbol index). Informational — no gate; the artifact
+    gives the analyzer's cost a per-commit trajectory so a quadratic
+    slip in the flow pass shows up as a trend, not a CI timeout.
+    Returns None when the binary isn't in this build (e.g. --quick
+    bench-only trees).
+    """
+    exe = os.path.join(bin_dir, "tools", "takolint", "takolint")
+    if not os.path.exists(exe):
+        return None
+    start = time.monotonic()
+    proc = subprocess.run([exe, "src"], capture_output=True, text=True)
+    wall = time.monotonic() - start
+    files = 0
+    for tok in proc.stdout.split():
+        if tok.isdigit():
+            files = int(tok)
+            break
+    return {
+        "wall_sec": wall,
+        "files_scanned": files,
+        "files_per_sec": files / wall if wall > 0 else 0.0,
+        "exit_code": proc.returncode,
+    }
+
+
 def main():
     ap = argparse.ArgumentParser()
     ap.add_argument("--bin-dir", default="build")
@@ -262,6 +289,7 @@ def main():
     shard = run_shard_ensemble(args.bin_dir, args.quick)
     single = run_shard_single(args.bin_dir, args.quick)
     trace = run_trace_codec(args.bin_dir, args.quick)
+    lint = run_lint_cold(args.bin_dir)
 
     new = benches.get("BM_EventQueueSchedule", {}).get("items_per_second", 0)
     old = benches.get("BM_EventQueueScheduleLegacy", {}) \
@@ -284,6 +312,8 @@ def main():
         "shard_single_run": single,
         "trace_codec": trace,
     }
+    if lint is not None:
+        report["lint_cold_run"] = lint
     if problems:
         report["untrusted"] = True
         report["untrusted_reasons"] = problems
@@ -309,6 +339,10 @@ def main():
           f"encode {trace['encode_records_per_sec'] / 1e6:.1f} M/s, "
           f"decode {trace['decode_records_per_sec'] / 1e6:.1f} M/s, "
           f"replay {trace['replay_records_per_sec'] / 1e3:.0f} K/s")
+    if lint is not None:
+        print(f"perf_smoke: takolint cold run over src/ "
+              f"{lint['wall_sec']:.2f}s ({lint['files_scanned']} files, "
+              f"{lint['files_per_sec']:.0f} files/s)")
     if problems:
         for p in problems:
             print(f"perf_smoke: UNTRUSTED: {p}", file=sys.stderr)

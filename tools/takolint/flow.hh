@@ -1,0 +1,212 @@
+/**
+ * @file
+ * takolint's flow layer: the pieces that turn the lexer's token stream
+ * into something the partition-safety rules (X2/H1/C1/L3) can reason
+ * about.
+ *
+ *  - Cursor: a bounds-checked view over a file's significant tokens,
+ *    shared with the token-level rule engine (rules.cc).
+ *  - parse.cc: a lightweight function-body parser that recovers
+ *    statements, lambda captures, and `co_await` suspension points
+ *    into a per-function CFG of basic blocks. It is not a compiler:
+ *    control flow is approximated (switch bodies are linear-plus-skip,
+ *    gotos are path terminators) and declarations are matched by
+ *    pattern, with the suppression syntax as the release valve.
+ *  - symbols.cc: a two-pass cross-file symbol index — pass A records
+ *    class definitions and `// takolint: domain-local` annotations,
+ *    pass B records every identifier declared with an annotated type
+ *    (members in a .hh are captured/posted from a .cc, so the index is
+ *    global and over-approximating, exactly like the D1 index).
+ *  - flow_rules.cc: the X2/H1/C1/L3 checks, reporting each finding
+ *    with a flow trace of the witness path.
+ */
+
+#ifndef TAKO_TOOLS_TAKOLINT_FLOW_HH
+#define TAKO_TOOLS_TAKOLINT_FLOW_HH
+
+#include <functional>
+#include <utility>
+
+#include "lint.hh"
+
+namespace takolint
+{
+
+/** Cursor over a file's significant tokens. */
+class Cursor
+{
+  public:
+    explicit Cursor(const SourceFile &f) : f_(f) {}
+
+    int size() const { return static_cast<int>(f_.sig.size()); }
+
+    const Token &
+    tok(int i) const
+    {
+        static const Token none{Tok::Punct, "", 0};
+        if (i < 0 || i >= size())
+            return none;
+        return f_.tokens[static_cast<std::size_t>(f_.sig[i])];
+    }
+
+    const std::string &text(int i) const { return tok(i).text; }
+    int line(int i) const { return tok(i).line; }
+    bool is(int i, const char *t) const { return text(i) == t; }
+    bool isIdent(int i) const { return tok(i).kind == Tok::Ident; }
+
+    /** Index of the matcher for the opener at @p i ("(" / "[" / "{"),
+     *  or size() when unbalanced. */
+    int
+    match(int i, const char *open, const char *close) const
+    {
+        int depth = 0;
+        for (int j = i; j < size(); ++j) {
+            if (is(j, open))
+                ++depth;
+            else if (is(j, close) && --depth == 0)
+                return j;
+        }
+        return size();
+    }
+
+    /** Index of the opener for the closer at @p i (")" / "]" / "}"),
+     *  or -1 when unbalanced. */
+    int
+    matchBack(int i, const char *open, const char *close) const
+    {
+        int depth = 0;
+        for (int j = i; j >= 0; --j) {
+            if (is(j, close))
+                ++depth;
+            else if (is(j, open) && --depth == 0)
+                return j;
+        }
+        return -1;
+    }
+
+    /**
+     * Skip a template argument list starting at "<" (index @p i);
+     * returns the index just past the matching ">". ">>" counts twice.
+     */
+    int
+    skipTemplateArgs(int i) const
+    {
+        int depth = 0;
+        for (int j = i; j < size(); ++j) {
+            const std::string &t = text(j);
+            if (t == "<")
+                ++depth;
+            else if (t == ">") {
+                if (--depth == 0)
+                    return j + 1;
+            } else if (t == ">>") {
+                depth -= 2;
+                if (depth <= 0)
+                    return j + 1;
+            } else if (t == ";" || t == "{") {
+                break; // not actually a template argument list
+            }
+        }
+        return i + 1;
+    }
+
+  private:
+    const SourceFile &f_;
+};
+
+/** A lambda expression found inside a function body. */
+struct Lambda
+{
+    int intro = -1;     ///< sig index of the `[` introducer
+    int bodyBegin = -1; ///< sig index of the body `{`
+    int bodyEnd = -1;   ///< sig index of the matching `}`
+    bool refDefault = false; ///< `[&, ...]`
+    bool valDefault = false; ///< `[=, ...]`
+    bool capturesThis = false;
+    /** `&name` captures: (name, line of the capture). */
+    std::vector<std::pair<std::string, int>> refCaptures;
+    /** Plain `name` value captures (the name refers to an enclosing
+     *  binding). */
+    std::vector<std::pair<std::string, int>> valCaptures;
+    /** `name = expr` init-captures: the name is *fresh*, so it must
+     *  not be matched against enclosing or indexed bindings. */
+    std::vector<std::pair<std::string, int>> initCaptures;
+    /** `name = &local` init-captures: (local, line). */
+    std::vector<std::pair<std::string, int>> addrInitCaptures;
+};
+
+/** A `co_await` whose awaited call migrates the coroutine's domain. */
+struct Suspension
+{
+    int at = -1; ///< sig index of the co_await token
+    int line = 0;
+    std::string callee; ///< hopTo / hopToAbs / hop
+};
+
+/** One basic block: token ranges [begin, end) plus successor edges. */
+struct Block
+{
+    std::vector<std::pair<int, int>> ranges;
+    std::vector<int> succs;
+};
+
+/** A parsed function (or lambda) body with its recovered CFG. */
+struct Func
+{
+    std::string name;    ///< qualified name, or "<lambda>"
+    int paramBegin = -1; ///< sig index of the parameter-list `(`
+    int paramEnd = -1;   ///< sig index of the matching `)`
+    int bodyBegin = -1;  ///< sig index of the body `{`
+    int bodyEnd = -1;    ///< sig index of the matching `}`
+    bool isLambda = false;
+    Lambda lam; ///< capture info; valid when isLambda
+    std::vector<Block> blocks; ///< block 0 is the entry
+    std::vector<Suspension> suspensions; ///< outside nested lambdas
+    std::vector<Lambda> lambdas; ///< directly nested lambdas
+};
+
+/**
+ * Parse every function body in @p f — free functions, member
+ * functions, and (recursively) every lambda, each as its own Func with
+ * its own CFG. Lambda bodies are excluded from the enclosing
+ * function's blocks and suspension list: the lambda executes on some
+ * other frame at some other time, so its tokens are not part of the
+ * enclosing flow.
+ */
+std::vector<Func> parseFunctions(const SourceFile &f);
+
+/** The cross-file symbol index the flow rules consult. */
+struct SymbolIndex
+{
+    /** Classes annotated `// takolint: domain-local`. */
+    std::set<std::string> domainLocalClasses;
+    /** Identifiers declared anywhere with an annotated type. */
+    std::set<std::string> domainLocalVars;
+    /** var -> the annotated class it was declared with (diagnostics). */
+    std::map<std::string, std::string> varClass;
+    /** class -> members declared in its definition (class membership;
+     *  members of annotated types feed domainLocalVars). */
+    std::map<std::string, std::vector<std::string>> classMembers;
+};
+
+/** Pass A: record class definitions + domain-local annotations. */
+void indexClasses(const SourceFile &f, SymbolIndex &idx);
+
+/** Pass B: record identifiers declared with annotated types. Requires
+ *  every file's pass A to have run (the index is cross-file). */
+void indexAnnotatedVars(const SourceFile &f, SymbolIndex &idx);
+
+/** Sink for flow findings; rules.cc adapts this onto its dedupe +
+ *  suppression machinery. */
+using FlowSink = std::function<void(const std::string &rule, int line,
+                                    std::string msg,
+                                    std::vector<TraceStep> trace)>;
+
+/** Run X2/H1/C1/L3 over @p f (already determined to be partition
+ *  code), reporting through @p sink. */
+void checkFlowRules(const SourceFile &f, const SymbolIndex &sym,
+                    const Config &cfg, const FlowSink &sink);
+
+} // namespace takolint
+
+#endif // TAKO_TOOLS_TAKOLINT_FLOW_HH

@@ -23,9 +23,9 @@ namespace
 /** Multi-char operators the rules care about keeping whole ("->" must
  *  not decay into '-' '>' or template-argument balancing breaks). */
 const char *const kMultiOps[] = {
-    "->*", "<<=", ">>=", "...", "::", "->", "++", "--", "<<", ">>",
-    "<=",  ">=",  "==",  "!=",  "&&", "||", "+=", "-=", "*=", "/=",
-    "%=",  "&=",  "|=",  "^=",
+    "->*", "<<=", ">>=", "<=>", "...", "::", "->", "++", "--", "<<",
+    ">>",  "<=",  ">=",  "==",  "!=",  "&&", "||", "+=", "-=", "*=",
+    "/=",  "%=",  "&=",  "|=",  "^=",
 };
 
 bool
@@ -38,6 +38,24 @@ bool
 identChar(char c)
 {
     return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+/**
+ * Length of a raw-string prefix (`R"`, `u8R"`, `uR"`, `UR"`, `LR"`)
+ * starting at @p i, up to and including the quote; 0 when @p i does not
+ * start a raw string literal.
+ */
+std::size_t
+rawStringPrefix(const std::string &src, std::size_t i)
+{
+    static const char *const prefixes[] = {"u8R\"", "uR\"", "UR\"",
+                                           "LR\"", "R\""};
+    for (const char *p : prefixes) {
+        const std::size_t len = std::char_traits<char>::length(p);
+        if (src.compare(i, len, p) == 0)
+            return len;
+    }
+    return 0;
 }
 
 /** Parse `takolint: ok(RULE, reason)` out of a comment's text. */
@@ -133,7 +151,7 @@ lex(const std::string &path, const std::string &src)
         }
         atLineStart = false;
 
-        // Comments (kept: suppressions live here).
+        // Comments (kept: suppressions and annotations live here).
         if (c == '/' && i + 1 < n && src[i + 1] == '/') {
             const int start = line;
             std::size_t e = src.find('\n', i);
@@ -141,6 +159,8 @@ lex(const std::string &path, const std::string &src)
                 e = n;
             std::string text = src.substr(i, e - i);
             parseSuppressions(text, start, out.suppressions);
+            if (text.find("takolint: domain-local") != std::string::npos)
+                out.domainLocalMarks.push_back(start);
             push(Tok::Comment, std::move(text), start);
             i = e;
             continue;
@@ -159,15 +179,19 @@ lex(const std::string &path, const std::string &src)
             // Attach a block comment's suppressions to its *last* line,
             // so `/* takolint: ok(...) */` above a statement works.
             parseSuppressions(text, line, out.suppressions);
+            if (text.find("takolint: domain-local") != std::string::npos)
+                out.domainLocalMarks.push_back(line);
             push(Tok::Comment, std::move(text), start);
             i = e;
             continue;
         }
 
-        // Raw string literal: R"delim( ... )delim".
-        if (c == 'R' && i + 1 < n && src[i + 1] == '"') {
+        // Raw string literal: [u8|u|U|L]R"delim( ... )delim". Must win
+        // over the identifier branch or `u8R"(...)"` mis-lexes as the
+        // identifier `u8R` followed by a broken normal string.
+        if (const std::size_t plen = rawStringPrefix(src, i)) {
             const int start = line;
-            std::size_t p = i + 2;
+            std::size_t p = i + plen;
             std::string delim;
             while (p < n && src[p] != '(')
                 delim += src[p++];

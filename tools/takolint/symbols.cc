@@ -1,0 +1,134 @@
+/**
+ * @file
+ * takolint's cross-file symbol index (flow layer, pass A/B). Two
+ * passes over the whole scanned set, because the facts are cross-file:
+ * `Semaphore` is annotated in src/sim/task.hh, while the member that
+ * gets captured into a cross-domain post may be declared in a .hh and
+ * misused from a .cc three directories away.
+ *
+ *  - Pass A (indexClasses): class/struct definitions, their member
+ *    declarations (class membership), and the
+ *    `// takolint: domain-local` annotation contract — an annotation
+ *    on the class-definition line or the line above marks the type as
+ *    owned by exactly one domain at a time.
+ *  - Pass B (indexAnnotatedVars): every identifier declared *directly*
+ *    with an annotated type (`Semaphore s`, `Join &j`, `TileState *t`
+ *    — but not template-nested uses like vector<unique_ptr<TileState>>,
+ *    which keeps container members out of the over-approximation).
+ *
+ * Like the D1 unordered-var index, the result is deliberately global
+ * and over-approximating: any identifier ever declared domain-local is
+ * treated as domain-local everywhere, and the release valve for a
+ * reviewed site is a reasoned suppression.
+ */
+
+#include "flow.hh"
+
+namespace takolint
+{
+
+namespace
+{
+
+bool
+isTypeDeclKeyword(const std::string &t)
+{
+    return t == "class" || t == "struct";
+}
+
+/** Does any annotation mark sit on @p line or the line above? */
+bool
+annotated(const SourceFile &f, int line)
+{
+    for (int m : f.domainLocalMarks)
+        if (m == line || m == line - 1)
+            return true;
+    return false;
+}
+
+} // namespace
+
+void
+indexClasses(const SourceFile &f, SymbolIndex &idx)
+{
+    Cursor c(f);
+    for (int i = 0; i < c.size(); ++i) {
+        if (!isTypeDeclKeyword(c.text(i)) || !c.isIdent(i + 1))
+            continue;
+        const std::string &name = c.text(i + 1);
+        // Definition, not elaborated use / fwd decl: the name is
+        // followed by `{`, `:` (base clause), or `final`.
+        int j = i + 2;
+        if (c.is(j, "final"))
+            ++j;
+        if (!c.is(j, "{") && !c.is(j, ":"))
+            continue;
+        if (annotated(f, c.line(i)))
+            idx.domainLocalClasses.insert(name);
+
+        // Member declarations inside the definition body: record
+        // `Type name ;/=/{` pairs one level deep (class membership).
+        while (j < c.size() && !c.is(j, "{"))
+            ++j;
+        const int close = c.match(j, "{", "}");
+        int depth = 0;
+        for (int k = j + 1; k < close; ++k) {
+            const std::string &t = c.text(k);
+            if (t == "{" || t == "(" || t == "[") {
+                ++depth;
+                continue;
+            }
+            if (t == "}" || t == ")" || t == "]") {
+                --depth;
+                continue;
+            }
+            if (depth != 0 || !c.isIdent(k))
+                continue;
+            int m = k + 1;
+            if (c.is(m, "<"))
+                m = c.skipTemplateArgs(m);
+            while (c.is(m, "&") || c.is(m, "*") || c.is(m, "const"))
+                ++m;
+            if (c.isIdent(m) &&
+                (c.is(m + 1, ";") || c.is(m + 1, "=") ||
+                 c.is(m + 1, "{")))
+                idx.classMembers[name].push_back(c.text(m));
+        }
+    }
+}
+
+void
+indexAnnotatedVars(const SourceFile &f, SymbolIndex &idx)
+{
+    if (idx.domainLocalClasses.empty())
+        return;
+    Cursor c(f);
+    for (int i = 0; i < c.size(); ++i) {
+        if (!c.isIdent(i) || !idx.domainLocalClasses.count(c.text(i)))
+            continue;
+        // Skip the definition itself (`class Semaphore { ... }`).
+        if (isTypeDeclKeyword(c.text(i - 1)))
+            continue;
+        const std::string &cls = c.text(i);
+        int j = i + 1;
+        if (c.is(j, "<"))
+            j = c.skipTemplateArgs(j);
+        while (c.is(j, "&") || c.is(j, "*") || c.is(j, "const"))
+            ++j;
+        if (!c.isIdent(j))
+            continue;
+        // Direct declaration only: `Semaphore name` followed by an
+        // initializer, terminator, or parameter separator. `::` after
+        // the name means a qualified definition (`Semaphore
+        // &Engine::memPortSem()`), not a variable.
+        const std::string &after = c.text(j + 1);
+        if (after == ";" || after == "=" || after == "{" ||
+            after == "(" || after == "," || after == ")" ||
+            after == ":") {
+            idx.domainLocalVars.insert(c.text(j));
+            idx.varClass.emplace(c.text(j), cls);
+        }
+    }
+}
+
+} // namespace takolint

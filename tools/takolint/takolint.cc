@@ -7,8 +7,10 @@
  * PATHs are files or directories (recursed for .hh/.cc). Prints
  * GCC-style `file:line: rule: message` diagnostics for every active
  * finding and exits 1 when any exist, 0 on a clean tree, 2 on usage or
- * I/O errors. `--json=FILE` additionally writes a `takolint-v1` report
- * (schema checked by tools/validate_takolint.py).
+ * I/O errors. `--warn-only` reports but always exits 0 (advisory scans
+ * over tools/ and bench/). `--json=FILE` additionally writes a
+ * `takolint-v2` report (schema checked by tools/validate_takolint.py);
+ * flow-rule findings carry their witness path as a `trace` array.
  */
 
 #include <cstdio>
@@ -26,9 +28,10 @@ namespace
 constexpr const char *kUsage = R"(usage: takolint [options] PATH...
 
   PATH                file or directory (recursed for .hh/.cc sources)
-  --json=FILE         write a takolint-v1 JSON report
+  --json=FILE         write a takolint-v2 JSON report
   --rules=D1,D2,...   check only these rules (default: all)
   --assume-model-code treat every file as model code (fixture runs)
+  --warn-only         report findings but exit 0 (advisory scans)
   --no-suppress       ignore takolint: ok(...) comments (audit mode)
   --show-suppressed   also print suppressed findings (as notes)
   --list-rules        print the rule table and exit
@@ -63,14 +66,15 @@ jsonEscape(const std::string &s)
 
 void
 writeJson(std::ostream &os, const takolint::Report &report,
-          const std::vector<std::string> &roots)
+          const std::vector<std::string> &roots, bool warnOnly)
 {
-    os << "{\n  \"schema\": \"takolint-v1\",\n";
+    os << "{\n  \"schema\": \"takolint-v2\",\n";
     os << "  \"roots\": [";
     for (std::size_t i = 0; i < roots.size(); ++i)
         os << (i ? ", " : "") << '"' << jsonEscape(roots[i]) << '"';
     os << "],\n";
     os << "  \"files_scanned\": " << report.filesScanned << ",\n";
+    os << "  \"warn_only\": " << (warnOnly ? "true" : "false") << ",\n";
 
     os << "  \"rules\": [";
     bool first = true;
@@ -97,6 +101,14 @@ writeJson(std::ostream &os, const takolint::Report &report,
         if (f.suppressed)
             os << ", \"reason\": \"" << jsonEscape(f.suppressReason)
                << '"';
+        if (!f.trace.empty()) {
+            os << ", \"trace\": [";
+            for (std::size_t i = 0; i < f.trace.size(); ++i)
+                os << (i ? ", " : "") << "{\"line\": " << f.trace[i].line
+                   << ", \"note\": \"" << jsonEscape(f.trace[i].note)
+                   << "\"}";
+            os << "]";
+        }
         os << "}";
         first = false;
     }
@@ -119,7 +131,8 @@ writeJson(std::ostream &os, const takolint::Report &report,
         first = false;
     }
     os << "},\n";
-    os << "  \"exit_code\": " << (report.activeCount() ? 1 : 0) << "\n";
+    os << "  \"exit_code\": "
+       << (report.activeCount() && !warnOnly ? 1 : 0) << "\n";
     os << "}\n";
 }
 
@@ -132,6 +145,7 @@ main(int argc, char **argv)
     std::vector<std::string> paths;
     std::string jsonPath;
     bool showSuppressed = false;
+    bool warnOnly = false;
 
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
@@ -144,6 +158,8 @@ main(int argc, char **argv)
             return 0;
         } else if (arg == "--assume-model-code") {
             cfg.assumeModelCode = true;
+        } else if (arg == "--warn-only") {
+            warnOnly = true;
         } else if (arg == "--no-suppress") {
             cfg.honorSuppressions = false;
         } else if (arg == "--show-suppressed") {
@@ -202,7 +218,7 @@ main(int argc, char **argv)
             std::cerr << "takolint: cannot write " << jsonPath << "\n";
             return 2;
         }
-        writeJson(out, report, paths);
+        writeJson(out, report, paths, warnOnly);
     }
 
     const int active = report.activeCount();
@@ -212,6 +228,8 @@ main(int argc, char **argv)
               << active << " finding" << (active == 1 ? "" : "s");
     if (suppressed)
         std::cout << " (+" << suppressed << " suppressed)";
+    if (warnOnly && active)
+        std::cout << " [warn-only]";
     std::cout << "\n";
-    return active ? 1 : 0;
+    return active && !warnOnly ? 1 : 0;
 }

@@ -1,18 +1,22 @@
 #!/usr/bin/env python3
-"""Validate a takolint-v1 report (takolint --json output).
+"""Validate a takolint-v2 report (takolint --json output).
 
 Usage: tools/validate_takolint.py takolint.json
 
 Checks the structural schema and the internal invariants a correct lint
-run must satisfy (counts match the findings list, exit_code agrees with
-the active-finding count, suppressed findings carry reasons). Exits 0
-when valid, 1 with a message on the first violation. Stdlib only, so CI
-can run it anywhere.
+run must satisfy: counts match the findings list, exit_code agrees with
+the active-finding count and the warn_only flag, suppressed findings
+carry reasons, and flow-rule findings (X2/H1/C1/L3) carry well-formed
+witness traces whose steps land on positive lines in source order.
+Exits 0 when valid, 1 with a message on the first violation. Stdlib
+only, so CI can run it anywhere.
 """
 import json
 import sys
 
-RULES = ("D1", "D2", "L1", "L2", "S1")
+TOKEN_RULES = ("D1", "D2", "L1", "L2", "S1", "X1")
+FLOW_RULES = ("X2", "H1", "C1", "L3")
+RULES = TOKEN_RULES + FLOW_RULES
 
 
 class Invalid(Exception):
@@ -43,6 +47,34 @@ def check_rules(doc):
     need(set(ids) == set(RULES), f"rules must cover exactly {RULES}")
 
 
+def check_trace(f, where):
+    trace = f.get("trace")
+    if trace is None:
+        # Traces are mandatory for flow rules: a flow finding without
+        # its witness path cannot be reviewed.
+        need(f["rule"] not in FLOW_RULES,
+             f"{where}: {f['rule']} finding has no flow trace")
+        return
+    need(f["rule"] in FLOW_RULES,
+         f"{where}: token rule {f['rule']} must not carry a trace")
+    need(isinstance(trace, list) and trace,
+         f"{where}: trace must be a non-empty array")
+    prev = 0
+    for j, step in enumerate(trace):
+        swhere = f"{where}.trace[{j}]"
+        need(isinstance(step, dict), f"{swhere}: must be an object")
+        need(is_uint(step.get("line")) and step["line"] > 0,
+             f"{swhere}: line must be a positive integer")
+        need(isinstance(step.get("note"), str) and step["note"],
+             f"{swhere}: missing note")
+        need(step["line"] >= prev,
+             f"{swhere}: trace lines must be in source order")
+        prev = step["line"]
+    need(trace[-1]["line"] == f["line"],
+         f"{where}: trace must end at the finding line {f['line']}, "
+         f"got {trace[-1]['line']}")
+
+
 def check_findings(doc):
     findings = doc.get("findings")
     need(isinstance(findings, list), "\"findings\" missing")
@@ -65,12 +97,14 @@ def check_findings(doc):
                  f"{where}: suppressed finding without a reason")
         else:
             active[f["rule"]] += 1
+        check_trace(f, where)
     return active
 
 
 def check_unused(doc):
     unused = doc.get("unused_suppressions")
     need(isinstance(unused, list), "\"unused_suppressions\" missing")
+    seen = set()
     for i, u in enumerate(unused):
         where = f"unused_suppressions[{i}]"
         need(isinstance(u, dict), f"{where}: must be an object")
@@ -80,17 +114,24 @@ def check_unused(doc):
              f"{where}: bad line")
         need(isinstance(u.get("rule"), str) and u["rule"],
              f"{where}: missing rule")
+        key = (u["file"], u["line"], u["rule"])
+        need(key not in seen,
+             f"{where}: duplicate unused-suppression entry for "
+             f"{u['file']}:{u['line']} ({u['rule']})")
+        seen.add(key)
 
 
 def validate(doc):
-    need(doc.get("schema") == "takolint-v1",
-         "\"schema\" must be \"takolint-v1\"")
+    need(doc.get("schema") == "takolint-v2",
+         "\"schema\" must be \"takolint-v2\"")
     roots = doc.get("roots")
     need(isinstance(roots, list) and roots and
          all(isinstance(r, str) and r for r in roots),
          "\"roots\" must be a non-empty string array")
     need(is_uint(doc.get("files_scanned")) and doc["files_scanned"] > 0,
          "\"files_scanned\" must be positive")
+    need(isinstance(doc.get("warn_only"), bool),
+         "\"warn_only\" must be a boolean")
     check_rules(doc)
     active = check_findings(doc)
     check_unused(doc)
@@ -106,9 +147,10 @@ def validate(doc):
 
     total = sum(active.values())
     need(doc.get("exit_code") in (0, 1), "\"exit_code\" must be 0 or 1")
-    need(doc["exit_code"] == (1 if total else 0),
+    expect = 1 if (total and not doc["warn_only"]) else 0
+    need(doc["exit_code"] == expect,
          f"exit_code={doc['exit_code']} disagrees with {total} active "
-         "findings")
+         f"findings (warn_only={doc['warn_only']})")
 
 
 def main():
@@ -125,12 +167,13 @@ def main():
     try:
         validate(doc)
     except Invalid as e:
-        print(f"{path}: invalid takolint-v1: {e}", file=sys.stderr)
+        print(f"{path}: invalid takolint-v2: {e}", file=sys.stderr)
         return 1
     total = sum(1 for f in doc["findings"] if not f["suppressed"])
     suppressed = len(doc["findings"]) - total
-    print(f"{path}: valid takolint-v1 ({doc['files_scanned']} files, "
-          f"{total} active findings, {suppressed} suppressed)")
+    mode = " [warn-only]" if doc["warn_only"] else ""
+    print(f"{path}: valid takolint-v2 ({doc['files_scanned']} files, "
+          f"{total} active findings, {suppressed} suppressed{mode})")
     return 0
 
 
